@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Every table/figure bench writes its regenerated report to ``results/`` so a
+full ``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+evaluation section on disk (referenced by EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_report(markdown: str, name: str) -> Path:
+    """Write a report's markdown under results/ and return the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.md"
+    path.write_text(markdown + "\n")
+    return path

@@ -1,0 +1,95 @@
+"""Ablation: the value of algorithm diversity (DESIGN.md design choice).
+
+The paper's core claim (§I.B, NFLT argument) is that the *mix* of search
+algorithms is robust across problem types while any fixed algorithm can be
+good on one family and poor on another.  This bench gives every
+configuration a tight per-round flip budget and measures **rounds to reach
+the reference solution** (capped) on two different problem families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks._util import save_report
+from repro.core.packet import MainAlgorithm
+from repro.ga.operations import OperationParams
+from repro.harness.reporting import ExperimentReport
+from repro.problems.maxcut import maxcut_to_qubo, random_complete_graph
+from repro.problems.qap import random_qap
+from repro.search.batch import BatchSearchConfig
+from repro.solver.dabs import DABSConfig, DABSSolver
+
+ROUND_CAP = 30
+TRIALS = 3
+
+BASE = DABSConfig(
+    num_gpus=2,
+    blocks_per_gpu=4,
+    pool_capacity=10,
+    batch=BatchSearchConfig(search_flip_factor=0.1, batch_flip_factor=1.0),
+    operations=OperationParams(interval_min=8),
+)
+
+
+def rounds_to_target(model, target, algorithm_set, seed):
+    """Mean rounds to reach *target* over trials (cap counts as the cap)."""
+    cfg = replace(BASE, algorithm_set=algorithm_set)
+    rounds, successes = [], 0
+    for t in range(TRIALS):
+        result = DABSSolver(model, cfg, seed=seed + t).solve(
+            target_energy=target, max_rounds=ROUND_CAP
+        )
+        rounds.append(result.rounds if result.reached_target else ROUND_CAP)
+        successes += result.reached_target
+    return float(np.mean(rounds)), successes
+
+
+def run_ablation():
+    problems = []
+    k_adj = random_complete_graph(96, seed=1)
+    k_model = maxcut_to_qubo(k_adj)
+    problems.append(("MaxCut K96", k_model))
+    qap = random_qap(7, seed=2)
+    problems.append((f"QAP {qap.name} (49 bits)", qap.to_qubo()[0]))
+
+    report = ExperimentReport(
+        title="Ablation: full diversity vs single search algorithms",
+        headers=["Problem", "Configuration", "Mean rounds to ref", "Successes"],
+    )
+    outcome = {}
+    for name, model in problems:
+        # reference: generous full-diversity effort run
+        ref = (
+            DABSSolver(model, replace(BASE, blocks_per_gpu=8), seed=99)
+            .solve(max_rounds=ROUND_CAP)
+            .best_energy
+        )
+        full_rounds, full_ok = rounds_to_target(model, ref, tuple(MainAlgorithm), 10)
+        report.add_row(name, "all 5 algorithms (DABS)", f"{full_rounds:.1f}", f"{full_ok}/{TRIALS}")
+        singles = {}
+        for alg in MainAlgorithm:
+            r, ok = rounds_to_target(model, ref, (alg,), 10)
+            singles[alg] = (r, ok)
+            report.add_row(name, f"only {alg.name}", f"{r:.1f}", f"{ok}/{TRIALS}")
+        outcome[name] = (full_rounds, full_ok, singles)
+    report.add_note(
+        f"{TRIALS} trials, round cap {ROUND_CAP}, tight budget (b=1.0); "
+        "fewer rounds is better. The diverse mix should be competitive on "
+        "both problems while single algorithms degrade on at least one."
+    )
+    return report, outcome
+
+
+def test_ablation_diversity(benchmark):
+    report, outcome = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    path = save_report(report.to_markdown(), "ablation_diversity")
+    print(f"\n{report.to_markdown()}\nsaved to {path}")
+    for name, (full_rounds, full_ok, singles) in outcome.items():
+        # the diverse mix reaches the reference at least as reliably as the
+        # median single-algorithm restriction
+        ok_counts = sorted(ok for _, ok in singles.values())
+        median_ok = ok_counts[len(ok_counts) // 2]
+        assert full_ok >= median_ok, name

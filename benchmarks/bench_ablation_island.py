@@ -1,0 +1,89 @@
+"""Ablation: island model and Xrossover (§IV.B design choice).
+
+Compares, at a fixed total block budget and a tight per-round flip budget:
+
+* a ring of 4 pools with Xrossover enabled (the DABS design),
+* a ring of 4 pools with Xrossover removed from the operation set,
+* a single pool holding all blocks.
+
+Measured as rounds to reach the reference solution (capped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks._util import save_report
+from repro.core.packet import GeneticOp
+from repro.ga.operations import OperationParams
+from repro.harness.reporting import ExperimentReport
+from repro.problems.gset import g22_like
+from repro.problems.maxcut import maxcut_to_qubo
+from repro.search.batch import BatchSearchConfig
+from repro.solver.dabs import DABSSolver
+
+ROUND_CAP = 25
+TRIALS = 4
+NO_XROSSOVER = tuple(op for op in GeneticOp if op is not GeneticOp.XROSSOVER)
+
+BASE = dict(
+    pool_capacity=10,
+    batch=BatchSearchConfig(search_flip_factor=0.1, batch_flip_factor=1.0),
+    operations=OperationParams(interval_min=8),
+)
+
+
+def run_ablation():
+    from repro.solver.dabs import DABSConfig
+
+    model = maxcut_to_qubo(g22_like(128, seed=3))
+    variants = {
+        "4 pools + Xrossover (DABS)": DABSConfig(
+            num_gpus=4, blocks_per_gpu=4, **BASE
+        ),
+        "4 pools, no Xrossover": DABSConfig(
+            num_gpus=4, blocks_per_gpu=4, operation_set=NO_XROSSOVER, **BASE
+        ),
+        "1 pool (all blocks)": DABSConfig(
+            num_gpus=1, blocks_per_gpu=16, operation_set=NO_XROSSOVER, **BASE
+        ),
+    }
+    # reference from a generous run of the full design
+    ref = (
+        DABSSolver(model, variants["4 pools + Xrossover (DABS)"], seed=99)
+        .solve(max_rounds=2 * ROUND_CAP)
+        .best_energy
+    )
+    report = ExperimentReport(
+        title="Ablation: island model / Xrossover",
+        headers=["Configuration", "Mean rounds to ref", "Successes"],
+    )
+    results = {}
+    for name, cfg in variants.items():
+        rounds, successes = [], 0
+        for t in range(TRIALS):
+            r = DABSSolver(model, cfg, seed=20 + t).solve(
+                target_energy=ref, max_rounds=ROUND_CAP
+            )
+            rounds.append(r.rounds if r.reached_target else ROUND_CAP)
+            successes += r.reached_target
+        results[name] = (float(np.mean(rounds)), successes)
+        report.add_row(name, f"{np.mean(rounds):.1f}", f"{successes}/{TRIALS}")
+    report.add_note(
+        f"G22-like(128), reference {ref}, {TRIALS} trials, round cap "
+        f"{ROUND_CAP}, equal total block budget (16 blocks); fewer rounds "
+        "is better"
+    )
+    return report, results
+
+
+def test_ablation_island(benchmark):
+    report, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    path = save_report(report.to_markdown(), "ablation_island")
+    print(f"\n{report.to_markdown()}\nsaved to {path}")
+    full_rounds, full_ok = results["4 pools + Xrossover (DABS)"]
+    # the full design must be competitive with every stripped variant
+    for name, (rounds, ok) in results.items():
+        assert full_ok >= ok - 1, name

@@ -1,0 +1,28 @@
+"""Regenerates Fig. 5 (histogram of DABS TTS on the complete-graph MaxCut).
+
+Paper shape being reproduced (§VI.A): the TTS distribution over repeated
+executions is tightly concentrated — all runs finish within a small
+multiple of the mean (the paper: all 1000 runs < 1.7 s, mean 0.694 s).
+"""
+
+from __future__ import annotations
+
+from benchmarks._util import save_report
+from repro.harness.experiments import SMOKE, run_fig5
+
+
+def test_fig5_tts_histogram(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig5(SMOKE, seed=0), rounds=1, iterations=1
+    )
+    rendered = report.to_markdown()
+    tts = report.data["tts"]
+    if tts.successes:
+        rendered += "\n\n```\n" + report.data["histogram"].render_ascii() + "\n```"
+    path = save_report(rendered, "fig5_tts_histogram")
+    print(f"\n{rendered}\nsaved to {path}")
+    assert tts.success_probability > 0.5
+    if tts.successes >= 3:
+        values = tts.tts_values
+        # concentration: the slowest success within ~6x the mean
+        assert values.max() <= 6 * values.mean()

@@ -1,0 +1,27 @@
+"""Regenerates Fig. 7 (DABS running-time histograms for QASP r=1/16/256).
+
+Paper shape being reproduced (§VI.C): at every resolution the solver
+reaches the potentially optimal solution with high probability and the
+run-time histograms are concentrated at small values (paper: < 10 s with
+high probability for all three resolutions).
+"""
+
+from __future__ import annotations
+
+from benchmarks._util import save_report
+from repro.harness.experiments import SMOKE, run_fig7
+
+
+def test_fig7_qasp_histograms(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig7(SMOKE, seed=0), rounds=1, iterations=1
+    )
+    rendered = report.to_markdown()
+    for name, payload in report.data.items():
+        if payload["histogram"] is not None:
+            rendered += f"\n\n{name}:\n```\n" + payload["histogram"].render_ascii() + "\n```"
+    path = save_report(rendered, "fig7_qasp_histogram")
+    print(f"\n{rendered}\nsaved to {path}")
+    assert len(report.data) == 3
+    for name, payload in report.data.items():
+        assert payload["tts"].success_probability > 0.5, name

@@ -1,0 +1,74 @@
+"""Microbenchmarks of the hot kernels (§V's performance layer).
+
+These are real pytest-benchmark timings (many rounds), measuring:
+
+* the O(B·n) lockstep Δ-update flip — the analogue of the paper's one-flip
+  CUDA kernel, reported as block-flips/second;
+* the per-iteration selection rules of the main search algorithms;
+* batched energy evaluation and the xorshift64* lane generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta import BatchDeltaState
+from repro.core.qubo import QUBOModel
+from repro.core.rng import XorShift64Star, host_generator, spawn_device_seeds
+from repro.search.maxmin import MaxMinSearch
+from repro.search.positivemin import PositiveMinSearch
+
+
+def random_model(n: int, seed: int = 0) -> QUBOModel:
+    rng = np.random.default_rng(seed)
+    return QUBOModel(np.triu(rng.integers(-9, 10, size=(n, n))))
+
+
+@pytest.mark.parametrize("n,blocks", [(128, 16), (512, 16), (512, 64)])
+def test_delta_flip_kernel(benchmark, n, blocks):
+    """One lockstep flip across all blocks (the per-iteration Δ update)."""
+    model = random_model(n)
+    state = BatchDeltaState(model, batch=blocks)
+    rng = np.random.default_rng(1)
+    idx = rng.integers(0, n, size=blocks)
+
+    def flip():
+        state.flip(idx)
+
+    benchmark(flip)
+    benchmark.extra_info["block_flips_per_second"] = (
+        blocks / benchmark.stats["mean"]
+    )
+
+
+def test_maxmin_selection(benchmark):
+    """MaxMin per-iteration bit selection (threshold + random candidate)."""
+    model = random_model(256)
+    state = BatchDeltaState(model, batch=32)
+    lanes = XorShift64Star(spawn_device_seeds(host_generator(0), (32, 256)))
+    alg = MaxMinSearch()
+    benchmark(lambda: alg.select(state, 50, 100, lanes, None))
+
+
+def test_positivemin_selection(benchmark):
+    """PositiveMin per-iteration bit selection (posminΔ candidates)."""
+    model = random_model(256)
+    state = BatchDeltaState(model, batch=32)
+    lanes = XorShift64Star(spawn_device_seeds(host_generator(0), (32, 256)))
+    alg = PositiveMinSearch()
+    benchmark(lambda: alg.select(state, 1, 1, lanes, None))
+
+
+def test_batch_energy_evaluation(benchmark):
+    """Batched exact energies (used at state resets, O(B·n²))."""
+    model = random_model(256)
+    rng = np.random.default_rng(2)
+    xs = rng.integers(0, 2, size=(64, 256), dtype=np.uint8)
+    benchmark(lambda: model.energies(xs))
+
+
+def test_xorshift_lane_generation(benchmark):
+    """One (B, n) uniform draw from the per-thread xorshift64* lanes."""
+    lanes = XorShift64Star(spawn_device_seeds(host_generator(0), (64, 512)))
+    benchmark(lanes.random)

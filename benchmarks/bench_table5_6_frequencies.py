@@ -1,0 +1,44 @@
+"""Regenerates Tables V and VI (strategy-frequency analysis).
+
+Paper shape being reproduced (§VI.D): every main search algorithm and
+genetic operation gets executed (diversity is exercised), the mixes differ
+across problem families, and the first-found statistics concentrate on
+fewer strategies than the executed statistics.
+
+The expensive DABS runs happen once in a module fixture; the two bench
+functions regenerate each table from those runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._util import save_report
+from repro.harness.experiments import SMOKE, run_tables5_and_6
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return run_tables5_and_6(SMOKE, seed=0)
+
+
+def test_table5_executed_frequencies(benchmark, tables):
+    table5, _ = tables
+    rendered = benchmark.pedantic(table5.to_markdown, rounds=1, iterations=1)
+    path = save_report(rendered, "table5_executed_frequencies")
+    print(f"\n{rendered}\nsaved to {path}")
+    for name, counters in table5.data.items():
+        freqs = counters.algorithm_frequencies()
+        assert abs(sum(freqs.values()) - 1.0) < 1e-9, name
+        # diversity: at least 4 of the 5 algorithms actually executed
+        assert sum(f > 0 for f in freqs.values()) >= 4, name
+
+
+def test_table6_first_found_frequencies(benchmark, tables):
+    _, table6 = tables
+    rendered = benchmark.pedantic(table6.to_markdown, rounds=1, iterations=1)
+    path = save_report(rendered, "table6_first_found_frequencies")
+    print(f"\n{rendered}\nsaved to {path}")
+    for name, counters in table6.data.items():
+        total = sum(counters.algorithms.values())
+        assert total > 0, f"{name}: no run improved on its initial state"

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quantum Annealer Simulation Problem (paper §II.C / §VI.C).
+
+Builds a scaled D-Wave-Advantage-like working graph (Pegasus P3 fabric with
+faulty qubits removed), draws random resolution-r Ising instances on it,
+and compares DABS against the noisy quantum-annealer simulator — the
+experiment behind Table IV: the classical solver reaches the (potentially)
+optimal solution while the analog device plateaus with a small gap that
+worsens as the resolution grows.
+
+Run:  python examples/quantum_annealer_simulation.py
+"""
+
+from repro import DABSConfig, DABSSolver
+from repro.baselines.annealer import QuantumAnnealerSim
+from repro.problems.qasp import random_qasp
+from repro.search.batch import BatchSearchConfig
+from repro.topology.pegasus import advantage_like_graph
+
+CONFIG = DABSConfig(
+    num_gpus=2,
+    blocks_per_gpu=8,
+    pool_capacity=20,
+    batch=BatchSearchConfig(batch_flip_factor=4.0),
+)
+
+
+def main() -> None:
+    graph = advantage_like_graph(m=3, seed=0)
+    print(
+        f"Advantage-like working graph: {graph.number_of_nodes()} qubits, "
+        f"{graph.number_of_edges()} couplers (scaled from the 5627/40279 chip)"
+    )
+
+    for resolution in (1, 16, 256):
+        inst = random_qasp(resolution=resolution, graph=graph, seed=resolution)
+        print(f"\n=== QASP resolution r={resolution} ===")
+
+        dabs = DABSSolver(inst.qubo, CONFIG, seed=0).solve(max_rounds=15)
+        h_dabs = inst.hamiltonian_of_energy(dabs.best_energy)
+        print(f"DABS        : H={h_dabs} ({dabs.elapsed:.2f}s)")
+
+        annealer = QuantumAnnealerSim(inst.ising, resolution, seed=1)
+        best_h, model_time = annealer.best_of_calls(num_calls=3, reads_per_call=1000)
+        print(f"annealer sim: H={best_h} (modelled device time {model_time:.1f}s)")
+
+        if best_h > h_dabs:
+            gap = 100 * abs(best_h - h_dabs) / abs(h_dabs)
+            print(f"=> annealer gap {gap:.2f}% — DABS wins (Table IV shape)")
+        else:
+            print("=> annealer matched DABS on this instance")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` normally consumes pyproject.toml directly; this shim
+exists so the editable install also works on offline machines whose
+setuptools lacks the ``wheel`` package required by the PEP 660 path
+(``python setup.py develop`` takes the legacy route).
+"""
+
+from setuptools import setup
+
+setup()

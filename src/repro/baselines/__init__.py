@@ -1,0 +1,57 @@
+"""Comparator solvers: substitutes for the paper's proprietary baselines."""
+
+from repro.baselines.annealer import AnnealerSample, QuantumAnnealerSim
+from repro.baselines.exact import (
+    BranchAndBoundSolver,
+    ExactResult,
+    MipLikeSolver,
+    MipResult,
+)
+from repro.baselines.hybrid import HybridSample, HybridSolver
+from repro.baselines.momentum import (
+    MomentumAnnealingConfig,
+    MomentumResult,
+    momentum_annealing,
+    momentum_solve_qubo,
+)
+from repro.baselines.sbm import (
+    SBMConfig,
+    SBMResult,
+    sbm_solve_qubo,
+    simulated_bifurcation,
+)
+from repro.baselines.simulated_annealing import (
+    SAConfig,
+    SAResult,
+    simulated_annealing,
+)
+from repro.baselines.tabu_search import (
+    TabuSearchConfig,
+    TabuSearchResult,
+    tabu_search,
+)
+
+__all__ = [
+    "AnnealerSample",
+    "BranchAndBoundSolver",
+    "ExactResult",
+    "HybridSample",
+    "HybridSolver",
+    "MipLikeSolver",
+    "MipResult",
+    "MomentumAnnealingConfig",
+    "MomentumResult",
+    "QuantumAnnealerSim",
+    "momentum_annealing",
+    "momentum_solve_qubo",
+    "SAConfig",
+    "SAResult",
+    "SBMConfig",
+    "SBMResult",
+    "sbm_solve_qubo",
+    "simulated_annealing",
+    "simulated_bifurcation",
+    "tabu_search",
+    "TabuSearchConfig",
+    "TabuSearchResult",
+]

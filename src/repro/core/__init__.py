@@ -1,0 +1,42 @@
+"""Core substrates: models, incremental search engine, RNG, packets."""
+
+from repro.core.delta import BatchDeltaState, DeltaState
+from repro.core.ising import (
+    IsingModel,
+    bits_to_spins,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_bits,
+)
+from repro.core.packet import (
+    VOID_ENERGY,
+    GeneticOp,
+    MainAlgorithm,
+    Packet,
+    PacketBatch,
+)
+from repro.core.qubo import QUBOModel, brute_force
+from repro.core.rng import XorShift64Star, host_generator, spawn_device_seeds
+from repro.core.sparse import SparseQUBOModel, sparse_ising_to_qubo
+
+__all__ = [
+    "BatchDeltaState",
+    "DeltaState",
+    "GeneticOp",
+    "IsingModel",
+    "MainAlgorithm",
+    "Packet",
+    "PacketBatch",
+    "QUBOModel",
+    "SparseQUBOModel",
+    "VOID_ENERGY",
+    "XorShift64Star",
+    "sparse_ising_to_qubo",
+    "bits_to_spins",
+    "brute_force",
+    "host_generator",
+    "ising_to_qubo",
+    "qubo_to_ising",
+    "spawn_device_seeds",
+    "spins_to_bits",
+]

@@ -1,0 +1,181 @@
+"""Ising model and exact Ising ↔ QUBO conversion (paper §I.A, Fig. 1).
+
+An Ising model is a weighted graph with interactions ``J[i,j]`` on edges and
+biases ``h[i]`` on nodes; the Hamiltonian of a spin vector ``S`` with
+``s_i ∈ {−1, +1}`` is
+
+    H(S) = sum_{(i,j)} J[i,j] * s_i * s_j + sum_i h[i] * s_i.
+
+Conversions use the substitution ``s_i = 2 x_i − 1`` so that spins −1/+1 map
+to bits 0/1.  The conversion is exact up to a constant *offset*:
+``E(X) = H(S) + offset`` for every corresponding pair — the paper's Fig. 1
+example has offset 6 (E = −8, H = −14 at the optimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qubo import QUBOModel
+from repro.utils.validation import check_square_matrix
+
+__all__ = ["IsingModel", "ising_to_qubo", "qubo_to_ising", "spins_to_bits", "bits_to_spins"]
+
+
+def spins_to_bits(s) -> np.ndarray:
+    """Map a ±1 spin vector to the corresponding 0/1 bit vector."""
+    s = np.asarray(s)
+    if not np.all(np.isin(s, (-1, 1))):
+        raise ValueError("spin vector must contain only -1/+1 values")
+    return ((s + 1) // 2).astype(np.uint8)
+
+
+def bits_to_spins(x) -> np.ndarray:
+    """Map a 0/1 bit vector to the corresponding ±1 spin vector."""
+    x = np.asarray(x)
+    if not np.all(np.isin(x, (0, 1))):
+        raise ValueError("bit vector must contain only 0/1 values")
+    return (2 * x.astype(np.int64) - 1)
+
+
+class IsingModel:
+    """Dense Ising model with interactions ``J`` and biases ``h``.
+
+    ``J`` may be any square matrix; it is folded into upper-triangular form
+    with a zero diagonal (self-interactions are rejected because ``s_i² = 1``
+    would silently become a constant).
+    """
+
+    __slots__ = ("_j", "_h", "name")
+
+    def __init__(self, interactions, biases, name: str = "") -> None:
+        j = check_square_matrix(interactions, "interactions")
+        if np.issubdtype(j.dtype, np.floating) and np.allclose(j, np.rint(j)):
+            j = np.rint(j).astype(np.int64)
+        h = np.asarray(biases)
+        if h.ndim != 1 or h.shape[0] != j.shape[0]:
+            raise ValueError(
+                f"biases must have shape ({j.shape[0]},), got {h.shape}"
+            )
+        if np.issubdtype(h.dtype, np.floating) and np.allclose(h, np.rint(h)):
+            h = np.rint(h).astype(np.int64)
+        if np.any(np.diagonal(j) != 0):
+            raise ValueError("Ising interactions must have a zero diagonal")
+        self._j = np.ascontiguousarray(np.triu(j) + np.tril(j, -1).T)
+        self._h = np.ascontiguousarray(h)
+        self.name = name or f"ising-{self.n}"
+
+    @property
+    def n(self) -> int:
+        """Number of spins."""
+        return self._j.shape[0]
+
+    @property
+    def interactions(self) -> np.ndarray:
+        """Upper-triangular interaction matrix ``J`` (read-only view)."""
+        v = self._j.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def biases(self) -> np.ndarray:
+        """Bias vector ``h`` (read-only view)."""
+        v = self._h.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def num_interactions(self) -> int:
+        """Number of non-zero interactions (graph edges)."""
+        return int(np.count_nonzero(self._j))
+
+    def hamiltonian(self, spins) -> int | float:
+        """Exact Hamiltonian ``H(S)`` of one ±1 spin vector (Eq. 1)."""
+        s = np.asarray(spins)
+        if s.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {s.shape}")
+        if not np.all(np.isin(s, (-1, 1))):
+            raise ValueError("spin vector must contain only -1/+1 values")
+        s = s.astype(self._j.dtype)
+        return (s @ self._j @ s + self._h @ s).item()
+
+    def resolution(self) -> int | None:
+        """Smallest integer ``r`` such that all J are multiples of 1/r within
+        [−r, r] and all h within [−4r, 4r] (paper §II.C), for integer models.
+
+        Returns ``None`` for non-integer models.
+        """
+        if not np.issubdtype(self._j.dtype, np.integer):
+            return None
+        jmax = int(np.abs(self._j).max(initial=0))
+        hmax = int(np.abs(self._h).max(initial=0))
+        return max(jmax, -(-hmax // 4), 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IsingModel(name={self.name!r}, n={self.n}, "
+            f"interactions={self.num_interactions})"
+        )
+
+
+def ising_to_qubo(model: IsingModel) -> tuple[QUBOModel, int | float]:
+    """Convert an Ising model to the equivalent QUBO model.
+
+    Returns ``(qubo, offset)`` with ``E(X) = H(S) + offset`` for all
+    corresponding ``X``/``S``.  Substituting ``s_i = 2 x_i − 1``:
+
+    * edge (i, j):  ``J s_i s_j = 4J x_i x_j − 2J x_i − 2J x_j + J``
+    * node i:       ``h s_i = 2h x_i − h``
+
+    so ``W[i,j] = 4 J[i,j]``, ``W[i,i] = 2 h_i − 2 Σ_j (J[i,j] + J[j,i])`` and
+    the constant collected on the Hamiltonian side is ``Σ J − Σ h``, giving
+    ``offset = Σ h − Σ J``.
+    """
+    j = model.interactions
+    h = model.biases
+    w = 4 * j.astype(np.int64 if np.issubdtype(j.dtype, np.integer) else np.float64)
+    row_strength = j.sum(axis=1) + j.sum(axis=0)  # Σ_j J over incident edges
+    diag = 2 * h - 2 * row_strength
+    w = w + np.diag(diag)
+    offset = (h.sum() - j.sum()).item()
+    return QUBOModel(w, name=f"{model.name}-as-qubo"), offset
+
+
+def qubo_to_ising(model: QUBOModel) -> tuple[IsingModel, int | float, int]:
+    """Convert a QUBO model to the equivalent Ising model.
+
+    Returns ``(ising, offset, scale)`` with
+    ``scale · E(X) = H(S) + offset``.  Substituting ``x_i = (s_i + 1)/2``
+    into Eq. (2):
+
+    * ``J[i,j] = W[i,j] / 4``,
+    * ``h[i] = W[i,i]/2 + Σ_j (W[i,j] + W[j,i]) / 4``,
+    * ``offset = Σ_{i<j} W[i,j]/4 + Σ_i W[i,i]/2``.
+
+    To stay in exact integer arithmetic the QUBO is implicitly multiplied by
+    4 when its weights are not all even multiples (``scale = 4``); the
+    outputs of :func:`ising_to_qubo` always convert back with ``scale = 1``,
+    giving a clean round trip.  Minimizers are unaffected by the scale.
+    """
+    u = model.upper
+    off_diag = np.triu(u, 1)
+    diag = model.linear
+    integer = np.issubdtype(u.dtype, np.integer)
+    if integer and (np.any(off_diag % 4 != 0) or np.any(diag % 2 != 0)):
+        scale = 4
+        off_diag = off_diag * 4
+        diag = diag * 4
+        name = f"{model.name}-as-ising-x4"
+    else:
+        scale = 1
+        name = f"{model.name}-as-ising"
+    j = off_diag // 4 if integer else off_diag / 4
+    row_strength = off_diag.sum(axis=1) + off_diag.sum(axis=0)
+    if integer:
+        h = diag // 2 + row_strength // 4
+        offset = int(off_diag.sum()) // 4 + int(diag.sum()) // 2
+    else:
+        h = diag / 2 + row_strength / 4
+        offset = off_diag.sum() / 4 + diag.sum() / 2
+    ising = IsingModel(j, h, name=name)
+    return ising, offset, scale

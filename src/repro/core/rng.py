@@ -1,0 +1,83 @@
+"""Random number generation matching the paper's two-level scheme (§V).
+
+The host uses the Mersenne twister to generate one 64-bit seed per device
+thread; each device thread then advances a cheap xorshift generator locally.
+We reproduce this exactly:
+
+* :func:`host_generator` — an MT19937-backed NumPy ``Generator`` for all
+  host-side decisions (genetic operations, adaptive selection).
+* :class:`XorShift64Star` — a vectorized lane-parallel xorshift64* generator;
+  one lane per virtual device thread, all lanes advanced by single fused
+  uint64 ufunc expressions (no Python-level per-lane loop).
+
+Determinism: a full solver run is a pure function of (model, config, seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["host_generator", "spawn_device_seeds", "XorShift64Star"]
+
+_MULTIPLIER = np.uint64(0x2545F4914F6CDD1D)
+_DOUBLE_SCALE = float(2.0**-53)
+
+
+def host_generator(seed: int | None) -> np.random.Generator:
+    """Mersenne-twister host RNG, as used on the host CPU in the paper."""
+    return np.random.Generator(np.random.MT19937(seed))
+
+
+def spawn_device_seeds(rng: np.random.Generator, shape) -> np.ndarray:
+    """Draw non-zero 64-bit xorshift seeds from the host generator."""
+    seeds = rng.integers(1, np.iinfo(np.uint64).max, size=shape, dtype=np.uint64)
+    return seeds
+
+
+class XorShift64Star:
+    """Lane-parallel xorshift64* PRNG.
+
+    Each lane holds independent 64-bit state.  ``shape`` is arbitrary; the
+    virtual GPU uses shape ``(B, n)`` — one lane per (block, thread) pair,
+    mirroring the per-thread RNG of the CUDA implementation.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, seeds: np.ndarray) -> None:
+        state = np.ascontiguousarray(seeds, dtype=np.uint64)
+        if np.any(state == 0):
+            raise ValueError("xorshift64* seeds must be non-zero")
+        self.state = state.copy()
+
+    @property
+    def shape(self):
+        """Lane array shape."""
+        return self.state.shape
+
+    def next_uint64(self) -> np.ndarray:
+        """Advance every lane; return the scrambled 64-bit outputs."""
+        x = self.state
+        x ^= x >> np.uint64(12)
+        x ^= x << np.uint64(25)
+        x ^= x >> np.uint64(27)
+        return x * _MULTIPLIER
+
+    def random(self) -> np.ndarray:
+        """Uniform float64 in [0, 1) per lane (53-bit resolution)."""
+        return (self.next_uint64() >> np.uint64(11)).astype(np.float64) * _DOUBLE_SCALE
+
+    def bernoulli(self, p) -> np.ndarray:
+        """Boolean array: lane-wise True with probability *p*.
+
+        *p* may be a scalar or broadcastable against the lane shape.
+        """
+        return self.random() < p
+
+    def integers(self, high: int) -> np.ndarray:
+        """Lane-wise integers uniform in [0, high) (multiply-shift, unbiased
+        enough for search heuristics; exact rejection sampling is not needed
+        because selections are re-randomized every flip)."""
+        if high <= 0:
+            raise ValueError(f"high must be positive, got {high}")
+        return (self.random() * high).astype(np.int64)

@@ -1,0 +1,15 @@
+"""GA layer (§IV): solution pools, genetic operations, adaptive selection."""
+
+from repro.ga.adaptive import AdaptiveSelector, SelectionCounters
+from repro.ga.island import IslandRing
+from repro.ga.operations import OperationParams, TargetGenerator
+from repro.ga.pool import SolutionPool
+
+__all__ = [
+    "AdaptiveSelector",
+    "IslandRing",
+    "OperationParams",
+    "SelectionCounters",
+    "SolutionPool",
+    "TargetGenerator",
+]

@@ -1,0 +1,104 @@
+"""Adaptive strategy selection (§IV.A): the 5 %/95 % rule.
+
+The host picks the main search algorithm and genetic operation for each new
+packet as follows: with small probability (5 %) choose uniformly from the
+full strategy set (exploration); otherwise read a uniformly random row of
+the solution pool and reuse the strategy recorded there (exploitation).
+Because pool rows record the strategies that *produced* good solutions,
+successful strategies are automatically selected more often — no explicit
+scores or decay parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.packet import GeneticOp, MainAlgorithm
+from repro.ga.pool import SolutionPool
+from repro.utils.validation import check_probability
+
+__all__ = ["AdaptiveSelector", "SelectionCounters"]
+
+
+@dataclass
+class SelectionCounters:
+    """Execution counts per strategy (the raw data behind Table V)."""
+
+    algorithms: dict[MainAlgorithm, int] = field(
+        default_factory=lambda: {a: 0 for a in MainAlgorithm}
+    )
+    operations: dict[GeneticOp, int] = field(
+        default_factory=lambda: {o: 0 for o in GeneticOp}
+    )
+
+    def record(self, algorithm: MainAlgorithm, operation: GeneticOp) -> None:
+        """Count one packet generation."""
+        self.algorithms[algorithm] += 1
+        self.operations[operation] += 1
+
+    def merge(self, other: "SelectionCounters") -> None:
+        """Accumulate counts from another counter (per-pool → per-run)."""
+        for a, c in other.algorithms.items():
+            self.algorithms[a] += c
+        for o, c in other.operations.items():
+            self.operations[o] += c
+
+    def algorithm_frequencies(self) -> dict[MainAlgorithm, float]:
+        """Normalized execution frequencies (sum to 1, or all-zero)."""
+        total = sum(self.algorithms.values())
+        if total == 0:
+            return {a: 0.0 for a in self.algorithms}
+        return {a: c / total for a, c in self.algorithms.items()}
+
+    def operation_frequencies(self) -> dict[GeneticOp, float]:
+        """Normalized execution frequencies (sum to 1, or all-zero)."""
+        total = sum(self.operations.values())
+        if total == 0:
+            return {o: 0.0 for o in self.operations}
+        return {o: c / total for o, c in self.operations.items()}
+
+
+class AdaptiveSelector:
+    """Selects (algorithm, operation) pairs for new packets."""
+
+    def __init__(
+        self,
+        algorithm_set: tuple[MainAlgorithm, ...] = tuple(MainAlgorithm),
+        operation_set: tuple[GeneticOp, ...] = tuple(GeneticOp),
+        explore_probability: float = 0.05,
+    ) -> None:
+        if not algorithm_set:
+            raise ValueError("algorithm_set must be non-empty")
+        if not operation_set:
+            raise ValueError("operation_set must be non-empty")
+        self.algorithm_set = tuple(algorithm_set)
+        self.operation_set = tuple(operation_set)
+        self.explore_probability = check_probability(
+            explore_probability, "explore_probability"
+        )
+
+    def select_algorithm(
+        self, pool: SolutionPool, rng: np.random.Generator
+    ) -> MainAlgorithm:
+        """5 % uniform exploration / 95 % copy from a random pool row."""
+        if rng.random() >= self.explore_probability:
+            row = pool.uniform_row(rng)
+            candidate = MainAlgorithm(int(pool.algorithms[row]))
+            if candidate in self.algorithm_set:
+                return candidate
+            # a restricted selector reading a foreign pool falls back to
+            # exploration rather than running a disallowed algorithm
+        return self.algorithm_set[int(rng.integers(len(self.algorithm_set)))]
+
+    def select_operation(
+        self, pool: SolutionPool, rng: np.random.Generator
+    ) -> GeneticOp:
+        """5 % uniform exploration / 95 % copy from a random pool row."""
+        if rng.random() >= self.explore_probability:
+            row = pool.uniform_row(rng)
+            candidate = GeneticOp(int(pool.operations[row]))
+            if candidate in self.operation_set:
+                return candidate
+        return self.operation_set[int(rng.integers(len(self.operation_set)))]

@@ -1,0 +1,65 @@
+"""Island model (§IV.B): a cyclic ring of solution pools.
+
+One pool per (virtual) GPU, ordered cyclically as in Fig. 2.  Unlike
+conventional island models there is *no* solution migration; instead the
+Xrossover operation crosses a parent from a pool with a parent from its ring
+neighbour, so batch searches traverse the region of the n-bit cube *between*
+pools and good midway solutions pull the pools toward each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.packet import Packet
+from repro.ga.pool import SolutionPool
+
+__all__ = ["IslandRing"]
+
+
+class IslandRing:
+    """Cyclically ordered solution pools with ring-neighbour lookup."""
+
+    def __init__(self, pools: list[SolutionPool]) -> None:
+        if not pools:
+            raise ValueError("IslandRing needs at least one pool")
+        n = pools[0].n
+        if any(p.n != n for p in pools):
+            raise ValueError("all pools must store vectors of the same length")
+        self.pools = list(pools)
+
+    def __len__(self) -> int:
+        return len(self.pools)
+
+    def __getitem__(self, index: int) -> SolutionPool:
+        return self.pools[index]
+
+    def neighbor_of(self, index: int) -> SolutionPool:
+        """The Xrossover partner pool: the next pool on the ring."""
+        return self.pools[(index + 1) % len(self.pools)]
+
+    def global_best(self) -> Packet:
+        """Best packet across every pool."""
+        energies = [p.best_energy for p in self.pools]
+        return self.pools[int(np.argmin(energies))].best_packet()
+
+    def global_best_energy(self) -> int:
+        """Best energy across every pool."""
+        return min(p.best_energy for p in self.pools)
+
+    def reinitialize(self, rng: np.random.Generator) -> None:
+        """Restart all pools with fresh random vectors (§IV.B: used when the
+        ring has collapsed into relatives of one solution)."""
+        for pool in self.pools:
+            pool.reinitialize(rng)
+
+    def collapsed(self, threshold: float) -> bool:
+        """True when *every* pool's diversity has fallen below *threshold*.
+
+        Pools without enough returned solutions to measure do not count as
+        collapsed (the ring is still warming up).
+        """
+        diversities = [p.diversity() for p in self.pools]
+        if any(d is None for d in diversities):
+            return False
+        return all(d < threshold for d in diversities)

@@ -1,0 +1,142 @@
+"""Genetic operations (§IV.A): how target solution vectors are produced.
+
+Each operation maps zero, one or two rank-selected parents from a solution
+pool to a new target vector:
+
+* ``Mutation``     — flip each bit of one parent with small probability p.
+* ``Crossover``    — per-bit random mix of two parents from the same pool.
+* ``Xrossover``    — crossover of one parent from this pool and one from the
+  ring-neighbour pool (§IV.B, the island-model search-space bridge).
+* ``Zero`` / ``One`` — write 0 (resp. 1) to each bit with probability p.
+* ``IntervalZero`` — zero out one random cyclic segment of random length.
+* ``Best``         — the pool's best vector as-is.
+* ``Random``       — a fresh uniform random vector (pool-independent).
+
+All operations draw from the host Mersenne-twister generator; the device
+xorshift lanes are never involved in target generation, matching the paper's
+host/device split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packet import GeneticOp
+from repro.ga.pool import SolutionPool
+from repro.utils.validation import check_probability
+
+__all__ = ["OperationParams", "TargetGenerator"]
+
+
+@dataclass(frozen=True)
+class OperationParams:
+    """Probabilities/sizes of the stochastic operations (paper defaults)."""
+
+    #: per-bit flip probability of Mutation (paper: "say 1/8")
+    mutation_p: float = 0.125
+    #: per-bit write probability of Zero and One
+    zero_p: float = 0.125
+    one_p: float = 0.125
+    #: minimum cyclic segment length of IntervalZero (paper: 32)
+    interval_min: int = 32
+
+    def __post_init__(self) -> None:
+        check_probability(self.mutation_p, "mutation_p")
+        check_probability(self.zero_p, "zero_p")
+        check_probability(self.one_p, "one_p")
+        if self.interval_min < 1:
+            raise ValueError("interval_min must be >= 1")
+
+
+class TargetGenerator:
+    """Applies genetic operations to pools to produce target vectors."""
+
+    def __init__(self, n: int, params: OperationParams | None = None) -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.n = n
+        self.params = params or OperationParams()
+
+    # -- individual operations ------------------------------------------------
+    def mutation(self, parent: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Flip each bit with probability ``mutation_p``."""
+        flips = rng.random(self.n) < self.params.mutation_p
+        return parent ^ flips.astype(np.uint8)
+
+    def crossover(
+        self, a: np.ndarray, b: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-bit uniform mix of two parents."""
+        take_b = rng.random(self.n) < 0.5
+        return np.where(take_b, b, a).astype(np.uint8)
+
+    def zero(self, parent: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Write 0 to each bit with probability ``zero_p``."""
+        mask = rng.random(self.n) < self.params.zero_p
+        out = parent.copy()
+        out[mask] = 0
+        return out
+
+    def one(self, parent: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Write 1 to each bit with probability ``one_p``."""
+        mask = rng.random(self.n) < self.params.one_p
+        out = parent.copy()
+        out[mask] = 1
+        return out
+
+    def interval_zero(self, parent: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Zero out a random cyclic segment of length in [interval_min, n/2].
+
+        The segment wraps around, consistent with the cyclic bit layout used
+        by CyclicMin.
+        """
+        lo = min(self.params.interval_min, max(1, self.n // 2))
+        hi = max(lo, self.n // 2)
+        length = int(rng.integers(lo, hi + 1))
+        start = int(rng.integers(self.n))
+        out = parent.copy()
+        positions = (start + np.arange(length)) % self.n
+        out[positions] = 0
+        return out
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        """Fresh uniform random vector."""
+        return rng.integers(0, 2, size=self.n, dtype=np.uint8)
+
+    # -- dispatch ---------------------------------------------------------------
+    def generate(
+        self,
+        op: GeneticOp,
+        pool: SolutionPool,
+        neighbor_pool: SolutionPool | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Produce a target vector with operation *op*.
+
+        ``neighbor_pool`` is required for Xrossover; passing None degrades
+        Xrossover to an in-pool Crossover (single-pool configurations).
+        """
+        if op == GeneticOp.MUTATION:
+            return self.mutation(pool.select_vector(rng), rng)
+        if op == GeneticOp.CROSSOVER:
+            return self.crossover(
+                pool.select_vector(rng), pool.select_vector(rng), rng
+            )
+        if op == GeneticOp.XROSSOVER:
+            other = neighbor_pool if neighbor_pool is not None else pool
+            return self.crossover(
+                pool.select_vector(rng), other.select_vector(rng), rng
+            )
+        if op == GeneticOp.ZERO:
+            return self.zero(pool.select_vector(rng), rng)
+        if op == GeneticOp.ONE:
+            return self.one(pool.select_vector(rng), rng)
+        if op == GeneticOp.INTERVALZERO:
+            return self.interval_zero(pool.select_vector(rng), rng)
+        if op == GeneticOp.BEST:
+            return pool.vectors[0].copy()
+        if op == GeneticOp.RANDOM:
+            return self.random_vector(rng)
+        raise ValueError(f"unknown genetic operation: {op!r}")

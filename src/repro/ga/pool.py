@@ -1,0 +1,160 @@
+"""Solution pool (§IV.A): the per-GPU memory of good solutions.
+
+A pool stores a fixed number of packets sorted by energy.  It is pre-filled
+with random vectors at ``+∞`` (void) energy whose algorithm/operation fields
+are initialized uniformly at random — this seeding is what bootstraps the
+adaptive 5 %/95 % strategy selection.  A returning packet is inserted only
+if it beats the worst stored solution, which it replaces.
+
+Rank-biased parent selection follows the paper exactly: draw ``r`` uniform
+in [0, 1) and take the ``(⌊r³·m⌋+1)``-th best solution, i.e. index
+``⌊r³·m⌋`` — the best entry is chosen with probability ``m^{−1/3}``, far
+above uniform ``1/m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.packet import VOID_ENERGY, GeneticOp, MainAlgorithm, Packet
+
+__all__ = ["SolutionPool"]
+
+
+class SolutionPool:
+    """Fixed-capacity, energy-sorted pool of packets."""
+
+    __slots__ = (
+        "capacity",
+        "n",
+        "vectors",
+        "energies",
+        "algorithms",
+        "operations",
+        "allow_duplicates",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        n: int,
+        rng: np.random.Generator,
+        algorithm_set: tuple[MainAlgorithm, ...] = tuple(MainAlgorithm),
+        operation_set: tuple[GeneticOp, ...] = tuple(GeneticOp),
+        allow_duplicates: bool = True,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if not algorithm_set or not operation_set:
+            raise ValueError("algorithm_set and operation_set must be non-empty")
+        self.capacity = capacity
+        self.n = n
+        self.allow_duplicates = allow_duplicates
+        self.vectors = rng.integers(0, 2, size=(capacity, n), dtype=np.uint8)
+        self.energies = np.full(capacity, VOID_ENERGY, dtype=np.int64)
+        alg_choices = np.array([int(a) for a in algorithm_set], dtype=np.uint8)
+        op_choices = np.array([int(o) for o in operation_set], dtype=np.uint8)
+        self.algorithms = rng.choice(alg_choices, size=capacity)
+        self.operations = rng.choice(op_choices, size=capacity)
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of stored packets (always the capacity — pools are
+        pre-filled, matching §IV.A)."""
+        return self.capacity
+
+    @property
+    def best_energy(self) -> int:
+        """Energy of the best stored solution (void if none returned yet)."""
+        return int(self.energies[0])
+
+    @property
+    def worst_energy(self) -> int:
+        """Energy of the worst stored solution."""
+        return int(self.energies[-1])
+
+    def best_packet(self) -> Packet:
+        """Copy of the best stored packet."""
+        return self.packet_at(0)
+
+    def packet_at(self, index: int) -> Packet:
+        """Copy of the packet at sorted position *index* (0 = best)."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"index {index} out of range for pool of {self.capacity}")
+        return Packet(
+            self.vectors[index].copy(),
+            int(self.energies[index]),
+            MainAlgorithm(int(self.algorithms[index])),
+            GeneticOp(int(self.operations[index])),
+        )
+
+    # ------------------------------------------------------------------
+    def insert(self, packet: Packet) -> bool:
+        """Insert *packet* if it beats the worst stored solution.
+
+        Keeps the arrays sorted by shifting the tail one slot down —
+        O(capacity · n) worst case, negligible next to a batch search.
+        Returns True when the packet was stored.
+        """
+        energy = packet.energy
+        if energy >= self.energies[-1]:
+            return False
+        if not self.allow_duplicates:
+            candidates = np.flatnonzero(self.energies == energy)
+            if candidates.size and np.any(
+                np.all(self.vectors[candidates] == packet.vector, axis=1)
+            ):
+                return False
+        pos = int(np.searchsorted(self.energies, energy, side="right"))
+        # shift (pos .. end-1] one slot toward the tail, dropping the worst
+        self.vectors[pos + 1 :] = self.vectors[pos:-1]
+        self.energies[pos + 1 :] = self.energies[pos:-1]
+        self.algorithms[pos + 1 :] = self.algorithms[pos:-1]
+        self.operations[pos + 1 :] = self.operations[pos:-1]
+        self.vectors[pos] = packet.vector
+        self.energies[pos] = energy
+        self.algorithms[pos] = int(packet.algorithm)
+        self.operations[pos] = int(packet.operation)
+        return True
+
+    # ------------------------------------------------------------------
+    def select_index(self, r: float) -> int:
+        """Cubic rank-biased index: ``⌊r³ · m⌋`` for uniform ``r ∈ [0, 1)``."""
+        if not 0.0 <= r < 1.0:
+            raise ValueError(f"r must be in [0, 1), got {r}")
+        return int(r**3 * self.capacity)
+
+    def select_vector(self, rng: np.random.Generator) -> np.ndarray:
+        """Rank-biased random parent vector (copy)."""
+        return self.vectors[self.select_index(rng.random())].copy()
+
+    def uniform_row(self, rng: np.random.Generator) -> int:
+        """Uniformly random stored row index (used by adaptive selection)."""
+        return int(rng.integers(self.capacity))
+
+    def has_real_solutions(self) -> bool:
+        """True once at least one search result has been inserted."""
+        return self.energies[0] != VOID_ENERGY
+
+    def reinitialize(self, rng: np.random.Generator) -> None:
+        """Refill with random vectors at void energy (§IV.B restart)."""
+        self.vectors = rng.integers(0, 2, size=(self.capacity, self.n), dtype=np.uint8)
+        self.energies.fill(VOID_ENERGY)
+
+    def diversity(self) -> float | None:
+        """Mean pairwise Hamming distance of the *returned* solutions.
+
+        §IV.B's collapse signal: a pool full of relatives of one solution
+        has low diversity.  Pre-filled random rows (void energy) are
+        excluded; None when fewer than two real solutions are stored.
+        """
+        real = np.flatnonzero(self.energies != VOID_ENERGY)
+        if real.size < 2:
+            return None
+        vecs = self.vectors[real]
+        m = vecs.shape[0]
+        diff = (vecs[:, None, :] != vecs[None, :, :]).sum(axis=2)
+        return float(diff.sum() / (m * (m - 1)))

@@ -1,0 +1,6 @@
+"""Execution substrate: virtual GPUs running lockstep batch searches."""
+
+from repro.gpu.device import A100_SPEC, DeviceSpec
+from repro.gpu.virtual_gpu import VirtualGPU
+
+__all__ = ["A100_SPEC", "DeviceSpec", "VirtualGPU"]

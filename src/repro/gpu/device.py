@@ -1,0 +1,33 @@
+"""Virtual device description.
+
+The paper dispatches 216 CUDA blocks per NVIDIA A100 (108 SMs × 2 resident
+blocks, §V).  A :class:`DeviceSpec` fixes how many lockstep lanes ("CUDA
+blocks") one virtual GPU advances per launch.  Lane counts are a pure
+throughput/diversity trade-off — more lanes per launch means more parallel
+batch searches between host interactions, exactly like more resident blocks
+on a real GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100_SPEC"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Capacity of one virtual GPU."""
+
+    #: concurrently resident CUDA-block lanes per launch
+    num_blocks: int = 16
+    #: cosmetic device name used in reports
+    name: str = "virtual-gpu"
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError(f"num_blocks must be >= 1, got {self.num_blocks}")
+
+
+#: The paper's per-A100 dispatch: 108 SMs × 2 resident blocks.
+A100_SPEC = DeviceSpec(num_blocks=216, name="A100-like")

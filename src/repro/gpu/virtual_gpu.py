@@ -1,0 +1,112 @@
+"""Virtual GPU: lockstep emulation of CUDA blocks running batch searches.
+
+Substitution note (see DESIGN.md §1.2): the paper runs each batch search in
+a CUDA block of up to 1024 threads with X and Δ in registers.  Here each
+block is one row of ``(B, n)`` NumPy arrays and all blocks running the same
+main search algorithm advance in lockstep; per-flip work is one vectorized
+row-gather of the coupling matrix plus fused in-place updates.  Packets with
+different algorithms are grouped per launch and each group runs its own
+lockstep sub-batch (lanes in different groups cannot share a flip schedule,
+just as divergent warps serialize on real hardware).
+
+State that persists across launches, mirroring §III.B / Fig. 4 (2):
+
+* per-block current solution vector ``X`` (initially the zero vector) —
+  each batch search starts with a straight walk from the previous ``X``,
+* per-(block, thread) xorshift64* RNG lanes, seeded once from the host
+  Mersenne twister (§V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+from repro.core.packet import MainAlgorithm, PacketBatch
+from repro.core.qubo import QUBOModel
+from repro.core.rng import XorShift64Star, spawn_device_seeds
+from repro.gpu.device import DeviceSpec
+from repro.search import build_main_algorithms
+from repro.search.batch import BatchSearchConfig, run_batch_search
+
+__all__ = ["VirtualGPU"]
+
+
+class VirtualGPU:
+    """One emulated GPU executing batch searches for its solution pool."""
+
+    def __init__(
+        self,
+        model: QUBOModel,
+        spec: DeviceSpec,
+        config: BatchSearchConfig,
+        algorithm_set: tuple[MainAlgorithm, ...],
+        host_rng: np.random.Generator,
+    ) -> None:
+        self.model = model
+        self.spec = spec
+        self.config = config
+        self.algorithms = build_main_algorithms(config, include=algorithm_set)
+        n = model.n
+        b = spec.num_blocks
+        # persistent per-block current solutions (zero vectors initially)
+        self.block_x = np.zeros((b, n), dtype=np.uint8)
+        # persistent per-(block, thread) RNG lane states
+        self.rng_state = spawn_device_seeds(host_rng, (b, n))
+        self.total_flips = 0
+
+    @property
+    def num_blocks(self) -> int:
+        """Lockstep lanes per launch."""
+        return self.spec.num_blocks
+
+    def launch(self, batch: PacketBatch) -> tuple[PacketBatch, np.ndarray]:
+        """Run one batch search per packet; returns (result batch, flips).
+
+        The result batch carries the best solution/energy each block found,
+        with the algorithm/operation fields passed through untouched
+        (§III.C) so the host can attribute the result.
+        """
+        if len(batch) != self.num_blocks:
+            raise ValueError(
+                f"expected {self.num_blocks} packets, got {len(batch)}"
+            )
+        if batch.n != self.model.n:
+            raise ValueError(
+                f"packet vectors have length {batch.n}, model has {self.model.n}"
+            )
+        out_vectors = np.empty_like(batch.vectors)
+        out_energies = np.empty(len(batch), dtype=np.int64)
+        flips = np.zeros(len(batch), dtype=np.int64)
+        for alg_enum, rows in batch.group_by_algorithm().items():
+            algorithm = self.algorithms.get(alg_enum)
+            if algorithm is None:
+                raise ValueError(
+                    f"{alg_enum!r} is not enabled on this device "
+                    f"(enabled: {sorted(self.algorithms)})"
+                )
+            state = BatchDeltaState(self.model, batch=rows.size)
+            state.reset(self.block_x[rows])
+            lanes = XorShift64Star(self.rng_state[rows])
+            tracker, group_flips = run_batch_search(
+                state,
+                batch.vectors[rows],
+                algorithm,
+                lanes,
+                self.config,
+            )
+            out_vectors[rows] = tracker.best_x
+            out_energies[rows] = tracker.best_energy
+            flips[rows] = group_flips
+            # persist device state for the next launch
+            self.block_x[rows] = state.x
+            self.rng_state[rows] = lanes.state
+        self.total_flips += int(flips.sum())
+        return (
+            PacketBatch(out_vectors, out_energies, batch.algorithms, batch.operations),
+            flips,
+        )
+
+    def reset(self) -> None:
+        """Clear the persistent block solutions (RNG lanes keep advancing)."""
+        self.block_x.fill(0)

@@ -1,0 +1,84 @@
+"""Strategy-frequency accounting for Tables V and VI.
+
+Table V reports, per problem, how often each main search algorithm and
+genetic operation was *executed* over 1000 runs; Table VI reports which
+strategy *first found* the potentially optimal solution.  Both are simple
+aggregations over :class:`~repro.solver.result.SolveResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.packet import GeneticOp, MainAlgorithm
+from repro.ga.adaptive import SelectionCounters
+from repro.harness.reporting import markdown_table
+from repro.solver.result import SolveResult
+
+__all__ = ["FrequencyAggregator", "executed_frequencies", "first_found_frequencies"]
+
+
+def executed_frequencies(results: list[SolveResult]) -> SelectionCounters:
+    """Merge the execution counters of several runs (Table V data)."""
+    merged = SelectionCounters()
+    for result in results:
+        merged.merge(result.counters)
+    return merged
+
+
+def first_found_frequencies(results: list[SolveResult]) -> SelectionCounters:
+    """Count which strategy first found each run's final best (Table VI data).
+
+    Runs that never improved on the initial state (no ``first_found``) are
+    skipped, mirroring the paper's per-success accounting.
+    """
+    counters = SelectionCounters()
+    for result in results:
+        if result.first_found is not None:
+            alg, op = result.first_found
+            counters.record(alg, op)
+    return counters
+
+
+@dataclass
+class FrequencyAggregator:
+    """Collects per-problem strategy frequencies and renders the tables."""
+
+    executed: dict[str, SelectionCounters] = field(default_factory=dict)
+    first_found: dict[str, SelectionCounters] = field(default_factory=dict)
+
+    def add_problem(self, name: str, results: list[SolveResult]) -> None:
+        """Fold the runs of one benchmark problem into both tables."""
+        self.executed[name] = executed_frequencies(results)
+        self.first_found[name] = first_found_frequencies(results)
+
+    @staticmethod
+    def _row(name: str, counters: SelectionCounters) -> list[str]:
+        algs = counters.algorithm_frequencies()
+        ops = counters.operation_frequencies()
+        cells = [name]
+        cells += [f"{100 * algs[a]:.1f}%" for a in MainAlgorithm]
+        cells += [f"{100 * ops[o]:.1f}%" for o in GeneticOp]
+        return cells
+
+    def _render(self, data: dict[str, SelectionCounters], title: str) -> str:
+        headers = (
+            ["Problem"]
+            + [a.name for a in MainAlgorithm]
+            + [o.name for o in GeneticOp]
+        )
+        rows = [self._row(name, counters) for name, counters in data.items()]
+        return f"{title}\n\n" + markdown_table(headers, rows)
+
+    def table_v(self) -> str:
+        """Markdown rendering of Table V (executed frequencies)."""
+        return self._render(
+            self.executed, "Table V: frequency of executed strategies"
+        )
+
+    def table_vi(self) -> str:
+        """Markdown rendering of Table VI (first-found frequencies)."""
+        return self._render(
+            self.first_found,
+            "Table VI: frequency of strategies that first find the best solution",
+        )

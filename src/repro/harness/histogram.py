@@ -1,0 +1,88 @@
+"""Fixed-width histograms in the paper's convention (§VI).
+
+"In these histograms, bins with labels b1, b2, … mean that each b_i
+corresponds to the range [b_i, b_{i+1})."  Values are binned into
+equal-width half-open intervals and rendered as labelled ASCII bars, which
+is how the figures (5, 6, 7) are regenerated in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Histogram"]
+
+
+@dataclass
+class Histogram:
+    """Counts over equal-width half-open bins ``[edge_i, edge_{i+1})``."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    label: str = ""
+
+    @classmethod
+    def from_values(
+        cls,
+        values,
+        bin_width: float,
+        start: float | None = None,
+        label: str = "",
+    ) -> "Histogram":
+        """Bin *values* into ``[start + k·w, start + (k+1)·w)`` intervals.
+
+        ``start`` defaults to the largest multiple of ``bin_width`` not
+        exceeding the minimum value (so bin labels land on round numbers,
+        as in the paper's figures).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot build a histogram of zero values")
+        if bin_width <= 0:
+            raise ValueError("bin_width must be > 0")
+        if start is None:
+            start = np.floor(values.min() / bin_width) * bin_width
+        if values.min() < start:
+            raise ValueError(
+                f"start {start} exceeds the minimum value {values.min()}"
+            )
+        num_bins = int(np.floor((values.max() - start) / bin_width)) + 1
+        edges = start + bin_width * np.arange(num_bins + 1)
+        idx = np.floor((values - start) / bin_width).astype(np.int64)
+        counts = np.bincount(idx, minlength=num_bins)
+        return cls(bin_edges=edges, counts=counts, label=label)
+
+    @property
+    def num_bins(self) -> int:
+        """Number of bins."""
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        """Total number of binned values."""
+        return int(self.counts.sum())
+
+    def bin_label(self, i: int) -> str:
+        """The paper-style label of bin *i*: its left edge."""
+        edge = self.bin_edges[i]
+        return f"{edge:g}"
+
+    def to_rows(self) -> list[tuple[str, int]]:
+        """``(label, count)`` pairs for tabular output."""
+        return [(self.bin_label(i), int(self.counts[i])) for i in range(self.num_bins)]
+
+    def render_ascii(self, width: int = 50) -> str:
+        """Labelled horizontal bar chart."""
+        peak = max(1, int(self.counts.max()))
+        lines = []
+        if self.label:
+            lines.append(self.label)
+        label_width = max(len(self.bin_label(i)) for i in range(self.num_bins))
+        for i in range(self.num_bins):
+            bar = "#" * int(round(width * self.counts[i] / peak))
+            lines.append(
+                f"{self.bin_label(i):>{label_width}} | {bar} {int(self.counts[i])}"
+            )
+        return "\n".join(lines)

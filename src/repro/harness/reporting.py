@@ -1,0 +1,65 @@
+"""Plain-text/markdown rendering helpers for experiment outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentReport", "format_gap", "markdown_table"]
+
+
+def markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a GitHub-flavoured markdown table with aligned columns."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+    cells = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    sep = "| " + " | ".join("-" * w for w in widths) + " |"
+    return "\n".join([line(cells[0]), sep] + [line(r) for r in cells[1:]])
+
+
+def format_gap(energy: int | float, reference: int | float) -> str:
+    """Relative gap to a reference optimum, in the paper's percent style."""
+    if reference == 0:
+        return "0%" if energy == 0 else "inf"
+    gap = abs(energy - reference) / abs(reference)
+    return f"{100 * gap:.3g}%"
+
+
+@dataclass
+class ExperimentReport:
+    """A titled markdown table plus free-form notes, one per table/figure.
+
+    ``data`` carries the raw per-instance values for programmatic checks
+    (tests assert on it; the rendered table is for humans).
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add_row(self, *cells) -> None:
+        """Append one table row (cells are stringified)."""
+        self.rows.append([str(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note shown under the table."""
+        self.notes.append(note)
+
+    def to_markdown(self) -> str:
+        """Full report: title, table, notes."""
+        parts = [f"## {self.title}", "", markdown_table(self.headers, self.rows)]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"- {note}" for note in self.notes)
+        return "\n".join(parts)

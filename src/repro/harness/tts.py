@@ -1,0 +1,130 @@
+"""Time-To-Solution measurement (paper §VI methodology).
+
+The paper reports, per instance:
+
+* for DABS — the average TTS over repeated executions (all of which are
+  expected to reach the potentially optimal solution),
+* for ABS — a *time limit* plus the probability of reaching the target
+  within it and the average TTS **of the successful trials only** ("the TTS
+  does not count the execution time of a trial if it fails").
+
+:func:`measure_tts` implements exactly that protocol for any solver exposing
+``solve(target_energy=…, time_limit=…)`` and returning an object with
+``reached_target`` / ``time_to_target`` / ``best_energy`` fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["TrialRecord", "TTSResult", "measure_tts"]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One repeated-execution trial.
+
+    ``rounds`` is the substrate-neutral effort metric: on real GPUs every
+    round costs the same wall time regardless of how many distinct
+    algorithms it mixes, whereas the lockstep emulation pays per-group
+    Python dispatch (see EXPERIMENTS.md) — so DABS/ABS comparisons should
+    quote rounds alongside wall-clock TTS.
+    """
+
+    seed: int
+    success: bool
+    time_to_target: float | None
+    best_energy: int
+    elapsed: float
+    rounds: int = 0
+
+
+@dataclass
+class TTSResult:
+    """Aggregate TTS statistics over repeated trials."""
+
+    target_energy: int
+    records: list[TrialRecord] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        """Number of executions."""
+        return len(self.records)
+
+    @property
+    def successes(self) -> int:
+        """Executions that reached the target."""
+        return sum(r.success for r in self.records)
+
+    @property
+    def success_probability(self) -> float:
+        """Fraction of executions that reached the target."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def tts_values(self) -> np.ndarray:
+        """TTS of the successful trials (paper: failures are not counted)."""
+        return np.array(
+            [r.time_to_target for r in self.records if r.success], dtype=np.float64
+        )
+
+    @property
+    def mean_tts(self) -> float | None:
+        """Average TTS over successes, or None when nothing succeeded."""
+        values = self.tts_values
+        return float(values.mean()) if values.size else None
+
+    @property
+    def mean_rounds(self) -> float | None:
+        """Average rounds-to-target over successes (substrate-neutral)."""
+        values = [r.rounds for r in self.records if r.success]
+        return float(np.mean(values)) if values else None
+
+    @property
+    def best_energy(self) -> int:
+        """Best energy over all trials (even failed ones)."""
+        return min(r.best_energy for r in self.records)
+
+    def summary(self) -> str:
+        """One-line summary in the paper's reporting style."""
+        tts = f"{self.mean_tts:.3f}s" if self.mean_tts is not None else "n/a"
+        return (
+            f"target={self.target_energy}: TTS={tts}, "
+            f"probability={100 * self.success_probability:.1f}% "
+            f"({self.successes}/{self.trials})"
+        )
+
+
+def measure_tts(
+    solver_factory: Callable[[int], object],
+    target_energy: int,
+    trials: int,
+    time_limit: float,
+    base_seed: int = 0,
+) -> TTSResult:
+    """Repeat ``solver_factory(seed).solve(...)`` and collect TTS statistics.
+
+    Each trial gets a distinct seed (``base_seed + trial``), matching the
+    paper's independent repeated executions.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    result = TTSResult(target_energy=int(target_energy))
+    for trial in range(trials):
+        seed = base_seed + trial
+        solver = solver_factory(seed)
+        outcome = solver.solve(target_energy=target_energy, time_limit=time_limit)
+        result.records.append(
+            TrialRecord(
+                seed=seed,
+                success=bool(outcome.reached_target),
+                time_to_target=outcome.time_to_target,
+                best_energy=int(outcome.best_energy),
+                elapsed=float(outcome.elapsed),
+                rounds=int(getattr(outcome, "rounds", 0)),
+            )
+        )
+    return result

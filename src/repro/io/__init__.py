@@ -1,0 +1,19 @@
+"""Benchmark file formats (Gset, QAPLIB, QUBO interchange)."""
+
+from repro.io.formats import (
+    read_gset,
+    read_qaplib,
+    read_qubo,
+    write_gset,
+    write_qaplib,
+    write_qubo,
+)
+
+__all__ = [
+    "read_gset",
+    "read_qaplib",
+    "read_qubo",
+    "write_gset",
+    "write_qaplib",
+    "write_qubo",
+]

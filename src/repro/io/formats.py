@@ -1,0 +1,150 @@
+"""Benchmark file formats: Gset, QAPLIB, and a QUBO interchange format.
+
+The paper evaluates on instances distributed in two classic formats that
+this module reads and writes, so the scaled generators can be swapped for
+the real files when they are available:
+
+* **Gset** ([34], MaxCut): a header line ``n m`` followed by ``m`` lines
+  ``i j w`` with 1-based node indices.
+* **QAPLIB** ([36], QAP): the size ``n`` followed by the n×n flow matrix
+  and the n×n distance matrix, whitespace-separated (line breaks are not
+  significant).
+
+Plus a simple QUBO interchange format (one ``i j w`` coordinate per line,
+0-based, ``#`` comments) for persisting arbitrary models.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.qubo import QUBOModel
+from repro.problems.qap import QAPInstance
+
+__all__ = [
+    "read_gset",
+    "read_qaplib",
+    "read_qubo",
+    "write_gset",
+    "write_qaplib",
+    "write_qubo",
+]
+
+
+def _tokens(path) -> list[str]:
+    text = Path(path).read_text()
+    return [
+        tok
+        for line in text.splitlines()
+        if not line.lstrip().startswith("#")
+        for tok in line.split()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Gset (MaxCut)
+# ---------------------------------------------------------------------------
+
+def read_gset(path) -> np.ndarray:
+    """Read a Gset MaxCut file into a symmetric adjacency matrix."""
+    toks = _tokens(path)
+    if len(toks) < 2:
+        raise ValueError(f"{path}: missing 'n m' header")
+    n, m = int(toks[0]), int(toks[1])
+    body = toks[2:]
+    if len(body) != 3 * m:
+        raise ValueError(
+            f"{path}: expected {3 * m} edge tokens for m={m}, got {len(body)}"
+        )
+    adj = np.zeros((n, n), dtype=np.int64)
+    for e in range(m):
+        i, j, w = int(body[3 * e]) - 1, int(body[3 * e + 1]) - 1, int(body[3 * e + 2])
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"{path}: edge ({i + 1}, {j + 1}) out of range")
+        if i == j:
+            raise ValueError(f"{path}: self-loop on node {i + 1}")
+        adj[i, j] = w
+        adj[j, i] = w
+    return adj
+
+
+def write_gset(path, adjacency: np.ndarray) -> None:
+    """Write a symmetric adjacency matrix in Gset format (1-based)."""
+    adj = np.asarray(adjacency)
+    ii, jj = np.nonzero(np.triu(adj, 1))
+    lines = [f"{adj.shape[0]} {len(ii)}"]
+    lines += [f"{i + 1} {j + 1} {adj[i, j]}" for i, j in zip(ii, jj)]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# QAPLIB
+# ---------------------------------------------------------------------------
+
+def read_qaplib(path, name: str = "") -> QAPInstance:
+    """Read a QAPLIB ``.dat`` file (n, flow matrix, distance matrix)."""
+    toks = _tokens(path)
+    if not toks:
+        raise ValueError(f"{path}: empty file")
+    n = int(toks[0])
+    need = 1 + 2 * n * n
+    if len(toks) != need:
+        raise ValueError(
+            f"{path}: expected {need} numbers for n={n}, got {len(toks)}"
+        )
+    values = np.array([int(t) for t in toks[1:]], dtype=np.int64)
+    flow = values[: n * n].reshape(n, n)
+    dist = values[n * n :].reshape(n, n)
+    # QAPLIB instances may carry non-zero diagonals; the QUBO reduction
+    # requires zero diagonals and the diagonal cost of a permutation is a
+    # constant, so strip it here.
+    np.fill_diagonal(flow, 0)
+    np.fill_diagonal(dist, 0)
+    return QAPInstance(flow, dist, name=name or Path(path).stem)
+
+
+def write_qaplib(path, instance: QAPInstance) -> None:
+    """Write a QAP instance in QAPLIB ``.dat`` layout."""
+    n = instance.n
+
+    def block(mat):
+        return "\n".join(" ".join(str(v) for v in row) for row in mat)
+
+    Path(path).write_text(
+        f"{n}\n\n{block(instance.flow)}\n\n{block(instance.dist)}\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# QUBO coordinate format
+# ---------------------------------------------------------------------------
+
+def read_qubo(path) -> QUBOModel:
+    """Read a QUBO from ``i j w`` coordinate lines (0-based, # comments).
+
+    The first non-comment line must be ``n`` (the variable count); diagonal
+    entries are linear terms.  Duplicate coordinates accumulate.
+    """
+    toks = _tokens(path)
+    if not toks:
+        raise ValueError(f"{path}: empty file")
+    n = int(toks[0])
+    body = toks[1:]
+    if len(body) % 3 != 0:
+        raise ValueError(f"{path}: coordinate lines must be 'i j w' triples")
+    terms: dict[tuple[int, int], float] = {}
+    for e in range(len(body) // 3):
+        i, j = int(body[3 * e]), int(body[3 * e + 1])
+        w = float(body[3 * e + 2])
+        terms[(i, j)] = terms.get((i, j), 0) + w
+    return QUBOModel.from_dict(n, terms, name=Path(path).stem)
+
+
+def write_qubo(path, model: QUBOModel) -> None:
+    """Write a model's canonical upper-triangular terms as coordinates."""
+    lines = [f"# QUBO {model.name}", f"{model.n}"]
+    for (i, j), w in sorted(model.to_dict().items()):
+        lines.append(f"{i} {j} {w}")
+    Path(path).write_text("\n".join(lines) + "\n")

@@ -1,0 +1,53 @@
+"""Benchmark problems and their QUBO reductions (paper §II)."""
+
+from repro.problems.gset import g22_like, g39_like, gset_like
+from repro.problems.maxcut import cut_value, maxcut_to_qubo, random_complete_graph
+from repro.problems.qap import (
+    QAPInstance,
+    assignment_cost,
+    decode_assignment,
+    default_penalty,
+    encode_assignment,
+    grid_qap,
+    is_feasible,
+    qap_to_qubo,
+    random_qap,
+)
+from repro.problems.qasp import (
+    QASPInstance,
+    random_chimera_qasp,
+    random_qasp,
+    random_qasp_ising,
+)
+from repro.problems.tsp import (
+    TSPInstance,
+    random_euclidean_tsp,
+    tour_length,
+    tsp_to_qap,
+)
+
+__all__ = [
+    "QAPInstance",
+    "QASPInstance",
+    "TSPInstance",
+    "assignment_cost",
+    "cut_value",
+    "decode_assignment",
+    "default_penalty",
+    "encode_assignment",
+    "g22_like",
+    "g39_like",
+    "grid_qap",
+    "gset_like",
+    "is_feasible",
+    "maxcut_to_qubo",
+    "qap_to_qubo",
+    "random_chimera_qasp",
+    "random_complete_graph",
+    "random_euclidean_tsp",
+    "random_qap",
+    "random_qasp",
+    "random_qasp_ising",
+    "tour_length",
+    "tsp_to_qap",
+]

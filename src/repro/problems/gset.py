@@ -1,0 +1,66 @@
+"""Gset-family sparse MaxCut graph generators (paper §VI.A).
+
+The paper benchmarks on two graphs from Ye's Gset collection [34]:
+
+* **G22** — 2000 nodes, 19990 edges, all weights +1,
+* **G39** — 2000 nodes, 11778 edges, weights ±1.
+
+Gset instances are themselves random graphs; offline we regenerate from the
+same family (uniform random edge set, i.i.d. weights) at the requested
+scale, preserving each instance's average degree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["g22_like", "g39_like", "gset_like"]
+
+#: average degrees of the original instances (2·|E|/|V|)
+_G22_AVG_DEGREE = 2 * 19990 / 2000
+_G39_AVG_DEGREE = 2 * 11778 / 2000
+
+
+def gset_like(
+    n: int,
+    num_edges: int,
+    weights: tuple[int, ...] = (1,),
+    seed: int | None = None,
+) -> np.ndarray:
+    """Random simple graph with exactly *num_edges* edges as an adjacency matrix."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    max_edges = n * (n - 1) // 2
+    if not 1 <= num_edges <= max_edges:
+        raise ValueError(
+            f"num_edges must be in [1, {max_edges}] for n={n}, got {num_edges}"
+        )
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    rng = np.random.default_rng(seed)
+    # sample distinct unordered pairs via their triangular rank
+    ranks = rng.choice(max_edges, size=num_edges, replace=False)
+    # invert rank -> (i, j), i < j, ranks enumerate rows of the strict upper triangle
+    i = (
+        n
+        - 2
+        - np.floor(np.sqrt(-8 * ranks + 4 * n * (n - 1) - 7) / 2.0 - 0.5)
+    ).astype(np.int64)
+    j = (ranks + i + 1 - i * (2 * n - i - 1) // 2).astype(np.int64)
+    adj = np.zeros((n, n), dtype=np.int64)
+    w = rng.choice(np.asarray(weights, dtype=np.int64), size=num_edges)
+    adj[i, j] = w
+    adj[j, i] = w
+    return adj
+
+
+def g22_like(n: int, seed: int | None = None) -> np.ndarray:
+    """G22-family instance at size *n*: +1 weights, average degree ≈ 20."""
+    num_edges = max(1, int(round(_G22_AVG_DEGREE * n / 2)))
+    return gset_like(n, num_edges, weights=(1,), seed=seed)
+
+
+def g39_like(n: int, seed: int | None = None) -> np.ndarray:
+    """G39-family instance at size *n*: ±1 weights, average degree ≈ 11.8."""
+    num_edges = max(1, int(round(_G39_AVG_DEGREE * n / 2)))
+    return gset_like(n, num_edges, weights=(-1, 1), seed=seed)

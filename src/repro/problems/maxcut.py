@@ -1,0 +1,69 @@
+"""MaxCut → QUBO reduction and benchmark graph generators (paper §II.A).
+
+A weighted graph is represented by a symmetric integer adjacency matrix
+with a zero diagonal.  Each edge ``(i, j)`` of weight ``w`` contributes the
+quadratic form ``w·(2 x_i x_j − x_i − x_j)``, which evaluates to ``−w`` when
+the edge is cut and 0 otherwise — so the minimum QUBO energy equals minus
+the maximum cut value.
+
+The K2000 benchmark ([33]) is a 2000-node complete graph with uniform ±1
+weights; :func:`random_complete_graph` draws from the same family at any
+size (the instance used in the paper is one sample of this distribution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.qubo import QUBOModel
+from repro.utils.validation import check_bit_vector, check_square_matrix
+
+__all__ = [
+    "cut_value",
+    "maxcut_to_qubo",
+    "random_complete_graph",
+]
+
+
+def _check_adjacency(adjacency) -> np.ndarray:
+    adj = check_square_matrix(adjacency, "adjacency")
+    if not np.array_equal(adj, adj.T):
+        raise ValueError("adjacency must be symmetric")
+    if np.any(np.diagonal(adj) != 0):
+        raise ValueError("adjacency must have a zero diagonal (no self-loops)")
+    return adj
+
+
+def maxcut_to_qubo(adjacency, name: str = "") -> QUBOModel:
+    """Reduce a MaxCut instance to a QUBO model (same node set).
+
+    The optimal cut value is ``−E(X*)`` for the QUBO optimum ``X*``.
+    """
+    adj = _check_adjacency(adjacency).astype(np.int64)
+    w = adj.copy()
+    np.fill_diagonal(w, -adj.sum(axis=1))
+    return QUBOModel(w, name=name or f"maxcut-{adj.shape[0]}")
+
+
+def cut_value(adjacency, x) -> int:
+    """Total weight of edges between ``S = {i : x_i = 1}`` and its complement."""
+    adj = _check_adjacency(adjacency)
+    x = check_bit_vector(x, adj.shape[0])
+    side = x.astype(np.int64)
+    crossing = side[:, None] != side[None, :]
+    return int((adj * crossing).sum() // 2)
+
+
+def random_complete_graph(
+    n: int, seed: int | None = None, weights: tuple[int, ...] = (-1, 1)
+) -> np.ndarray:
+    """K2000-family instance: complete graph, i.i.d. weights from *weights*."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    rng = np.random.default_rng(seed)
+    upper = rng.choice(np.asarray(weights, dtype=np.int64), size=(n, n))
+    adj = np.triu(upper, 1)
+    adj = adj + adj.T
+    return adj

@@ -1,0 +1,185 @@
+"""Quadratic Assignment Problem → QUBO reduction (paper §II.B).
+
+A QAP instance has an ``n × n`` flow matrix ``l`` and distance matrix ``d``;
+a one-to-one mapping ``g`` of facilities to locations costs
+``C(g) = Σ_{i,j} l(i,j) · d(g(i), g(j))`` (ordered pairs, the QAPLIB
+convention).  The QUBO uses one-hot encoding with ``N = n²`` bits,
+``x_{⟨i,j⟩} = 1  ⇔  g(i) = j``:
+
+* ``W[⟨i,j⟩, ⟨i′,j′⟩] = l(i,i′) · d(j,j′)`` for ``i ≠ i′``, ``j ≠ j′``,
+* ``−p`` on the diagonal and ``+p`` on same-row/same-column conflicts,
+
+so every feasible one-hot vector satisfies ``E(X) = C(g_X) − n·p`` and
+infeasible vectors pay the penalty.  ``default_penalty`` picks
+``p = n · max(l) · max(d) + 1``, which exceeds any possible assignment-cost
+saving from breaking one-hotness.
+
+Generators (DESIGN.md §1.3 substitution — QAPLIB files are not available
+offline): :func:`random_qap` draws uniform random flows/distances like the
+Taillard ``taiXXa`` series; :func:`grid_qap` uses rectangular-grid Manhattan
+distances like the Nugent ``nugXX`` series (tho30 is likewise grid-based).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from repro.core.qubo import QUBOModel
+from repro.utils.validation import check_bit_vector, check_square_matrix
+
+__all__ = [
+    "QAPInstance",
+    "assignment_cost",
+    "decode_assignment",
+    "default_penalty",
+    "encode_assignment",
+    "grid_qap",
+    "is_feasible",
+    "qap_to_qubo",
+    "random_qap",
+]
+
+
+def _check_qap_matrix(mat, name: str) -> np.ndarray:
+    arr = check_square_matrix(mat, name).astype(np.int64)
+    if np.any(np.diagonal(arr) != 0):
+        raise ValueError(f"{name} must have a zero diagonal")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    return arr
+
+
+def assignment_cost(flow, dist, perm) -> int:
+    """``C(g) = Σ_{i,j} l(i,j) · d(g(i), g(j))`` over ordered pairs."""
+    flow = np.asarray(flow)
+    dist = np.asarray(dist)
+    perm = np.asarray(perm)
+    return int((flow * dist[perm][:, perm]).sum())
+
+
+def default_penalty(flow, dist) -> int:
+    """A safe penalty: larger than any feasible cost change, ``n·lmax·dmax + 1``."""
+    flow = np.asarray(flow)
+    dist = np.asarray(dist)
+    return int(flow.shape[0] * flow.max() * dist.max() + 1)
+
+
+def qap_to_qubo(flow, dist, penalty: int | None = None, name: str = "") -> QUBOModel:
+    """Build the ``n²``-bit QUBO of a QAP instance (§II.B formula)."""
+    flow = _check_qap_matrix(flow, "flow")
+    dist = _check_qap_matrix(dist, "dist")
+    n = flow.shape[0]
+    if dist.shape[0] != n:
+        raise ValueError(
+            f"flow and dist must have the same size, got {n} and {dist.shape[0]}"
+        )
+    p = default_penalty(flow, dist) if penalty is None else int(penalty)
+    if p <= 0:
+        raise ValueError(f"penalty must be positive, got {p}")
+    # ordered-pair interaction weights: A[<i,j>,<i',j'>] = l(i,i')·d(j,j')
+    a = np.kron(flow, dist)
+    # fold ordered pairs onto the upper triangle
+    upper = np.triu(a, 1) + np.tril(a, -1).T
+    # one-hot conflicts: same facility (i = i', j ≠ j') or same location
+    same_i = np.kron(np.eye(n, dtype=bool), ~np.eye(n, dtype=bool))
+    same_j = np.kron(~np.eye(n, dtype=bool), np.eye(n, dtype=bool))
+    conflict = np.triu(same_i | same_j, 1)
+    upper[conflict] = p
+    np.fill_diagonal(upper, -p)
+    return QUBOModel(upper, name=name or f"qap-{n}")
+
+
+def is_feasible(x, n: int) -> bool:
+    """True when *x* one-hot encodes a permutation (every row/column has
+    exactly one 1)."""
+    x = check_bit_vector(x, n * n)
+    grid = x.reshape(n, n)
+    return bool(
+        np.all(grid.sum(axis=0) == 1) and np.all(grid.sum(axis=1) == 1)
+    )
+
+
+def decode_assignment(x, n: int) -> np.ndarray | None:
+    """Permutation ``g`` encoded by *x*, or None when infeasible."""
+    if not is_feasible(x, n):
+        return None
+    return np.argmax(np.asarray(x).reshape(n, n), axis=1)
+
+
+def encode_assignment(perm) -> np.ndarray:
+    """One-hot encode a permutation into an ``n²``-bit vector."""
+    perm = np.asarray(perm)
+    n = perm.shape[0]
+    x = np.zeros((n, n), dtype=np.uint8)
+    x[np.arange(n), perm] = 1
+    return x.ravel()
+
+
+@dataclass(frozen=True)
+class QAPInstance:
+    """A QAP instance with its QUBO reduction helpers."""
+
+    flow: np.ndarray
+    dist: np.ndarray
+    name: str = "qap"
+
+    @property
+    def n(self) -> int:
+        """Number of facilities/locations."""
+        return self.flow.shape[0]
+
+    def cost(self, perm) -> int:
+        """Assignment cost ``C(g)``."""
+        return assignment_cost(self.flow, self.dist, perm)
+
+    def to_qubo(self, penalty: int | None = None) -> tuple[QUBOModel, int]:
+        """``(model, penalty)``; QUBO optimum = QAP optimum − n·penalty."""
+        p = default_penalty(self.flow, self.dist) if penalty is None else penalty
+        return qap_to_qubo(self.flow, self.dist, p, name=self.name), p
+
+    def qubo_energy_of(self, perm, penalty: int | None = None) -> int:
+        """The QUBO energy of a feasible assignment: ``C(g) − n·p``."""
+        p = default_penalty(self.flow, self.dist) if penalty is None else penalty
+        return self.cost(perm) - self.n * p
+
+    def brute_force(self) -> tuple[np.ndarray, int]:
+        """Optimal assignment by exhaustive permutation search (n ≤ 9)."""
+        if self.n > 9:
+            raise ValueError(f"brute force supports n <= 9, got {self.n}")
+        best_perm, best_cost = None, None
+        for perm in permutations(range(self.n)):
+            c = self.cost(perm)
+            if best_cost is None or c < best_cost:
+                best_perm, best_cost = perm, c
+        return np.array(best_perm), int(best_cost)
+
+
+def random_qap(n: int, seed: int | None = None, low: int = 1, high: int = 99) -> QAPInstance:
+    """Taillard-style instance: uniform random integer flows and distances."""
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not 0 <= low <= high:
+        raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+    rng = np.random.default_rng(seed)
+    flow = rng.integers(low, high + 1, size=(n, n))
+    dist = rng.integers(low, high + 1, size=(n, n))
+    flow = np.triu(flow, 1) + np.triu(flow, 1).T  # symmetric, zero diagonal
+    dist = np.triu(dist, 1) + np.triu(dist, 1).T
+    return QAPInstance(flow, dist, name=f"tai{n}a-like")
+
+
+def grid_qap(rows: int, cols: int, seed: int | None = None, flow_high: int = 10) -> QAPInstance:
+    """Nugent-style instance: grid locations with Manhattan distances and
+    random symmetric integer flows."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid must contain at least 2 locations")
+    n = rows * cols
+    r, c = np.divmod(np.arange(n), cols)
+    dist = np.abs(r[:, None] - r[None, :]) + np.abs(c[:, None] - c[None, :])
+    rng = np.random.default_rng(seed)
+    flow = rng.integers(0, flow_high + 1, size=(n, n))
+    flow = np.triu(flow, 1) + np.triu(flow, 1).T
+    return QAPInstance(flow, dist.astype(np.int64), name=f"nug{rows}x{cols}-like")

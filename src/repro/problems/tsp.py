@@ -1,0 +1,86 @@
+"""TSP via the QAP reduction (paper §II.B remark).
+
+The paper notes that the QAP subsumes the Traveling Salesperson Problem: a
+tour is an assignment of cities (facilities) to tour positions (locations)
+where the "flow" between consecutive positions is 1.  Concretely the flow
+matrix is the cycle adjacency ``l(i, (i+1) mod n) = 1`` and the distance
+matrix is the city-to-city distance, making the QAP cost equal the tour
+length.  This module provides that construction plus a Euclidean instance
+generator and tour decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.problems.qap import QAPInstance, decode_assignment
+
+__all__ = ["TSPInstance", "random_euclidean_tsp", "tour_length", "tsp_to_qap"]
+
+
+def tour_length(dist, tour) -> int:
+    """Length of the closed tour visiting cities in *tour* order."""
+    dist = np.asarray(dist)
+    tour = np.asarray(tour)
+    return int(dist[tour, np.roll(tour, -1)].sum())
+
+
+def tsp_to_qap(dist, name: str = "") -> QAPInstance:
+    """Encode a TSP as a QAP: cyclic unit flows between tour positions.
+
+    Facilities are tour *positions*, locations are *cities*; an assignment
+    ``g`` means position ``i`` visits city ``g(i)``.  The flow is the
+    *directed* cycle (``l(i, i+1 mod n) = 1`` only), so the ordered-pair QAP
+    cost ``C(g) = Σ_i d(g(i), g(i+1 mod n))`` counts each tour leg exactly
+    once and equals the closed-tour length.
+    """
+    dist = np.asarray(dist, dtype=np.int64)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError(f"dist must be square, got {dist.shape}")
+    n = dist.shape[0]
+    if n < 3:
+        raise ValueError(f"TSP needs at least 3 cities, got {n}")
+    if not np.array_equal(dist, dist.T) or np.any(np.diagonal(dist) != 0):
+        raise ValueError("dist must be symmetric with a zero diagonal")
+    flow = np.zeros((n, n), dtype=np.int64)
+    idx = np.arange(n)
+    flow[idx, (idx + 1) % n] = 1
+    return QAPInstance(flow, dist, name=name or f"tsp-{n}")
+
+
+@dataclass(frozen=True)
+class TSPInstance:
+    """A Euclidean TSP instance and its QAP encoding."""
+
+    coords: np.ndarray
+    dist: np.ndarray
+    qap: QAPInstance
+
+    @property
+    def n(self) -> int:
+        """Number of cities."""
+        return self.dist.shape[0]
+
+    def decode_tour(self, x) -> np.ndarray | None:
+        """Map a QUBO one-hot vector to the visiting order (or None)."""
+        return decode_assignment(x, self.n)
+
+    def length(self, tour) -> int:
+        """Closed-tour length."""
+        return tour_length(self.dist, tour)
+
+
+def random_euclidean_tsp(
+    n: int, seed: int | None = None, box: int = 100
+) -> TSPInstance:
+    """Random integer-coordinate cities with rounded Euclidean distances."""
+    if n < 3:
+        raise ValueError(f"n must be >= 3, got {n}")
+    rng = np.random.default_rng(seed)
+    coords = rng.integers(0, box + 1, size=(n, 2))
+    diff = coords[:, None, :] - coords[None, :, :]
+    dist = np.rint(np.sqrt((diff**2).sum(axis=2))).astype(np.int64)
+    np.fill_diagonal(dist, 0)
+    return TSPInstance(coords=coords, dist=dist, qap=tsp_to_qap(dist, name=f"tsp-{n}"))

@@ -1,0 +1,78 @@
+"""Search algorithms (§III): incremental local searches over the n-bit cube.
+
+The five *main* search algorithms (MaxMin, CyclicMin, RandomMin,
+PositiveMin, TwoNeighbor) are the per-iteration bit-selection rules used in
+batch-search main phases; Greedy and Straight are the fixed descent phases
+around them.  :func:`build_main_algorithms` creates one fresh instance of
+each main algorithm (fresh because CyclicMin carries a window cursor).
+"""
+
+from repro.core.packet import MainAlgorithm
+from repro.search.base import (
+    INT_SENTINEL,
+    MainSearch,
+    masked_argmin,
+    random_choice_from_mask,
+)
+from repro.search.batch import (
+    BatchSearchConfig,
+    BestTracker,
+    run_batch_search,
+    run_main_phase,
+)
+from repro.search.cyclicmin import CyclicMinSearch
+from repro.search.greedy import greedy_descent, greedy_select
+from repro.search.maxmin import MaxMinSearch
+from repro.search.positivemin import PositiveMinSearch
+from repro.search.randommin import RandomMinSearch
+from repro.search.straight import straight_select, straight_walk
+from repro.search.tabu import TabuTracker
+from repro.search.twoneighbor import TwoNeighborSearch, two_neighbor_flip_sequence
+
+__all__ = [
+    "BatchSearchConfig",
+    "BestTracker",
+    "CyclicMinSearch",
+    "INT_SENTINEL",
+    "MainAlgorithm",
+    "MainSearch",
+    "MaxMinSearch",
+    "PositiveMinSearch",
+    "RandomMinSearch",
+    "TabuTracker",
+    "TwoNeighborSearch",
+    "build_main_algorithms",
+    "greedy_descent",
+    "greedy_select",
+    "masked_argmin",
+    "random_choice_from_mask",
+    "run_batch_search",
+    "run_main_phase",
+    "straight_select",
+    "straight_walk",
+    "two_neighbor_flip_sequence",
+]
+
+
+def build_main_algorithms(
+    config: BatchSearchConfig | None = None,
+    include: tuple[MainAlgorithm, ...] | None = None,
+) -> dict[MainAlgorithm, MainSearch]:
+    """Instantiate the main search algorithms, keyed by their packet enum.
+
+    ``include`` restricts the set (e.g. the ABS baseline uses CyclicMin
+    only); by default all five are built.
+    """
+    config = config or BatchSearchConfig()
+    factories = {
+        MainAlgorithm.MAXMIN: lambda: MaxMinSearch(),
+        MainAlgorithm.CYCLICMIN: lambda: CyclicMinSearch(c=config.cyclicmin_c),
+        MainAlgorithm.RANDOMMIN: lambda: RandomMinSearch(c=config.randommin_c),
+        MainAlgorithm.POSITIVEMIN: lambda: PositiveMinSearch(),
+        MainAlgorithm.TWONEIGHBOR: lambda: TwoNeighborSearch(),
+    }
+    selected = include if include is not None else tuple(factories)
+    unknown = [a for a in selected if a not in factories]
+    if unknown:
+        raise ValueError(f"unknown main algorithms: {unknown}")
+    return {alg: factories[alg]() for alg in selected}

@@ -1,0 +1,104 @@
+"""Shared machinery for batched (lockstep) search algorithms.
+
+Every search algorithm operates on a :class:`~repro.core.delta.BatchDeltaState`
+holding ``B`` independent solution vectors (one per virtual CUDA block) and
+answers one question per iteration: *which bit does each row flip next?*  The
+answer is produced by vectorized selection over the ``(B, n)`` flip-gain
+matrix ``Δ`` — no Python-level per-row loops.
+
+Two selection helpers encode recurring idioms:
+
+* :func:`masked_argmin` — per-row argmin restricted to a boolean candidate
+  mask (used by Straight/RandomMin; min-based rules),
+* :func:`random_choice_from_mask` — per-row uniformly random candidate
+  (used by MaxMin/PositiveMin; implemented with the random-argmax trick so a
+  single ``(B, n)`` uniform draw serves the whole batch).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+from repro.core.packet import MainAlgorithm
+from repro.core.rng import XorShift64Star
+
+__all__ = [
+    "INT_SENTINEL",
+    "MainSearch",
+    "masked_argmin",
+    "random_choice_from_mask",
+]
+
+#: Sentinel larger than any reachable Δ value; used to exclude positions
+#: from argmin selections.  int64 max would overflow float conversions, so a
+#: comfortably huge but safe value is used instead.
+INT_SENTINEL = np.int64(2**62)
+
+
+def masked_argmin(values: np.ndarray, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row argmin of *values* restricted to ``mask`` positions.
+
+    Returns ``(idx, has_candidate)``.  Rows whose mask is empty fall back to
+    the unrestricted argmin (callers decide whether to treat them as active).
+    """
+    sentinel = np.where(mask, values, INT_SENTINEL)
+    idx = np.argmin(sentinel, axis=1)
+    has = mask.any(axis=1)
+    empty = ~has
+    if empty.any():
+        idx[empty] = np.argmin(values[empty], axis=1)
+    return idx, has
+
+
+def random_choice_from_mask(
+    mask: np.ndarray, rand: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row uniformly random True position of ``mask``.
+
+    ``rand`` is a ``(B, n)`` uniform draw; the selected index is the argmax
+    of ``rand`` over candidates, which is uniform among them.  Returns
+    ``(idx, has_candidate)``; rows with an empty mask return index 0 and
+    ``has_candidate=False``.
+    """
+    keyed = np.where(mask, rand, -1.0)
+    idx = np.argmax(keyed, axis=1)
+    has = mask.any(axis=1)
+    return idx, has
+
+
+class MainSearch(ABC):
+    """A main search algorithm (§III.A): one bit selection per iteration.
+
+    Subclasses are stateless across launches except for explicitly reset
+    per-phase state (e.g. CyclicMin's window cursor), so one instance can be
+    reused by every launch of a virtual GPU.
+    """
+
+    #: enum tag used in packets
+    enum: MainAlgorithm
+    #: whether :meth:`select` consumes random numbers
+    uses_rng: bool = True
+    #: whether the tabu mask applies (§III.A.8: not for TwoNeighbor)
+    supports_tabu: bool = True
+
+    def begin(self, state: BatchDeltaState, total_iters: int) -> None:
+        """Reset per-phase state before a run of ``total_iters`` iterations."""
+
+    @abstractmethod
+    def select(
+        self,
+        state: BatchDeltaState,
+        t: int,
+        total: int,
+        rng: XorShift64Star,
+        tabu_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        """Return the ``(B,)`` bit indices to flip at iteration ``t`` (1-based)."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable algorithm name (e.g. ``"MaxMin"``)."""
+        return type(self).__name__.removesuffix("Search")

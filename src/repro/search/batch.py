@@ -1,0 +1,171 @@
+"""The batch search (§III.B): what one CUDA block runs per packet.
+
+Given a target vector and a main search algorithm, a block runs
+
+    straight(target) → [ greedy → main(s·n flips) ]* → greedy
+
+until its total flip count exceeds ``b·n`` (``s`` = search flip factor,
+``b`` = batch flip factor), always ending on a greedy polish — matching the
+paper's worked example (300 + 50 + 600 + 50 + 600 + 50 + 600 + 50 flips).
+TwoNeighbor is special-cased: it is executed exactly once per batch search.
+
+The best solution seen by the every-iteration 1-bit-neighbour scan (Step 1
+of the incremental search algorithm) is maintained by :class:`BestTracker`,
+which copies rows only when they improve — the vectorized counterpart of the
+paper's rarely-firing ``atomicMin``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+from repro.core.rng import XorShift64Star
+from repro.search.base import MainSearch
+from repro.search.greedy import greedy_descent
+from repro.search.straight import straight_walk
+from repro.search.tabu import TabuTracker
+from repro.search.twoneighbor import TwoNeighborSearch
+
+__all__ = ["BatchSearchConfig", "BestTracker", "run_batch_search", "run_main_phase"]
+
+
+@dataclass(frozen=True)
+class BatchSearchConfig:
+    """Tuning knobs of the batch search (paper defaults in §VI)."""
+
+    #: search flip factor ``s``: each main phase performs ``s·n`` flips
+    search_flip_factor: float = 0.1
+    #: batch flip factor ``b``: the batch search ends after ``b·n`` flips
+    batch_flip_factor: float = 1.0
+    #: tabu tenure (0 disables; the paper fixes 8)
+    tabu_period: int = 8
+    #: CyclicMin minimum window width (paper: c = 32)
+    cyclicmin_c: int = 32
+    #: RandomMin candidate floor (paper: probability floor 32/n)
+    randommin_c: int = 32
+
+    def __post_init__(self) -> None:
+        if self.search_flip_factor <= 0:
+            raise ValueError("search_flip_factor must be > 0")
+        if self.batch_flip_factor <= 0:
+            raise ValueError("batch_flip_factor must be > 0")
+        if self.tabu_period < 0:
+            raise ValueError("tabu_period must be >= 0")
+
+    def main_iterations(self, n: int) -> int:
+        """Flips per main phase, ``max(1, ⌊s·n⌋)``."""
+        return max(1, int(self.search_flip_factor * n))
+
+    def batch_budget(self, n: int) -> int:
+        """Total flip budget per batch search, ``max(1, ⌊b·n⌋)``."""
+        return max(1, int(self.batch_flip_factor * n))
+
+
+class BestTracker:
+    """Per-row best-solution memory fed by the 1-bit-neighbour scan.
+
+    ``update`` considers both the current vector and its best 1-bit
+    neighbour, so after a search the tracker holds the minimum over every
+    visited vector *and* every 1-bit neighbour of a visited vector.
+    """
+
+    __slots__ = ("best_x", "best_energy")
+
+    def __init__(self, state: BatchDeltaState) -> None:
+        self.best_x = state.x.copy()
+        self.best_energy = state.energy.copy()
+
+    def update(self, state: BatchDeltaState) -> None:
+        """Fold the current state (and its 1-bit neighbours) into the best."""
+        better = state.energy < self.best_energy
+        if better.any():
+            rows = np.flatnonzero(better)
+            self.best_x[rows] = state.x[rows]
+            self.best_energy[rows] = state.energy[rows]
+        j, nb_energy = state.neighbor_min()
+        better = nb_energy < self.best_energy
+        if better.any():
+            rows = np.flatnonzero(better)
+            self.best_x[rows] = state.x[rows]
+            self.best_x[rows, j[rows]] ^= 1
+            self.best_energy[rows] = nb_energy[rows]
+
+
+def run_main_phase(
+    state: BatchDeltaState,
+    algorithm: MainSearch,
+    iterations: int,
+    rng: XorShift64Star,
+    tabu: TabuTracker,
+    tracker: BestTracker,
+) -> np.ndarray:
+    """Run ``iterations`` lockstep flips of *algorithm*; returns flip counts."""
+    algorithm.begin(state, iterations)
+    use_tabu = algorithm.supports_tabu and tabu.enabled
+    for t in range(1, iterations + 1):
+        mask = tabu.mask() if use_tabu else None
+        idx = algorithm.select(state, t, iterations, rng, mask)
+        state.flip(idx)
+        tabu.record(idx)
+        tracker.update(state)
+    return np.full(state.batch, iterations, dtype=np.int64)
+
+
+def run_batch_search(
+    state: BatchDeltaState,
+    targets: np.ndarray,
+    algorithm: MainSearch,
+    rng: XorShift64Star,
+    config: BatchSearchConfig,
+    tabu: TabuTracker | None = None,
+) -> tuple[BestTracker, np.ndarray]:
+    """Execute one full batch search on all rows of *state*.
+
+    Parameters
+    ----------
+    state:
+        Device state; rows start from whatever the previous batch search
+        left behind (initially the zero vector), as in Fig. 4 (2).
+    targets:
+        ``(B, n)`` target vectors from the host packets.
+    algorithm:
+        The main search algorithm for this launch (one per lockstep group).
+
+    Returns
+    -------
+    (tracker, flips):
+        The best-solution tracker and per-row total flip counts.
+    """
+    n = state.n
+    if tabu is None:
+        tabu = TabuTracker(state.batch, n, config.tabu_period)
+    else:
+        tabu.reset()
+    tracker = BestTracker(state)
+    tracker.update(state)
+
+    def on_flip(idx: np.ndarray, active: np.ndarray) -> None:
+        tabu.record(idx, active)
+        tracker.update(state)
+
+    flips = straight_walk(state, targets, on_flip=on_flip)
+    budget = config.batch_budget(n)
+    if isinstance(algorithm, TwoNeighborSearch):
+        # greedy → single 2n−1-flip traversal → greedy, regardless of budget
+        flips += greedy_descent(state, on_flip=on_flip)
+        flips += run_main_phase(
+            state, algorithm, algorithm.num_iterations(n), rng, tabu, tracker
+        )
+        flips += greedy_descent(state, on_flip=on_flip)
+        return tracker, flips
+
+    main_iters = config.main_iterations(n)
+    while True:
+        flips += greedy_descent(state, on_flip=on_flip)
+        if np.all(flips >= budget):
+            break
+        flips += run_main_phase(state, algorithm, main_iters, rng, tabu, tracker)
+    return tracker, flips

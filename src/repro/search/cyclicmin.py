@@ -1,0 +1,70 @@
+"""CyclicMin search (§III.A.4): minimum-Δ bit inside a sliding cyclic window.
+
+The ``n`` bits are arranged on a circle.  At iteration ``t`` a window of
+width ``w(t) = max(⌈(t/T)³ · n⌉, c)`` (``c`` a small constant, 32 in the
+paper) starts where the previous window ended; the bit with minimum Δ inside
+the window is flipped.  The window grows with ``t``, so high-Δ bits are
+selected with decreasing probability — an annealing schedule that uses *no
+random numbers*, which is why it maps so well to GPUs ([16]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+from repro.core.packet import MainAlgorithm
+from repro.core.rng import XorShift64Star
+from repro.search.base import INT_SENTINEL, MainSearch
+
+__all__ = ["CyclicMinSearch"]
+
+
+class CyclicMinSearch(MainSearch):
+    """Batched CyclicMin selection with a per-row window cursor."""
+
+    enum = MainAlgorithm.CYCLICMIN
+    uses_rng = False
+
+    def __init__(self, c: int = 32) -> None:
+        if c < 1:
+            raise ValueError(f"window floor c must be >= 1, got {c}")
+        self.c = c
+        self._cursor: np.ndarray | None = None
+
+    def begin(self, state: BatchDeltaState, total_iters: int) -> None:
+        # the window continues from wherever the previous phase left it;
+        # allocate lazily on first use for this batch shape
+        if self._cursor is None or self._cursor.shape[0] != state.batch:
+            self._cursor = np.zeros(state.batch, dtype=np.int64)
+
+    def window_width(self, t: int, total: int, n: int) -> int:
+        """w(t) = max((t/T)³·n, c), clamped to [1, n]."""
+        w = int((t / total) ** 3 * n)
+        return max(1, min(n, max(w, min(self.c, n))))
+
+    def select(
+        self,
+        state: BatchDeltaState,
+        t: int,
+        total: int,
+        rng: XorShift64Star,
+        tabu_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        if self._cursor is None:
+            self.begin(state, total)
+        n = state.n
+        w = self.window_width(t, total, n)
+        cols = (self._cursor[:, None] + np.arange(w)[None, :]) % n
+        rows = np.arange(state.batch)[:, None]
+        vals = state.delta[rows, cols]
+        if tabu_mask is not None:
+            shadow = np.where(tabu_mask[rows, cols], INT_SENTINEL, vals)
+            all_tabu = (shadow == INT_SENTINEL).all(axis=1)
+            if all_tabu.any():
+                shadow[all_tabu] = vals[all_tabu]  # must flip something
+            vals = shadow
+        local = np.argmin(vals, axis=1)
+        idx = cols[np.arange(state.batch), local]
+        self._cursor = (self._cursor + w) % n
+        return idx

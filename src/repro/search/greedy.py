@@ -1,0 +1,47 @@
+"""Greedy search (§III.A.1): steepest descent to a 1-bit local minimum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+
+__all__ = ["greedy_select", "greedy_descent"]
+
+
+def greedy_select(state: BatchDeltaState) -> tuple[np.ndarray, np.ndarray]:
+    """One greedy step: per-row argmin of Δ, active only while it improves.
+
+    Returns ``(idx, active)`` where ``active[r]`` is False once row *r* is at
+    a local minimum (all ``Δ ≥ 0``) — the algorithm's termination condition.
+    """
+    idx = np.argmin(state.delta, axis=1)
+    active = state.delta[np.arange(state.x.shape[0]), idx] < 0
+    return idx, active
+
+
+def greedy_descent(
+    state: BatchDeltaState,
+    max_iters: int | None = None,
+    on_flip=None,
+) -> np.ndarray:
+    """Run greedy to convergence on every row; returns per-row flip counts.
+
+    ``max_iters`` is a safety cap (greedy always terminates on integer
+    models because every flip strictly decreases the energy, but float
+    models could cycle through ties).  ``on_flip(idx, active)`` is invoked
+    after each lockstep flip so callers can track bests / budgets.
+    """
+    b, n = state.x.shape
+    if max_iters is None:
+        max_iters = 16 * n + 64
+    flips = np.zeros(b, dtype=np.int64)
+    for _ in range(max_iters):
+        idx, active = greedy_select(state)
+        if not active.any():
+            break
+        state.flip(idx, active)
+        flips += active
+        if on_flip is not None:
+            on_flip(idx, active)
+    return flips

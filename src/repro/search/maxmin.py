@@ -1,0 +1,67 @@
+"""MaxMin search (§III.A.3): random bit under a cubic-annealed Δ threshold.
+
+At iteration ``t`` of ``T`` the threshold ceiling is
+
+    D(t) = (1 − ((T−t)/T)³) · minΔ + ((T−t)/T)³ · maxΔ,
+
+a decreasing function from ≈maxΔ down to minΔ.  A threshold ``d`` is drawn
+uniformly from ``[minΔ, D(t)]`` and a bit is chosen uniformly at random among
+``{i : Δ_i ≤ d}`` (never empty since ``d ≥ minΔ``).  High-Δ bits thus become
+less likely over time — simulated-annealing-like behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+from repro.core.packet import MainAlgorithm
+from repro.core.rng import XorShift64Star
+from repro.search.base import MainSearch, random_choice_from_mask
+
+__all__ = ["MaxMinSearch"]
+
+
+class MaxMinSearch(MainSearch):
+    """Batched MaxMin selection."""
+
+    enum = MainAlgorithm.MAXMIN
+
+    def select(
+        self,
+        state: BatchDeltaState,
+        t: int,
+        total: int,
+        rng: XorShift64Star,
+        tabu_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        delta = state.delta
+        if tabu_mask is not None:
+            # exclude tabu bits from both the extremes and the candidates;
+            # rows where everything is tabu fall back to the full row below
+            usable = ~tabu_mask
+            no_usable = ~usable.any(axis=1)
+            if no_usable.any():
+                usable[no_usable] = True
+            shadow = np.where(usable, delta, np.int64(2**62))
+            dmin = shadow.min(axis=1).astype(np.float64)
+            neg_shadow = np.where(usable, delta, np.int64(-(2**62)))
+            dmax = neg_shadow.max(axis=1).astype(np.float64)
+        else:
+            usable = None
+            dmin = delta.min(axis=1).astype(np.float64)
+            dmax = delta.max(axis=1).astype(np.float64)
+        frac = ((total - t) / total) ** 3
+        ceiling = (1.0 - frac) * dmin + frac * dmax
+        u = rng.random()  # (B, n) lanes; column 0 supplies the row draws
+        d = dmin + u[:, 0] * (ceiling - dmin)
+        mask = delta <= d[:, None]
+        if usable is not None:
+            mask &= usable
+        idx, has = random_choice_from_mask(mask, rng.random())
+        if not has.all():
+            # numeric ties can empty the mask (d slightly below minΔ after
+            # float rounding); fall back to the row minimum
+            missing = ~has
+            idx[missing] = np.argmin(delta[missing], axis=1)
+        return idx

@@ -1,0 +1,48 @@
+"""PositiveMin search (§III.A.6): random bit with Δ at most posminΔ.
+
+``posminΔ(X) = min{Δ_i : Δ_i > 0}`` is the cheapest *uphill* move.  Every
+bit with ``Δ_i ≤ posminΔ`` is a candidate and one is flipped uniformly at
+random.  Near a local minimum the candidate set is small and contains the
+cheapest hill-climbing bits, which is what lets the algorithm hop between
+local minima (first used by the FPGA solver [13]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+from repro.core.packet import MainAlgorithm
+from repro.core.rng import XorShift64Star
+from repro.search.base import INT_SENTINEL, MainSearch, random_choice_from_mask
+
+__all__ = ["PositiveMinSearch"]
+
+
+class PositiveMinSearch(MainSearch):
+    """Batched PositiveMin selection."""
+
+    enum = MainAlgorithm.POSITIVEMIN
+
+    def select(
+        self,
+        state: BatchDeltaState,
+        t: int,
+        total: int,
+        rng: XorShift64Star,
+        tabu_mask: np.ndarray | None,
+    ) -> np.ndarray:
+        delta = state.delta
+        positive = np.where(delta > 0, delta, INT_SENTINEL)
+        posmin = positive.min(axis=1)
+        # rows with no positive Δ keep the sentinel => every bit qualifies
+        mask = delta <= posmin[:, None]
+        if tabu_mask is not None:
+            non_tabu = mask & ~tabu_mask
+            keep = non_tabu.any(axis=1)
+            mask[keep] = non_tabu[keep]  # fall back to tabu bits only if forced
+        idx, has = random_choice_from_mask(mask, rng.random())
+        if not has.all():  # pragma: no cover - mask is never empty by design
+            missing = ~has
+            idx[missing] = np.argmin(delta[missing], axis=1)
+        return idx

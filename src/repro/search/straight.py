@@ -1,0 +1,53 @@
+"""Straight search (§III.A.2): best-gain walk toward a target vector.
+
+Each step flips, among the bits where the current solution differs from the
+target, the one with minimum Δ — so the Hamming distance to the target
+decreases by exactly one per step and the walk terminates in ``d(X, D)``
+flips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.delta import BatchDeltaState
+from repro.search.base import masked_argmin
+
+__all__ = ["straight_select", "straight_walk"]
+
+
+def straight_select(
+    state: BatchDeltaState, targets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One straight step toward per-row ``targets`` (shape ``(B, n)``).
+
+    Returns ``(idx, active)``; rows already equal to their target are
+    inactive.
+    """
+    diff = state.x != targets
+    idx, active = masked_argmin(state.delta, diff)
+    return idx, active
+
+
+def straight_walk(
+    state: BatchDeltaState,
+    targets: np.ndarray,
+    on_flip=None,
+) -> np.ndarray:
+    """Walk every row to its target; returns per-row flip counts.
+
+    The loop bound is exact: the maximum initial Hamming distance.
+    """
+    targets = np.asarray(targets, dtype=np.uint8)
+    b = state.x.shape[0]
+    flips = np.zeros(b, dtype=np.int64)
+    max_dist = int(np.max(np.count_nonzero(state.x != targets, axis=1), initial=0))
+    for _ in range(max_dist):
+        idx, active = straight_select(state, targets)
+        if not active.any():
+            break
+        state.flip(idx, active)
+        flips += active
+        if on_flip is not None:
+            on_flip(idx, active)
+    return flips

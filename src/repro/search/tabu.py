@@ -1,0 +1,55 @@
+"""Tabu bookkeeping (§III.A.8): recently flipped bits may not re-flip.
+
+A bit flipped at iteration ``τ`` is *tabu* for the next ``period``
+iterations, i.e. while ``clock − τ ≤ period``.  The tracker stores one
+stamp per (row, bit) and produces the boolean mask consulted by the main
+search algorithms (TwoNeighbor and the greedy/straight phases ignore it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TabuTracker"]
+
+
+class TabuTracker:
+    """Per-(row, bit) flip stamps with a fixed tabu tenure."""
+
+    __slots__ = ("period", "clock", "_stamp")
+
+    def __init__(self, batch: int, n: int, period: int) -> None:
+        if period < 0:
+            raise ValueError(f"tabu period must be >= 0, got {period}")
+        self.period = period
+        self.clock = 0
+        # "never flipped" sits far enough in the past to never be tabu
+        self._stamp = np.full((batch, n), -(period + 1), dtype=np.int64)
+
+    @property
+    def enabled(self) -> bool:
+        """False when the tenure is zero (tracker is a no-op)."""
+        return self.period > 0
+
+    def mask(self) -> np.ndarray | None:
+        """Boolean ``(B, n)``: True where flipping is currently forbidden."""
+        if not self.enabled:
+            return None
+        return (self.clock - self._stamp) <= self.period
+
+    def record(self, idx: np.ndarray, active: np.ndarray | None = None) -> None:
+        """Stamp the flips of this iteration and advance the clock."""
+        if self.enabled:
+            if active is None:
+                rows = np.arange(self._stamp.shape[0])
+                cols = np.asarray(idx)
+            else:
+                rows = np.flatnonzero(active)
+                cols = np.asarray(idx)[rows]
+            self._stamp[rows, cols] = self.clock
+        self.clock += 1
+
+    def reset(self) -> None:
+        """Forget all stamps (used between batch searches)."""
+        self._stamp.fill(-(self.period + 1))
+        self.clock = 0

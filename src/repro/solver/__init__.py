@@ -1,0 +1,16 @@
+"""Solvers: the DABS framework and the ABS baseline."""
+
+from repro.solver.abs_solver import ABSSolver, MutateCrossoverGenerator
+from repro.solver.dabs import DABSConfig, DABSSolver
+from repro.solver.result import ImprovementEvent, SolveResult
+from repro.solver.termination import SolveLimits
+
+__all__ = [
+    "ABSSolver",
+    "DABSConfig",
+    "DABSSolver",
+    "ImprovementEvent",
+    "MutateCrossoverGenerator",
+    "SolveLimits",
+    "SolveResult",
+]

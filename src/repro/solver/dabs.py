@@ -1,0 +1,265 @@
+"""The DABS solver (§V): multi-GPU orchestration of the diverse search.
+
+The host owns one solution pool per virtual GPU, arranged on the island
+ring (Fig. 2).  Every round it generates one packet per CUDA block — the
+genetic operation and main search algorithm chosen by the adaptive
+5 %/95 % rule — launches all GPUs, and folds the returned best solutions
+back into the pools.
+
+Parallel execution: the paper drives each GPU from its own OpenMP thread.
+``parallel="thread"`` reproduces that with a thread pool (NumPy releases
+the GIL inside the batch-search kernels); packet generation and pool
+insertion stay on the host thread in device order, so runs are bit-exactly
+reproducible in both modes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.packet import (
+    VOID_ENERGY,
+    GeneticOp,
+    MainAlgorithm,
+    Packet,
+    PacketBatch,
+)
+from repro.core.qubo import QUBOModel
+from repro.core.rng import host_generator
+from repro.ga.adaptive import AdaptiveSelector, SelectionCounters
+from repro.ga.island import IslandRing
+from repro.ga.operations import OperationParams, TargetGenerator
+from repro.ga.pool import SolutionPool
+from repro.gpu.device import DeviceSpec
+from repro.gpu.virtual_gpu import VirtualGPU
+from repro.search.batch import BatchSearchConfig
+from repro.solver.result import ImprovementEvent, SolveResult
+from repro.solver.termination import SolveLimits
+
+__all__ = ["DABSConfig", "DABSSolver"]
+
+
+@dataclass(frozen=True)
+class DABSConfig:
+    """Configuration of a DABS solver instance (§V–§VI defaults)."""
+
+    #: number of virtual GPUs = number of solution pools (paper: 8)
+    num_gpus: int = 4
+    #: CUDA-block lanes per virtual GPU (paper: 216 per A100)
+    blocks_per_gpu: int = 16
+    #: packets per solution pool (paper: 100)
+    pool_capacity: int = 100
+    #: batch-search tuning (flip factors s and b, tabu period 8)
+    batch: BatchSearchConfig = field(default_factory=BatchSearchConfig)
+    #: adaptive exploration probability (paper: "say, 5%")
+    explore_probability: float = 0.05
+    #: enabled main search algorithms
+    algorithm_set: tuple[MainAlgorithm, ...] = tuple(MainAlgorithm)
+    #: enabled genetic operations
+    operation_set: tuple[GeneticOp, ...] = tuple(GeneticOp)
+    #: probabilities/sizes of the stochastic genetic operations
+    operations: OperationParams = field(default_factory=OperationParams)
+    #: restart all pools after this many rounds without global improvement
+    #: (§IV.B's merged-ring restart); None disables
+    restart_after_stall: int | None = None
+    #: restart when every pool's mean pairwise Hamming diversity falls below
+    #: this fraction of n (§IV.B's "all solutions are relatives" collapse
+    #: signal, measured rather than inferred from stalling); None disables
+    restart_on_collapse: float | None = None
+    #: "sequential" round-robin or "thread" (one worker per GPU, as OpenMP)
+    parallel: str = "sequential"
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.blocks_per_gpu < 1:
+            raise ValueError("blocks_per_gpu must be >= 1")
+        if self.pool_capacity < 1:
+            raise ValueError("pool_capacity must be >= 1")
+        if self.parallel not in ("sequential", "thread"):
+            raise ValueError('parallel must be "sequential" or "thread"')
+        if not self.algorithm_set:
+            raise ValueError("algorithm_set must be non-empty")
+        if not self.operation_set:
+            raise ValueError("operation_set must be non-empty")
+        if self.restart_after_stall is not None and self.restart_after_stall < 1:
+            raise ValueError("restart_after_stall must be >= 1 or None")
+        if self.restart_on_collapse is not None and not (
+            0.0 < self.restart_on_collapse < 1.0
+        ):
+            raise ValueError("restart_on_collapse must be in (0, 1) or None")
+
+
+class DABSSolver:
+    """Diverse Adaptive Bulk Search over one QUBO model."""
+
+    def __init__(
+        self,
+        model: QUBOModel,
+        config: DABSConfig | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.model = model
+        self.config = config or DABSConfig()
+        self.seed = seed
+        self._host_rng = host_generator(seed)
+        cfg = self.config
+        self.pools = [
+            SolutionPool(
+                cfg.pool_capacity,
+                model.n,
+                self._host_rng,
+                algorithm_set=cfg.algorithm_set,
+                operation_set=cfg.operation_set,
+            )
+            for _ in range(cfg.num_gpus)
+        ]
+        self.ring = IslandRing(self.pools)
+        self.gpus = [
+            VirtualGPU(
+                model,
+                DeviceSpec(num_blocks=cfg.blocks_per_gpu, name=f"vgpu{i}"),
+                cfg.batch,
+                cfg.algorithm_set,
+                self._host_rng,
+            )
+            for i in range(cfg.num_gpus)
+        ]
+        self.selector = AdaptiveSelector(
+            cfg.algorithm_set, cfg.operation_set, cfg.explore_probability
+        )
+        self.generator = self._make_generator()
+        self.counters = SelectionCounters()
+
+    # -- extension points ------------------------------------------------------
+    def _make_generator(self) -> TargetGenerator:
+        """Target-vector generator; ABS overrides this (§I.B)."""
+        return TargetGenerator(self.model.n, self.config.operations)
+
+    def _choose_strategy(
+        self, pool: SolutionPool
+    ) -> tuple[MainAlgorithm, GeneticOp]:
+        """Pick (algorithm, operation) for one packet; ABS overrides this."""
+        alg = self.selector.select_algorithm(pool, self._host_rng)
+        op = self.selector.select_operation(pool, self._host_rng)
+        return alg, op
+
+    # -- packet generation -------------------------------------------------------
+    def _generate_batch(self, gpu_index: int) -> PacketBatch:
+        pool = self.pools[gpu_index]
+        neighbor = self.ring.neighbor_of(gpu_index)
+        packets = []
+        for _ in range(self.config.blocks_per_gpu):
+            alg, op = self._choose_strategy(pool)
+            self.counters.record(alg, op)
+            vector = self.generator.generate(op, pool, neighbor, self._host_rng)
+            packets.append(Packet(vector, VOID_ENERGY, alg, op))
+        return PacketBatch.from_packets(packets)
+
+    # -- main loop ----------------------------------------------------------------
+    def solve(
+        self,
+        target_energy: int | None = None,
+        time_limit: float | None = None,
+        max_rounds: int | None = None,
+    ) -> SolveResult:
+        """Run until a limit fires; see :class:`SolveLimits` for semantics."""
+        limits = SolveLimits(target_energy, time_limit, max_rounds)
+        cfg = self.config
+        start = time.perf_counter()
+        best_energy = VOID_ENERGY
+        best_vector = np.zeros(self.model.n, dtype=np.uint8)
+        first_found: tuple[MainAlgorithm, GeneticOp] | None = None
+        time_to_target: float | None = None
+        history: list[ImprovementEvent] = []
+        rounds = 0
+        flips_at_start = sum(g.total_flips for g in self.gpus)
+        stall_rounds = 0
+        restarts = 0
+        executor = (
+            ThreadPoolExecutor(max_workers=cfg.num_gpus)
+            if cfg.parallel == "thread"
+            else None
+        )
+        try:
+            while True:
+                rounds += 1
+                batches = [self._generate_batch(i) for i in range(cfg.num_gpus)]
+                if executor is not None:
+                    results = list(
+                        executor.map(
+                            lambda pair: pair[0].launch(pair[1]),
+                            zip(self.gpus, batches),
+                        )
+                    )
+                else:
+                    results = [
+                        gpu.launch(batch) for gpu, batch in zip(self.gpus, batches)
+                    ]
+                improved = False
+                for gpu_index, (result_batch, _) in enumerate(results):
+                    pool = self.pools[gpu_index]
+                    for packet in result_batch.to_packets():
+                        pool.insert(packet)
+                        if packet.energy < best_energy:
+                            improved = True
+                            best_energy = packet.energy
+                            best_vector = packet.vector.copy()
+                            first_found = (packet.algorithm, packet.operation)
+                            now = time.perf_counter() - start
+                            history.append(
+                                ImprovementEvent(
+                                    now,
+                                    rounds,
+                                    best_energy,
+                                    packet.algorithm,
+                                    packet.operation,
+                                )
+                            )
+                            if (
+                                time_to_target is None
+                                and limits.target_reached(best_energy)
+                            ):
+                                time_to_target = now
+                elapsed = time.perf_counter() - start
+                if limits.target_reached(best_energy):
+                    break
+                if limits.out_of_time(elapsed) or limits.out_of_rounds(rounds):
+                    break
+                # §IV.B restart: merged pools cannot improve any more
+                stall_rounds = 0 if improved else stall_rounds + 1
+                stalled = (
+                    cfg.restart_after_stall is not None
+                    and stall_rounds >= cfg.restart_after_stall
+                )
+                collapsed = (
+                    cfg.restart_on_collapse is not None
+                    and self.ring.collapsed(cfg.restart_on_collapse * self.model.n)
+                )
+                if stalled or collapsed:
+                    self.ring.reinitialize(self._host_rng)
+                    for gpu in self.gpus:
+                        gpu.reset()
+                    stall_rounds = 0
+                    restarts += 1
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=False)
+        elapsed = time.perf_counter() - start
+        return SolveResult(
+            best_vector=best_vector,
+            best_energy=int(best_energy),
+            reached_target=limits.target_reached(best_energy),
+            time_to_target=time_to_target,
+            elapsed=elapsed,
+            rounds=rounds,
+            total_flips=sum(g.total_flips for g in self.gpus) - flips_at_start,
+            counters=self.counters,
+            first_found=first_found,
+            history=history,
+            restarts=restarts,
+        )

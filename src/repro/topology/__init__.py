@@ -1,0 +1,20 @@
+"""Quantum annealer graph topologies (Chimera, Pegasus)."""
+
+from repro.topology.chimera import chimera_graph, chimera_index
+from repro.topology.pegasus import (
+    PEGASUS_HORIZONTAL_OFFSETS,
+    PEGASUS_VERTICAL_OFFSETS,
+    advantage_like_graph,
+    pegasus_graph,
+    pegasus_index,
+)
+
+__all__ = [
+    "PEGASUS_HORIZONTAL_OFFSETS",
+    "PEGASUS_VERTICAL_OFFSETS",
+    "advantage_like_graph",
+    "chimera_graph",
+    "chimera_index",
+    "pegasus_graph",
+    "pegasus_index",
+]

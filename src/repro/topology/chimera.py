@@ -1,0 +1,65 @@
+"""Chimera topology (D-Wave 2000Q, paper §I.A).
+
+A Chimera graph ``C_m`` is an ``m × m`` grid of ``K_{4,4}`` unit cells.
+Within a cell the 4 "left" qubits (u = 0) are completely connected to the 4
+"right" qubits (u = 1); left qubits couple vertically to the corresponding
+left qubit of the cell below, right qubits couple horizontally to the next
+cell to the right.  ``C_16`` has 2048 qubits — the D-Wave 2000Q graph.
+
+Node labels are linear indices with coordinate ``(i, j, u, k)`` stored as a
+node attribute, ``i``/``j`` the cell row/column, ``u`` the side, ``k`` the
+index within the side.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["chimera_graph", "chimera_index"]
+
+_SHORE = 4  # qubits per side of a unit cell
+
+
+def chimera_index(i: int, j: int, u: int, k: int, m: int) -> int:
+    """Linear index of Chimera coordinate ``(i, j, u, k)`` in ``C_m``."""
+    return ((i * m + j) * 2 + u) * _SHORE + k
+
+
+def chimera_graph(m: int) -> nx.Graph:
+    """Build ``C_m`` with ``8·m²`` nodes.
+
+    Node attribute ``chimera_coords`` holds ``(i, j, u, k)``.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    g = nx.Graph(name=f"chimera-C{m}")
+    for i in range(m):
+        for j in range(m):
+            for u in range(2):
+                for k in range(_SHORE):
+                    g.add_node(
+                        chimera_index(i, j, u, k, m), chimera_coords=(i, j, u, k)
+                    )
+    for i in range(m):
+        for j in range(m):
+            # intra-cell K_{4,4}
+            for k in range(_SHORE):
+                for l in range(_SHORE):
+                    g.add_edge(
+                        chimera_index(i, j, 0, k, m), chimera_index(i, j, 1, l, m)
+                    )
+            # vertical couplers between left shores of stacked cells
+            if i + 1 < m:
+                for k in range(_SHORE):
+                    g.add_edge(
+                        chimera_index(i, j, 0, k, m),
+                        chimera_index(i + 1, j, 0, k, m),
+                    )
+            # horizontal couplers between right shores of adjacent cells
+            if j + 1 < m:
+                for k in range(_SHORE):
+                    g.add_edge(
+                        chimera_index(i, j, 1, k, m),
+                        chimera_index(i, j + 1, 1, k, m),
+                    )
+    return g

@@ -1,0 +1,145 @@
+"""Minor embedding of dense Ising models into annealer topologies.
+
+The paper's introduction (§I.A) notes that D-Wave annealers handle Ising
+models whose graphs do not match the native topology by *embedding* them —
+e.g. a 177-node complete graph fits a Pegasus chip.  This module provides
+the classical building blocks of that capability for the Chimera topology,
+which makes the :class:`~repro.baselines.annealer.QuantumAnnealerSim`
+usable on non-native problems:
+
+* :func:`chimera_clique_embedding` — the canonical triangle embedding of
+  ``K_{4m}`` into the ``C_m`` Chimera graph: logical variable ``i`` becomes
+  a *chain* of ``m + 1`` physical qubits running through one row and one
+  column of cells.
+* :func:`embed_ising` — maps a logical Ising model onto physical qubits:
+  logical interactions are placed on (one of the) physical couplers joining
+  two chains, biases are spread across chain members, and chain members are
+  tied together with a ferromagnetic ``−chain_strength`` coupling.
+* :func:`unembed_spins` — majority-vote decoding of physical spins back to
+  logical spins (broken chains resolved by majority, ties to +1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ising import IsingModel
+from repro.topology.chimera import chimera_graph, chimera_index
+
+__all__ = ["chimera_clique_embedding", "embed_ising", "unembed_spins"]
+
+
+def chimera_clique_embedding(m: int) -> list[list[int]]:
+    """Chains embedding ``K_{4m}`` into ``C_m`` (one chain per variable).
+
+    The classic construction: logical variable ``i = 4a + k``
+    (``a ∈ [0, m)``, ``k ∈ [0, 4)``) owns the horizontal qubits ``(a, j, 1, k)``
+    for all columns ``j`` plus the vertical qubits ``(b, a, 0, k)`` for all
+    rows ``b`` — i.e. row ``a`` shore-1 wire ``k`` and column ``a`` shore-0
+    wire ``k``.  Any two chains intersect in exactly one cell, where the
+    K_{4,4} coupler between their members realizes the logical interaction.
+    Chain length is ``2m`` (row part + column part).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    chains = []
+    for a in range(m):
+        for k in range(4):
+            row_part = [chimera_index(a, j, 1, k, m) for j in range(m)]
+            col_part = [chimera_index(b, a, 0, k, m) for b in range(m)]
+            chains.append(row_part + col_part)
+    return chains
+
+
+def embed_ising(
+    model: IsingModel,
+    chains: list[list[int]],
+    num_physical: int,
+    coupler_of: dict[tuple[int, int], tuple[int, int]],
+    chain_strength: float,
+) -> IsingModel:
+    """Embed a logical Ising model onto physical qubits.
+
+    Parameters
+    ----------
+    chains:
+        ``chains[i]`` lists the physical qubits of logical variable ``i``.
+    num_physical:
+        Total physical qubits of the target graph.
+    coupler_of:
+        For each logical pair ``(i, j)`` (``i < j``) the physical coupler
+        ``(p, q)`` carrying the logical interaction.
+    chain_strength:
+        Magnitude of the ferromagnetic intra-chain coupling.  Must exceed
+        the largest total logical weight incident to a chain for the ground
+        state to keep chains intact; callers typically use
+        ``1 + max_i (|h_i| + Σ_j |J_ij|)``.
+    """
+    if len(chains) != model.n:
+        raise ValueError(
+            f"got {len(chains)} chains for a model with {model.n} variables"
+        )
+    if chain_strength <= 0:
+        raise ValueError("chain_strength must be > 0")
+    j_phys = np.zeros((num_physical, num_physical), dtype=np.float64)
+    h_phys = np.zeros(num_physical, dtype=np.float64)
+    # spread biases across chain members
+    for i, chain in enumerate(chains):
+        share = model.biases[i] / len(chain)
+        for q in chain:
+            h_phys[q] += share
+        # ferromagnetic chain couplings along the chain path
+        for p, q in zip(chain, chain[1:]):
+            lo, hi = (p, q) if p < q else (q, p)
+            j_phys[lo, hi] -= chain_strength
+    # logical interactions on their designated physical couplers
+    logical_j = model.interactions
+    for (i, j), (p, q) in coupler_of.items():
+        if not i < j:
+            raise ValueError(f"logical pairs must satisfy i < j, got ({i}, {j})")
+        w = logical_j[i, j]
+        if w == 0:
+            continue
+        lo, hi = (p, q) if p < q else (q, p)
+        j_phys[lo, hi] += w
+    return IsingModel(j_phys, h_phys, name=f"{model.name}-embedded")
+
+
+def clique_coupler_map(m: int) -> dict[tuple[int, int], tuple[int, int]]:
+    """Physical couplers realizing every logical pair of the clique embedding.
+
+    Chains ``i = 4a + k`` and ``j = 4b + l``:
+
+    * different cells groups (``a ≠ b``): the chains cross in cell
+      ``(a, b)`` — chain *i*'s horizontal wire runs through row ``a`` and
+      chain *j*'s vertical wire through column ``b`` — where the K_{4,4}
+      coupler ``(a, b, 0, l) ~ (a, b, 1, k)`` joins them.
+    * same group (``a = b``, ``k ≠ l``): the intra-cell coupler
+      ``(a, a, 0, l) ~ (a, a, 1, k)`` in the diagonal cell.
+    """
+    couplers: dict[tuple[int, int], tuple[int, int]] = {}
+    n = 4 * m
+    for i in range(n):
+        a, k = divmod(i, 4)
+        for j in range(i + 1, n):
+            b, l = divmod(j, 4)
+            # i's horizontal wire in row a crosses j's vertical wire in
+            # column b inside cell (a, b)
+            p = chimera_index(a, b, 1, k, m)
+            q = chimera_index(a, b, 0, l, m)
+            couplers[(i, j)] = (q, p)
+    return couplers
+
+
+def unembed_spins(physical_spins: np.ndarray, chains: list[list[int]]) -> np.ndarray:
+    """Majority-vote decoding of physical spins into logical spins.
+
+    Ties (possible for even chain lengths) resolve to +1, the D-Wave
+    convention for deterministic unembedding.
+    """
+    spins = np.asarray(physical_spins)
+    logical = np.empty(len(chains), dtype=np.int64)
+    for i, chain in enumerate(chains):
+        total = int(spins[chain].sum())
+        logical[i] = 1 if total >= 0 else -1
+    return logical

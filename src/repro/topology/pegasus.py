@@ -1,0 +1,166 @@
+"""Pegasus topology (D-Wave Advantage, paper §II.C).
+
+Pegasus ``P_m`` is built from length-12 qubit "wires" laid on a grid:
+vertical wires (orientation ``u = 0``) and horizontal wires (``u = 1``).
+A qubit has coordinates ``(u, w, k, z)``:
+
+* ``w ∈ [0, m)``  — perpendicular wire-group offset,
+* ``k ∈ [0, 12)`` — wire index within the group,
+* ``z ∈ [0, m−1)`` — position along the wire direction,
+
+giving ``24·m·(m−1)`` qubits (``P_16``: 5760, the Advantage chip).  Couplers:
+
+* **external**: consecutive segments of the same wire, ``z ↔ z+1``;
+* **odd**: wire pairs ``2j ↔ 2j+1`` in the same group and position;
+* **internal**: a vertical and a horizontal qubit are coupled wherever
+  their wire segments *cross* geometrically.  A vertical qubit occupies
+  column ``w·12 + k`` and spans rows ``[z·12 + o_v(k), z·12 + o_v(k) + 11]``
+  (``o_v`` the vertical offset list); symmetrically for horizontal qubits.
+  Each interior qubit crosses exactly 12 perpendicular qubits, giving the
+  signature degree 15 = 12 internal + 2 external + 1 odd.
+
+Substitution note (DESIGN.md §1.3): the offset lists below follow the
+structure of D-Wave's published lists (period-12 sequences of 2/6/10); the
+exact permutation differs from chip revisions but leaves node count, degree
+distribution and coupler counts unchanged, which is what the QASP benchmark
+depends on.  The real Advantage 4.1 working graph (5627 qubits / 40279
+couplers) is modelled by :func:`advantage_like_graph`, which deletes random
+faulty qubits/couplers from the full ``P_16``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "PEGASUS_HORIZONTAL_OFFSETS",
+    "PEGASUS_VERTICAL_OFFSETS",
+    "advantage_like_graph",
+    "pegasus_graph",
+    "pegasus_index",
+]
+
+#: wire-span start offsets, one per in-group wire index k
+PEGASUS_VERTICAL_OFFSETS = (2, 2, 10, 10, 6, 6, 2, 2, 10, 10, 6, 6)
+PEGASUS_HORIZONTAL_OFFSETS = (6, 6, 2, 2, 10, 10, 6, 6, 2, 2, 10, 10)
+
+_K = 12  # wires per group
+
+
+def pegasus_index(u: int, w: int, k: int, z: int, m: int) -> int:
+    """Linear index of Pegasus coordinate ``(u, w, k, z)`` in ``P_m``."""
+    return ((u * m + w) * _K + k) * (m - 1) + z
+
+
+def _all_coords(m: int) -> np.ndarray:
+    """All (u, w, k, z) coordinate rows in linear-index order."""
+    u, w, k, z = np.meshgrid(
+        np.arange(2), np.arange(m), np.arange(_K), np.arange(m - 1), indexing="ij"
+    )
+    return np.stack(
+        [u.ravel(), w.ravel(), k.ravel(), z.ravel()], axis=1
+    )
+
+
+def pegasus_graph(
+    m: int,
+    vertical_offsets: tuple[int, ...] = PEGASUS_VERTICAL_OFFSETS,
+    horizontal_offsets: tuple[int, ...] = PEGASUS_HORIZONTAL_OFFSETS,
+    fabric_only: bool = True,
+) -> nx.Graph:
+    """Build the ``P_m`` graph (``24·m·(m−1)`` qubits before trimming).
+
+    With ``fabric_only`` (the default, matching D-Wave's generator) boundary
+    qubits that have no internal couplers are removed — they form isolated
+    wire stubs a real chip does not expose, and their removal leaves the
+    graph connected.  Node attribute ``pegasus_coords`` holds ``(u, w, k, z)``.
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if len(vertical_offsets) != _K or len(horizontal_offsets) != _K:
+        raise ValueError("offset lists must have length 12")
+    ov = np.asarray(vertical_offsets, dtype=np.int64)
+    oh = np.asarray(horizontal_offsets, dtype=np.int64)
+    g = nx.Graph(name=f"pegasus-P{m}")
+    coords = _all_coords(m)
+    for u, w, k, z in coords:
+        g.add_node(
+            pegasus_index(u, w, k, z, m), pegasus_coords=(int(u), int(w), int(k), int(z))
+        )
+
+    # external couplers: (u, w, k, z) ~ (u, w, k, z+1)
+    mask = coords[:, 3] < m - 2
+    a = coords[mask]
+    for u, w, k, z in a:
+        g.add_edge(
+            pegasus_index(u, w, k, z, m), pegasus_index(u, w, k, z + 1, m)
+        )
+
+    # odd couplers: (u, w, 2j, z) ~ (u, w, 2j+1, z)
+    mask = coords[:, 2] % 2 == 0
+    for u, w, k, z in coords[mask]:
+        g.add_edge(
+            pegasus_index(u, w, k, z, m), pegasus_index(u, w, k + 1, z, m)
+        )
+
+    # internal couplers via wire crossing, vectorized over (vertical, row-offset)
+    internal_degree = np.zeros(2 * m * _K * (m - 1), dtype=np.int64)
+    vert = coords[coords[:, 0] == 0]
+    wv, kv, zv = vert[:, 1], vert[:, 2], vert[:, 3]
+    col = wv * _K + kv  # the vertical wire's fixed column
+    row0 = zv * _K + ov[kv]  # first row of the vertical wire's span
+    for i in range(_K):
+        row = row0 + i
+        wh, kh = np.divmod(row, _K)
+        # the horizontal wire at this row must span the vertical wire's column
+        rel = col - oh[kh]
+        zh = rel // _K
+        ok = (rel >= 0) & (zh <= m - 2) & (wh < m)
+        src = pegasus_index(0, wv[ok], kv[ok], zv[ok], m)
+        dst = pegasus_index(1, wh[ok], kh[ok], zh[ok], m)
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        np.add.at(internal_degree, src, 1)
+        np.add.at(internal_degree, dst, 1)
+    if fabric_only:
+        g.remove_nodes_from(np.flatnonzero(internal_degree == 0).tolist())
+    return g
+
+
+def advantage_like_graph(
+    m: int = 16,
+    faulty_fraction: float = 0.0023,
+    faulty_edge_fraction: float = 0.0005,
+    seed: int | None = None,
+) -> nx.Graph:
+    """``P_m`` fabric with random faulty qubits/couplers, relabelled 0..n−1.
+
+    The fabric ``P_16`` built here has 5640 qubits and 40484 couplers —
+    40484 is exactly the full-yield Advantage coupler count — and the
+    default fault rates reproduce the paper's Advantage 4.1 working graph
+    (5627 qubits, 40279 couplers) to within a few qubits.  Node attribute
+    ``pegasus_node`` records the original linear index.
+    """
+    if not 0.0 <= faulty_fraction < 1.0:
+        raise ValueError("faulty_fraction must be in [0, 1)")
+    if not 0.0 <= faulty_edge_fraction < 1.0:
+        raise ValueError("faulty_edge_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    g = pegasus_graph(m)
+    nodes = np.array(sorted(g.nodes))
+    num_faulty = int(round(faulty_fraction * nodes.size))
+    if num_faulty:
+        dead = rng.choice(nodes, size=num_faulty, replace=False)
+        g.remove_nodes_from(dead.tolist())
+    edges = list(g.edges)
+    num_dead_edges = int(round(faulty_edge_fraction * len(edges)))
+    if num_dead_edges:
+        idx = rng.choice(len(edges), size=num_dead_edges, replace=False)
+        g.remove_edges_from(edges[i] for i in idx)
+    # drop isolated qubits (a real working graph never exposes them)
+    g.remove_nodes_from([v for v, d in g.degree if d == 0])
+    relabelled = nx.convert_node_labels_to_integers(
+        g, ordering="sorted", label_attribute="pegasus_node"
+    )
+    relabelled.graph["name"] = f"advantage-like-P{m}"
+    return relabelled

@@ -1,0 +1,29 @@
+"""Shared low-level utilities: argument validation and bit-vector helpers."""
+
+from repro.utils.bitvec import (
+    format_bits,
+    hamming_distance,
+    pack_bits,
+    random_bit_vector,
+    unpack_bits,
+)
+from repro.utils.validation import (
+    check_bit_vector,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+__all__ = [
+    "check_bit_vector",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+    "format_bits",
+    "hamming_distance",
+    "pack_bits",
+    "random_bit_vector",
+    "unpack_bits",
+]

@@ -1,0 +1,49 @@
+"""Bit-vector helpers: packing, Hamming distance, formatting.
+
+Solution vectors throughout the library are dense ``uint8`` arrays of 0/1
+values (one byte per bit).  Dense layout keeps the hot ``(B, n)`` kernels
+simple; packing is only used for storage/transport utilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_bit_vector
+
+
+def pack_bits(x: np.ndarray) -> np.ndarray:
+    """Pack a 0/1 vector into a compact ``uint8`` byte array (8 bits/byte)."""
+    x = check_bit_vector(x)
+    return np.packbits(x)
+
+
+def unpack_bits(packed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; *n* restores the original length."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    if n < 0 or n > packed.size * 8:
+        raise ValueError(f"cannot unpack {n} bits from {packed.size} bytes")
+    return np.unpackbits(packed, count=n)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where the two bit vectors differ."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return int(np.count_nonzero(a != b))
+
+
+def random_bit_vector(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random 0/1 vector of length *n*."""
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def format_bits(x: np.ndarray, group: int = 4) -> str:
+    """Render a bit vector as grouped 0/1 text, e.g. ``1101 0010``."""
+    x = check_bit_vector(x)
+    s = "".join("1" if v else "0" for v in x)
+    if group <= 0:
+        return s
+    return " ".join(s[i : i + group] for i in range(0, len(s), group))

@@ -1,0 +1,70 @@
+"""Argument validation helpers used across the public API.
+
+All helpers raise ``ValueError``/``TypeError`` with actionable messages and
+return the validated (possibly converted) value so callers can write
+``x = check_bit_vector(x, n)`` once at an API boundary and stay unchecked in
+hot loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_square_matrix(matrix, name: str = "matrix") -> np.ndarray:
+    """Validate that *matrix* is a square 2-D array and return it as ndarray."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got ndim={arr.ndim}")
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.issubdtype(arr.dtype, np.number):
+        raise TypeError(f"{name} must be numeric, got dtype {arr.dtype}")
+    if np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must not contain NaN or infinity")
+    return arr
+
+
+def check_bit_vector(x, n: int | None = None, name: str = "x") -> np.ndarray:
+    """Validate a 0/1 vector and return it as a contiguous uint8 array."""
+    arr = np.ascontiguousarray(x)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got ndim={arr.ndim}")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"{name} must have length {n}, got {arr.shape[0]}")
+    if arr.dtype != np.uint8:
+        if not np.issubdtype(arr.dtype, np.number) and arr.dtype != np.bool_:
+            raise TypeError(f"{name} must be numeric or boolean, got {arr.dtype}")
+        converted = arr.astype(np.uint8)
+        if not np.array_equal(converted, arr):
+            raise ValueError(f"{name} must contain only 0/1 values")
+        arr = converted
+    if arr.size and arr.max() > 1:
+        raise ValueError(f"{name} must contain only 0/1 values")
+    return arr
+
+
+def check_probability(p: float, name: str = "p") -> float:
+    """Validate that *p* lies in [0, 1]."""
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def check_positive(value, name: str = "value", *, strict: bool = True):
+    """Validate that a scalar is positive (or non-negative when not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(value, low, high, name: str = "value"):
+    """Validate that ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,85 @@
+"""Tests for the branch-and-bound and MIP-like solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import BranchAndBoundSolver, MipLikeSolver
+from repro.core.qubo import QUBOModel, brute_force
+from tests.conftest import random_qubo
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("n,seed", [(6, 0), (10, 1), (14, 2), (16, 3)])
+    def test_matches_brute_force(self, n, seed):
+        model = random_qubo(n, seed=seed)
+        result = BranchAndBoundSolver().solve(model)
+        _, opt = brute_force(model)
+        assert result.proved_optimal
+        assert result.best_energy == opt
+        assert model.energy(result.best_vector) == result.best_energy
+
+    def test_sparse_model(self):
+        model = random_qubo(14, seed=4, density=0.2)
+        result = BranchAndBoundSolver().solve(model)
+        _, opt = brute_force(model)
+        assert result.best_energy == opt
+
+    def test_all_positive_weights_zero_optimal(self):
+        model = QUBOModel(np.triu(np.ones((8, 8), dtype=np.int64)))
+        result = BranchAndBoundSolver().solve(model)
+        assert result.best_energy == 0
+        assert not result.best_vector.any()
+
+    def test_node_budget_marks_unproven(self):
+        model = random_qubo(18, seed=5)
+        result = BranchAndBoundSolver(max_nodes=10).solve(model)
+        assert not result.proved_optimal
+
+    def test_time_budget_marks_unproven(self):
+        model = random_qubo(22, seed=6)
+        result = BranchAndBoundSolver().solve(model, time_limit=1e-4)
+        assert not result.proved_optimal
+
+    def test_pruning_beats_exhaustive(self):
+        model = random_qubo(14, seed=7)
+        result = BranchAndBoundSolver().solve(model)
+        # full tree would be 2^15 − 1 internal+leaf nodes; pruning must win
+        assert result.nodes_explored < 2**15
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(max_nodes=0)
+
+
+class TestMipLikeSolver:
+    def test_small_model_proved(self):
+        model = random_qubo(12, seed=8)
+        result = MipLikeSolver(time_limit=10.0, seed=0).solve(model)
+        _, opt = brute_force(model)
+        assert result.proved_optimal
+        assert result.best_energy == opt
+
+    def test_large_model_returns_incumbent(self):
+        model = random_qubo(60, seed=9)
+        result = MipLikeSolver(time_limit=1.0, seed=0).solve(model)
+        assert not result.proved_optimal
+        assert model.energy(result.best_vector) == result.best_energy
+        assert result.restarts >= 1
+
+    def test_respects_time_limit(self):
+        model = random_qubo(60, seed=10)
+        result = MipLikeSolver(time_limit=0.5, seed=0).solve(model)
+        assert result.elapsed < 5.0  # generous envelope
+
+    def test_gap_computation(self):
+        model = random_qubo(40, seed=11)
+        result = MipLikeSolver(time_limit=0.3, seed=0).solve(model)
+        assert result.gap_to(result.best_energy) == 0.0
+        gap = result.gap_to(result.best_energy - 100)
+        assert gap > 0
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            MipLikeSolver(time_limit=0)

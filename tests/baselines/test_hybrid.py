@@ -1,0 +1,46 @@
+"""Tests for the hybrid-solver substitute."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.hybrid import HybridSolver
+from repro.core.qubo import brute_force
+from tests.conftest import random_qubo
+
+
+class TestHybridSolver:
+    def test_returns_valid_sample(self):
+        model = random_qubo(20, seed=0)
+        sample = HybridSolver(seed=1).sample(model, time_limit=0.3)
+        assert model.energy(sample.vector) == sample.energy
+        assert sample.time_limit == 0.3
+
+    def test_finds_optimum_given_time(self):
+        model = random_qubo(14, seed=1)
+        _, opt = brute_force(model)
+        sample = HybridSolver(seed=0).sample(model, time_limit=1.0)
+        assert sample.energy == opt
+
+    def test_longer_limit_no_worse(self):
+        model = random_qubo(40, seed=2)
+        short = HybridSolver(seed=3).sample(model, time_limit=0.1)
+        long = HybridSolver(seed=3).sample(model, time_limit=1.0)
+        assert long.energy <= short.energy
+
+    def test_api_exposes_only_best(self):
+        """The sample carries no TTS/trajectory — the restriction the paper
+        works around in Fig. 6."""
+        model = random_qubo(10, seed=4)
+        sample = HybridSolver(seed=0).sample(model, time_limit=0.1)
+        assert set(vars(sample)) == {"vector", "energy", "time_limit"}
+
+    def test_rejects_bad_limit(self):
+        model = random_qubo(10, seed=5)
+        with pytest.raises(ValueError):
+            HybridSolver().sample(model, time_limit=0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            HybridSolver(sweeps_per_batch=0)

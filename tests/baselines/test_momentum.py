@@ -1,0 +1,99 @@
+"""Tests for the momentum annealing baseline ([15])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.momentum import (
+    MomentumAnnealingConfig,
+    momentum_annealing,
+    momentum_solve_qubo,
+)
+from repro.core.ising import IsingModel
+from repro.core.qubo import brute_force
+from tests.conftest import random_qubo
+
+
+def random_ising(n, seed):
+    rng = np.random.default_rng(seed)
+    j = np.triu(rng.integers(-3, 4, (n, n)), 1)
+    h = rng.integers(-2, 3, n)
+    return IsingModel(j, h)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"steps": 0},
+            {"num_replicas": 0},
+            {"t_final": 0},
+            {"t_initial_factor": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            MomentumAnnealingConfig(**kwargs)
+
+
+class TestMomentumAnnealing:
+    def test_valid_spins_and_consistent_energy(self):
+        ising = random_ising(12, seed=0)
+        result = momentum_annealing(
+            ising, MomentumAnnealingConfig(steps=150, num_replicas=8), seed=1
+        )
+        assert set(np.unique(result.best_spins).tolist()) <= {-1, 1}
+        assert ising.hamiltonian(result.best_spins) == result.best_hamiltonian
+
+    def test_ferromagnetic_ground_state(self):
+        n = 10
+        j = -np.triu(np.ones((n, n), dtype=np.int64), 1)
+        ising = IsingModel(j, np.zeros(n, dtype=np.int64))
+        result = momentum_annealing(
+            ising, MomentumAnnealingConfig(steps=300), seed=0
+        )
+        assert result.best_hamiltonian == -n * (n - 1) // 2
+
+    def test_solves_small_qubo(self):
+        model = random_qubo(12, seed=1)
+        _, opt = brute_force(model)
+        bits, energy = momentum_solve_qubo(
+            model, MomentumAnnealingConfig(steps=500, num_replicas=24), seed=2
+        )
+        assert model.energy(bits) == energy
+        # within 10% of optimum on a tiny instance
+        assert energy <= opt * 0.9 if opt < 0 else energy <= opt + abs(opt)
+
+    def test_deterministic(self):
+        ising = random_ising(10, seed=3)
+        a = momentum_annealing(ising, MomentumAnnealingConfig(steps=100), seed=7)
+        b = momentum_annealing(ising, MomentumAnnealingConfig(steps=100), seed=7)
+        assert a.best_hamiltonian == b.best_hamiltonian
+
+    def test_replica_shape(self):
+        ising = random_ising(8, seed=4)
+        result = momentum_annealing(
+            ising, MomentumAnnealingConfig(steps=50, num_replicas=5), seed=0
+        )
+        assert result.replica_hamiltonians.shape == (5,)
+
+    def test_more_steps_no_worse_on_average(self):
+        ising = random_ising(16, seed=5)
+        short = np.mean(
+            [
+                momentum_annealing(
+                    ising, MomentumAnnealingConfig(steps=20, num_replicas=4), seed=s
+                ).best_hamiltonian
+                for s in range(6)
+            ]
+        )
+        long = np.mean(
+            [
+                momentum_annealing(
+                    ising, MomentumAnnealingConfig(steps=400, num_replicas=4), seed=s
+                ).best_hamiltonian
+                for s in range(6)
+            ]
+        )
+        assert long <= short

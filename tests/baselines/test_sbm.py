@@ -1,0 +1,83 @@
+"""Tests for the simulated bifurcation machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.sbm import SBMConfig, sbm_solve_qubo, simulated_bifurcation
+from repro.core.ising import IsingModel
+from repro.core.qubo import brute_force
+from repro.problems.maxcut import maxcut_to_qubo, random_complete_graph
+from tests.conftest import random_qubo
+
+
+def random_ising(n, seed):
+    rng = np.random.default_rng(seed)
+    j = np.triu(rng.integers(-3, 4, (n, n)), 1)
+    h = rng.integers(-2, 3, n)
+    return IsingModel(j, h)
+
+
+class TestSBMConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"variant": "quantum"},
+            {"steps": 0},
+            {"dt": 0},
+            {"num_replicas": 0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            SBMConfig(**kwargs)
+
+
+class TestSimulatedBifurcation:
+    @pytest.mark.parametrize("variant", ["ballistic", "discrete"])
+    def test_valid_spins_returned(self, variant):
+        ising = random_ising(12, seed=0)
+        result = simulated_bifurcation(
+            ising, SBMConfig(variant=variant, steps=200, num_replicas=8), seed=1
+        )
+        assert set(np.unique(result.best_spins).tolist()) <= {-1, 1}
+        assert ising.hamiltonian(result.best_spins) == result.best_hamiltonian
+
+    def test_finds_ferromagnetic_ground_state(self):
+        # all J = -1 (ferromagnetic), no bias: ground state all-aligned
+        n = 10
+        j = -np.triu(np.ones((n, n), dtype=np.int64), 1)
+        ising = IsingModel(j, np.zeros(n, dtype=np.int64))
+        result = simulated_bifurcation(ising, SBMConfig(steps=400), seed=0)
+        assert abs(result.best_spins.sum()) == n  # fully aligned
+        assert result.best_hamiltonian == -n * (n - 1) // 2
+
+    def test_discrete_variant_solves_small_maxcut(self):
+        adj = random_complete_graph(12, seed=2)
+        model = maxcut_to_qubo(adj)
+        _, opt = brute_force(model)
+        bits, energy = sbm_solve_qubo(
+            model, SBMConfig(variant="discrete", steps=600, num_replicas=24), seed=3
+        )
+        assert model.energy(bits) == energy
+        # SBM should land within 10% of optimum on a tiny instance
+        assert energy <= opt * 0.9  # energies are negative
+
+    def test_deterministic(self):
+        ising = random_ising(10, seed=4)
+        a = simulated_bifurcation(ising, SBMConfig(steps=100), seed=7)
+        b = simulated_bifurcation(ising, SBMConfig(steps=100), seed=7)
+        assert a.best_hamiltonian == b.best_hamiltonian
+
+    def test_replica_count(self):
+        ising = random_ising(8, seed=5)
+        result = simulated_bifurcation(
+            ising, SBMConfig(steps=50, num_replicas=5), seed=0
+        )
+        assert result.replica_hamiltonians.shape == (5,)
+
+    def test_qubo_wrapper_consistency(self):
+        model = random_qubo(10, seed=6)
+        bits, energy = sbm_solve_qubo(model, SBMConfig(steps=200), seed=0)
+        assert model.energy(bits) == energy

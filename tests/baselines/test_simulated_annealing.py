@@ -1,0 +1,90 @@
+"""Tests for the simulated annealing baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.simulated_annealing import (
+    SAConfig,
+    default_initial_temperature,
+    simulated_annealing,
+)
+from repro.core.qubo import brute_force
+from tests.conftest import random_qubo
+
+
+class TestSAConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sweeps": 0},
+            {"num_reads": 0},
+            {"t_final": 0},
+            {"t_initial": 0.1, "t_final": 1.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            SAConfig(**kwargs)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_optimum_small_model(self):
+        model = random_qubo(14, seed=1)
+        _, opt = brute_force(model)
+        result = simulated_annealing(
+            model, SAConfig(sweeps=80, num_reads=16), seed=0
+        )
+        assert result.best_energy == opt
+
+    def test_best_energy_matches_vector(self):
+        model = random_qubo(20, seed=2)
+        result = simulated_annealing(model, SAConfig(sweeps=10), seed=0)
+        assert model.energy(result.best_vector) == result.best_energy
+
+    def test_best_is_min_of_reads(self):
+        model = random_qubo(16, seed=3)
+        result = simulated_annealing(model, SAConfig(sweeps=10), seed=1)
+        assert result.best_energy == result.read_energies.min()
+        assert len(result.read_energies) == 16
+
+    def test_deterministic(self):
+        model = random_qubo(16, seed=4)
+        a = simulated_annealing(model, SAConfig(sweeps=5), seed=9)
+        b = simulated_annealing(model, SAConfig(sweeps=5), seed=9)
+        assert a.best_energy == b.best_energy
+        assert np.array_equal(a.best_vector, b.best_vector)
+
+    def test_more_sweeps_no_worse_on_average(self):
+        model = random_qubo(24, seed=5)
+        short = np.mean(
+            [
+                simulated_annealing(model, SAConfig(sweeps=2, num_reads=4), seed=s).best_energy
+                for s in range(8)
+            ]
+        )
+        long = np.mean(
+            [
+                simulated_annealing(model, SAConfig(sweeps=40, num_reads=4), seed=s).best_energy
+                for s in range(8)
+            ]
+        )
+        assert long <= short
+
+    def test_initial_vector_honored(self):
+        model = random_qubo(12, seed=6)
+        x0 = np.ones(12, dtype=np.uint8)
+        result = simulated_annealing(
+            model, SAConfig(sweeps=1, num_reads=2, t_final=0.5), seed=0, initial=x0
+        )
+        assert result.best_vector.shape == (12,)
+
+    def test_default_temperature_positive(self):
+        model = random_qubo(10, seed=7)
+        assert default_initial_temperature(model) >= 1.0
+
+    def test_mean_energy_property(self):
+        model = random_qubo(10, seed=8)
+        result = simulated_annealing(model, SAConfig(sweeps=5, num_reads=4), seed=0)
+        assert result.mean_energy == pytest.approx(result.read_energies.mean())

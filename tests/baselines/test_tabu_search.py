@@ -1,0 +1,57 @@
+"""Tests for the standalone tabu search baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.tabu_search import TabuSearchConfig, tabu_search
+from repro.core.qubo import brute_force
+from tests.conftest import random_qubo
+
+
+class TestTabuSearch:
+    def test_finds_optimum_small_model(self):
+        model = random_qubo(12, seed=0)
+        _, opt = brute_force(model)
+        result = tabu_search(
+            model, TabuSearchConfig(iterations=2000, restarts=4), seed=1
+        )
+        assert result.best_energy == opt
+
+    def test_energy_matches_vector(self):
+        model = random_qubo(18, seed=1)
+        result = tabu_search(model, TabuSearchConfig(iterations=300), seed=0)
+        assert model.energy(result.best_vector) == result.best_energy
+
+    def test_best_is_min_of_restarts(self):
+        model = random_qubo(16, seed=2)
+        result = tabu_search(
+            model, TabuSearchConfig(iterations=200, restarts=3), seed=0
+        )
+        assert result.best_energy == min(result.restart_energies)
+        assert len(result.restart_energies) == 3
+
+    def test_deterministic(self):
+        model = random_qubo(14, seed=3)
+        a = tabu_search(model, TabuSearchConfig(iterations=100), seed=5)
+        b = tabu_search(model, TabuSearchConfig(iterations=100), seed=5)
+        assert a.best_energy == b.best_energy
+
+    def test_escapes_local_minimum(self):
+        """Tabu search must keep moving (uphill) after reaching a local
+        minimum instead of stalling."""
+        model = random_qubo(14, seed=4)
+        short = tabu_search(model, TabuSearchConfig(iterations=5, restarts=1), seed=0)
+        long = tabu_search(
+            model, TabuSearchConfig(iterations=2000, restarts=1), seed=0
+        )
+        assert long.best_energy <= short.best_energy
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"iterations": 0}, {"tenure": -1}, {"restarts": 0}],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            TabuSearchConfig(**kwargs)

@@ -1,0 +1,183 @@
+"""Tests for the incremental delta engine (Eq. 3–5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import BatchDeltaState, DeltaState
+from tests.conftest import qubo_models, random_qubo
+
+
+class TestDeltaState:
+    def test_zero_init_matches_paper(self, small_model):
+        """Initially X = 0, E = 0 and Δ_k = W[k,k] (§III.A)."""
+        st_ = DeltaState(small_model)
+        assert st_.energy == 0
+        assert np.array_equal(st_.x, np.zeros(8, dtype=np.uint8))
+        assert np.array_equal(st_.delta, small_model.linear)
+
+    def test_init_from_vector(self, small_model):
+        x = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        st_ = DeltaState(small_model, x)
+        assert st_.energy == small_model.energy(x)
+        assert np.array_equal(st_.delta, small_model.delta_vector(x))
+
+    def test_single_flip_consistency(self, small_model):
+        st_ = DeltaState(small_model)
+        st_.flip(3)
+        assert st_.energy == small_model.energy(st_.x)
+        assert np.array_equal(st_.delta, small_model.delta_vector(st_.x))
+
+    def test_double_flip_restores_state(self, small_model):
+        st_ = DeltaState(small_model)
+        ref_delta = st_.delta.copy()
+        st_.flip(2)
+        st_.flip(2)
+        assert st_.energy == 0
+        assert np.array_equal(st_.delta, ref_delta)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        model=qubo_models(max_n=10),
+        flips=st.lists(st.integers(min_value=0, max_value=9), max_size=30),
+    )
+    def test_arbitrary_flip_sequences(self, model, flips):
+        """After any flip sequence, E and Δ equal a from-scratch recompute."""
+        st_ = DeltaState(model)
+        for f in flips:
+            st_.flip(f % model.n)
+        assert st_.energy == model.energy(st_.x)
+        assert np.array_equal(st_.delta, model.delta_vector(st_.x))
+
+    def test_eq5_flip_negates_own_delta(self, small_model):
+        st_ = DeltaState(small_model)
+        before = st_.delta[4]
+        st_.flip(4)
+        assert st_.delta[4] == -before
+
+    def test_best_neighbor(self, small_model):
+        st_ = DeltaState(small_model)
+        j, e = st_.best_neighbor()
+        assert e == st_.energy + st_.delta[j]
+        assert st_.delta[j] == st_.delta.min()
+
+    def test_is_local_minimum(self):
+        # single-variable model with positive weight: 0-vector is the minimum
+        from repro.core.qubo import QUBOModel
+
+        m = QUBOModel(np.array([[5]]))
+        st_ = DeltaState(m)
+        assert st_.is_local_minimum()
+        st_.flip(0)
+        assert not st_.is_local_minimum()
+
+    def test_neighbor_energies(self, small_model):
+        st_ = DeltaState(small_model)
+        st_.flip(1)
+        for k, e in enumerate(st_.neighbor_energies()):
+            y = st_.x.copy()
+            y[k] ^= 1
+            assert e == small_model.energy(y)
+
+    def test_recompute_is_identity_on_consistent_state(self, small_model):
+        st_ = DeltaState(small_model)
+        st_.flip(0)
+        e, d = st_.energy, st_.delta.copy()
+        st_.recompute()
+        assert st_.energy == e
+        assert np.array_equal(st_.delta, d)
+
+
+class TestBatchDeltaState:
+    def test_zero_init(self, medium_model):
+        bst = BatchDeltaState(medium_model, batch=6)
+        assert bst.x.shape == (6, 40)
+        assert np.all(bst.energy == 0)
+        assert np.array_equal(bst.delta, np.tile(medium_model.linear, (6, 1)))
+
+    def test_reset_from_rows(self, medium_model):
+        rng = np.random.default_rng(0)
+        x0 = rng.integers(0, 2, size=(6, 40), dtype=np.uint8)
+        bst = BatchDeltaState(medium_model, batch=6)
+        bst.reset(x0)
+        assert np.array_equal(bst.energy, medium_model.energies(x0))
+        for r in range(6):
+            assert np.array_equal(bst.delta[r], medium_model.delta_vector(x0[r]))
+
+    def test_reset_broadcasts_single_row(self, medium_model):
+        x0 = np.ones(40, dtype=np.uint8)
+        bst = BatchDeltaState(medium_model, batch=3)
+        bst.reset(x0)
+        assert np.all(bst.x == 1)
+        assert bst.x.shape == (3, 40)
+
+    def test_rejects_nonpositive_batch(self, medium_model):
+        with pytest.raises(ValueError, match="batch"):
+            BatchDeltaState(medium_model, batch=0)
+
+    def test_flip_matches_single_engine(self, medium_model):
+        """Batched flips must be bit-exact with the single-vector engine."""
+        batch = 5
+        rng = np.random.default_rng(1)
+        bst = BatchDeltaState(medium_model, batch=batch)
+        singles = [DeltaState(medium_model) for _ in range(batch)]
+        for _ in range(25):
+            idx = rng.integers(0, 40, size=batch)
+            bst.flip(idx)
+            for r in range(batch):
+                singles[r].flip(int(idx[r]))
+        for r in range(batch):
+            assert singles[r].energy == bst.energy[r]
+            assert np.array_equal(singles[r].x, bst.x[r])
+            assert np.array_equal(singles[r].delta, bst.delta[r])
+
+    def test_flip_with_mask_leaves_inactive_rows(self, medium_model):
+        bst = BatchDeltaState(medium_model, batch=4)
+        idx = np.array([0, 1, 2, 3])
+        active = np.array([True, False, True, False])
+        bst.flip(idx, active)
+        assert bst.x[0, 0] == 1 and bst.x[2, 2] == 1
+        assert np.all(bst.x[1] == 0) and np.all(bst.x[3] == 0)
+        # inactive rows keep a consistent zero-state
+        assert bst.energy[1] == 0 and bst.energy[3] == 0
+
+    def test_flip_all_inactive_is_noop(self, medium_model):
+        bst = BatchDeltaState(medium_model, batch=3)
+        before = bst.delta.copy()
+        bst.flip(np.zeros(3, dtype=int), np.zeros(3, dtype=bool))
+        assert np.array_equal(bst.delta, before)
+
+    def test_consistency_after_random_masked_flips(self, medium_model):
+        rng = np.random.default_rng(4)
+        bst = BatchDeltaState(medium_model, batch=7)
+        for _ in range(30):
+            idx = rng.integers(0, 40, size=7)
+            active = rng.random(7) < 0.7
+            bst.flip(idx, active)
+        e, d = bst.energy.copy(), bst.delta.copy()
+        bst.recompute()
+        assert np.array_equal(bst.energy, e)
+        assert np.array_equal(bst.delta, d)
+
+    def test_neighbor_min(self, medium_model):
+        bst = BatchDeltaState(medium_model, batch=4)
+        rng = np.random.default_rng(2)
+        bst.reset(rng.integers(0, 2, size=(4, 40), dtype=np.uint8))
+        j, e = bst.neighbor_min()
+        for r in range(4):
+            y = bst.x[r].copy()
+            y[j[r]] ^= 1
+            assert e[r] == medium_model.energy(y)
+            assert bst.delta[r, j[r]] == bst.delta[r].min()
+
+    def test_is_local_minimum_per_row(self):
+        from repro.core.qubo import QUBOModel
+
+        m = QUBOModel(np.diag([3, 4]))  # zero vector is the global minimum
+        bst = BatchDeltaState(m, batch=2)
+        bst.flip(np.array([0, 0]), np.array([True, False]))
+        flags = bst.is_local_minimum()
+        assert not flags[0] and flags[1]

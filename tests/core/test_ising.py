@@ -1,0 +1,139 @@
+"""Tests for Ising models and exact Ising ↔ QUBO conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ising import (
+    IsingModel,
+    bits_to_spins,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_bits,
+)
+from repro.core.qubo import QUBOModel, brute_force
+from tests.conftest import bit_vectors_for, qubo_models
+
+
+def random_ising(n: int, seed: int) -> IsingModel:
+    rng = np.random.default_rng(seed)
+    j = np.triu(rng.integers(-4, 5, size=(n, n)), 1)
+    h = rng.integers(-4, 5, size=n)
+    return IsingModel(j, h)
+
+
+class TestSpinBitMaps:
+    def test_roundtrip(self):
+        x = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert np.array_equal(spins_to_bits(bits_to_spins(x)), x)
+
+    def test_sigma_convention(self):
+        # σ(0) = −1 and σ(1) = +1 (paper §III)
+        assert np.array_equal(bits_to_spins([0, 1]), [-1, 1])
+
+    def test_rejects_bad_spins(self):
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            spins_to_bits([0, 1])
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError, match="0/1"):
+            bits_to_spins([-1, 1])
+
+
+class TestIsingModel:
+    def test_hamiltonian_single_edge(self):
+        m = IsingModel([[0, 2], [0, 0]], [0, 0])
+        assert m.hamiltonian([1, 1]) == 2
+        assert m.hamiltonian([1, -1]) == -2
+
+    def test_hamiltonian_bias_only(self):
+        m = IsingModel(np.zeros((3, 3)), [1, -2, 3])
+        assert m.hamiltonian([1, 1, 1]) == 2
+        assert m.hamiltonian([-1, -1, -1]) == -2
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="zero diagonal"):
+            IsingModel(np.eye(2), [0, 0])
+
+    def test_rejects_bias_shape_mismatch(self):
+        with pytest.raises(ValueError, match="biases"):
+            IsingModel(np.zeros((3, 3)), [0, 0])
+
+    def test_rejects_non_spin_vector(self):
+        m = IsingModel(np.zeros((2, 2)), [0, 0])
+        with pytest.raises(ValueError, match="-1/\\+1"):
+            m.hamiltonian([0, 1])
+
+    def test_folds_lower_triangle(self):
+        m = IsingModel([[0, 1], [2, 0]], [0, 0])
+        assert m.interactions[0, 1] == 3
+
+    def test_resolution(self):
+        # J in ±2, h in ±8 → resolution 2 (h range is ±4r)
+        j = np.array([[0, 2], [0, 0]])
+        m = IsingModel(j, [8, -8])
+        assert m.resolution() == 2
+
+    def test_resolution_h_dominates(self):
+        j = np.array([[0, 1], [0, 0]])
+        m = IsingModel(j, [9, 0])  # ceil(9/4) = 3
+        assert m.resolution() == 3
+
+
+class TestConversions:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), n=st.integers(min_value=2, max_value=8), seed=st.integers(0, 10**6))
+    def test_ising_to_qubo_identity(self, data, n, seed):
+        """E(X) = H(S) + offset for all corresponding X, S (paper §I.A)."""
+        ising = random_ising(n, seed)
+        qubo, offset = ising_to_qubo(ising)
+        x = data.draw(bit_vectors_for(n))
+        s = bits_to_spins(x)
+        assert qubo.energy(x) == ising.hamiltonian(s) + offset
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), model=qubo_models(max_n=8))
+    def test_qubo_to_ising_identity(self, data, model):
+        """scale·E(X) = H(S) + offset for all corresponding X, S."""
+        ising, offset, scale = qubo_to_ising(model)
+        x = data.draw(bit_vectors_for(model.n))
+        s = bits_to_spins(x)
+        assert scale * model.energy(x) == ising.hamiltonian(s) + offset
+
+    def test_roundtrip_from_ising_has_scale_one(self):
+        ising = random_ising(6, seed=3)
+        qubo, off1 = ising_to_qubo(ising)
+        back, off2, scale = qubo_to_ising(qubo)
+        assert scale == 1
+        assert np.array_equal(back.interactions, ising.interactions)
+        assert np.array_equal(back.biases, ising.biases)
+        # both offsets satisfy E(X) = H(S) + offset, so they must agree
+        assert off1 == off2
+
+    def test_optimum_preserved(self):
+        """The argmin is invariant under the conversion."""
+        ising = random_ising(8, seed=21)
+        qubo, offset = ising_to_qubo(ising)
+        x, e = brute_force(qubo)
+        # exhaustive spin search
+        best_h = min(
+            ising.hamiltonian(bits_to_spins([(c >> k) & 1 for k in range(8)]))
+            for c in range(256)
+        )
+        assert e == best_h + offset
+        assert ising.hamiltonian(bits_to_spins(x)) == best_h
+
+    def test_paper_example_shape(self):
+        """A 5-node integer Ising model converts exactly with the paper's
+        structure: same topology, E − H constant over all vectors."""
+        ising = random_ising(5, seed=0)
+        qubo, offset = ising_to_qubo(ising)
+        assert qubo.n == ising.n
+        diffs = set()
+        for c in range(32):
+            x = np.array([(c >> k) & 1 for k in range(5)], dtype=np.uint8)
+            diffs.add(qubo.energy(x) - ising.hamiltonian(bits_to_spins(x)))
+        assert diffs == {offset}

@@ -1,0 +1,103 @@
+"""Tests for the packet protocol (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import (
+    VOID_ENERGY,
+    GeneticOp,
+    MainAlgorithm,
+    Packet,
+    PacketBatch,
+)
+
+
+def make_packet(n=8, energy=VOID_ENERGY, alg=MainAlgorithm.MAXMIN, op=GeneticOp.MUTATION):
+    return Packet(np.zeros(n, dtype=np.uint8), energy, alg, op)
+
+
+class TestPacket:
+    def test_void_energy_semantics(self):
+        assert make_packet().is_void()
+        assert not make_packet(energy=-1340).is_void()
+
+    def test_copy_is_deep(self):
+        p = make_packet()
+        q = p.copy()
+        q.vector[0] = 1
+        assert p.vector[0] == 0
+
+    def test_enums_cover_paper_sets(self):
+        assert len(MainAlgorithm) == 5  # §III.A main search algorithms
+        assert len(GeneticOp) == 8  # §IV.A genetic operations
+
+
+class TestPacketBatch:
+    def test_from_to_roundtrip(self):
+        packets = [
+            Packet(
+                np.arange(6, dtype=np.uint8) % 2,
+                -5,
+                MainAlgorithm.POSITIVEMIN,
+                GeneticOp.CROSSOVER,
+            ),
+            Packet(
+                np.ones(6, dtype=np.uint8),
+                VOID_ENERGY,
+                MainAlgorithm.TWONEIGHBOR,
+                GeneticOp.RANDOM,
+            ),
+        ]
+        batch = PacketBatch.from_packets(packets)
+        out = batch.to_packets()
+        for a, b in zip(packets, out):
+            assert np.array_equal(a.vector, b.vector)
+            assert a.energy == b.energy
+            assert a.algorithm is b.algorithm
+            assert a.operation is b.operation
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            PacketBatch.from_packets([])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            PacketBatch(
+                np.zeros((2, 4), dtype=np.uint8),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=np.uint8),
+                np.zeros(2, dtype=np.uint8),
+            )
+
+    def test_rejects_1d_vectors(self):
+        with pytest.raises(ValueError, match="\\(B, n\\)"):
+            PacketBatch(
+                np.zeros(4, dtype=np.uint8),
+                np.zeros(1, dtype=np.int64),
+                np.zeros(1, dtype=np.uint8),
+                np.zeros(1, dtype=np.uint8),
+            )
+
+    def test_len_and_n(self):
+        batch = PacketBatch.from_packets([make_packet(n=10) for _ in range(3)])
+        assert len(batch) == 3
+        assert batch.n == 10
+
+    def test_group_by_algorithm(self):
+        packets = [
+            make_packet(alg=MainAlgorithm.MAXMIN),
+            make_packet(alg=MainAlgorithm.CYCLICMIN),
+            make_packet(alg=MainAlgorithm.MAXMIN),
+        ]
+        groups = PacketBatch.from_packets(packets).group_by_algorithm()
+        assert set(groups) == {MainAlgorithm.MAXMIN, MainAlgorithm.CYCLICMIN}
+        assert np.array_equal(groups[MainAlgorithm.MAXMIN], [0, 2])
+        assert np.array_equal(groups[MainAlgorithm.CYCLICMIN], [1])
+
+    def test_vectors_copied_on_unpack(self):
+        batch = PacketBatch.from_packets([make_packet()])
+        p = batch.to_packets()[0]
+        p.vector[0] = 1
+        assert batch.vectors[0, 0] == 0

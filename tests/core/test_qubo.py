@@ -1,0 +1,194 @@
+"""Unit and property tests for repro.core.qubo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qubo import QUBOModel, brute_force
+from tests.conftest import bit_vectors_for, qubo_models
+
+
+def reference_energy(matrix: np.ndarray, x: np.ndarray) -> int:
+    """Direct O(n²) evaluation of Eq. (2): sum over all (i, j) pairs."""
+    total = 0
+    n = len(x)
+    for i in range(n):
+        for j in range(n):
+            total += int(matrix[i, j]) * int(x[i]) * int(x[j])
+    return total
+
+
+class TestConstruction:
+    def test_canonical_upper_fold(self):
+        mat = np.array([[1, 2], [3, 4]])
+        m = QUBOModel(mat)
+        assert m.upper[0, 1] == 5  # 2 + 3 folded
+        assert m.upper[1, 0] == 0
+        assert m.upper[0, 0] == 1 and m.upper[1, 1] == 4
+
+    def test_integer_input_stays_int64(self):
+        m = QUBOModel(np.eye(3, dtype=np.int32))
+        assert m.dtype == np.int64
+
+    def test_integral_floats_converted_to_int64(self):
+        m = QUBOModel(np.array([[1.0, -2.0], [0.0, 3.0]]))
+        assert m.dtype == np.int64
+
+    def test_true_float_input_stays_float64(self):
+        m = QUBOModel(np.array([[0.5, 0.0], [0.0, 1.0]]))
+        assert m.dtype == np.float64
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            QUBOModel(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            QUBOModel(np.zeros((0, 0)))
+
+    def test_rejects_nan(self):
+        mat = np.zeros((2, 2))
+        mat[0, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            QUBOModel(mat)
+
+    def test_couplings_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        m = QUBOModel(np.triu(rng.integers(-5, 6, (6, 6))))
+        s = m.couplings
+        assert np.array_equal(s, s.T)
+        assert np.all(np.diagonal(s) == 0)
+
+    def test_views_are_read_only(self):
+        m = QUBOModel(np.eye(3))
+        for view in (m.upper, m.couplings, m.linear):
+            with pytest.raises(ValueError):
+                view[0] = 99
+
+    def test_num_interactions_counts_edges(self):
+        mat = np.zeros((4, 4), dtype=np.int64)
+        mat[0, 1] = 3
+        mat[2, 3] = -1
+        mat[1, 1] = 7  # diagonal is not an interaction
+        m = QUBOModel(mat)
+        assert m.num_interactions == 2
+
+    def test_name_default_and_custom(self):
+        assert QUBOModel(np.eye(4)).name == "qubo-4"
+        assert QUBOModel(np.eye(4), name="k4").name == "k4"
+
+
+class TestFromDict:
+    def test_roundtrip(self):
+        terms = {(0, 0): 2, (0, 1): -3, (1, 2): 4}
+        m = QUBOModel.from_dict(3, terms)
+        assert m.to_dict() == terms
+
+    def test_accumulates_mirror_entries(self):
+        m = QUBOModel.from_dict(2, {(0, 1): 2, (1, 0): 3})
+        assert m.upper[0, 1] == 5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            QUBOModel.from_dict(2, {(0, 5): 1})
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError, match="positive"):
+            QUBOModel.from_dict(0, {})
+
+
+class TestEnergy:
+    def test_zero_vector_energy_is_zero(self, small_model):
+        assert small_model.energy(np.zeros(8, dtype=np.uint8)) == 0
+
+    def test_ones_vector_is_total_weight(self):
+        mat = np.triu(np.arange(16).reshape(4, 4))
+        m = QUBOModel(mat)
+        assert m.energy(np.ones(4, dtype=np.uint8)) == mat.sum()
+
+    def test_single_bit_energy_is_diagonal(self):
+        mat = np.diag([5, -3, 2])
+        m = QUBOModel(mat)
+        for i, expected in enumerate([5, -3, 2]):
+            x = np.zeros(3, dtype=np.uint8)
+            x[i] = 1
+            assert m.energy(x) == expected
+
+    def test_rejects_wrong_length(self, small_model):
+        with pytest.raises(ValueError, match="length"):
+            small_model.energy(np.zeros(5, dtype=np.uint8))
+
+    def test_rejects_non_binary(self, small_model):
+        with pytest.raises(ValueError, match="0/1"):
+            small_model.energy(np.full(8, 2))
+
+    def test_energies_batch_matches_energy(self, small_model):
+        rng = np.random.default_rng(3)
+        xs = rng.integers(0, 2, size=(16, 8), dtype=np.uint8)
+        batch = small_model.energies(xs)
+        singles = [small_model.energy(x) for x in xs]
+        assert np.array_equal(batch, singles)
+
+    def test_energies_rejects_bad_shape(self, small_model):
+        with pytest.raises(ValueError, match="expected shape"):
+            small_model.energies(np.zeros((4, 5), dtype=np.uint8))
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), model=qubo_models(max_n=8))
+    def test_energy_matches_reference_definition(self, data, model):
+        x = data.draw(bit_vectors_for(model.n))
+        # reconstruct the original-style matrix from canonical upper form
+        assert model.energy(x) == reference_energy(np.asarray(model.upper), x)
+
+
+class TestDeltaVector:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), model=qubo_models(max_n=8))
+    def test_delta_definition(self, data, model):
+        """Δ_k(X) must equal E(f_k(X)) − E(X) for every k (Eq. 3)."""
+        x = data.draw(bit_vectors_for(model.n))
+        base = model.energy(x)
+        delta = model.delta_vector(x)
+        for k in range(model.n):
+            y = x.copy()
+            y[k] ^= 1
+            assert delta[k] == model.energy(y) - base
+
+
+class TestBruteForce:
+    def test_finds_known_optimum(self):
+        # E = -x0 - x1 + 3 x0 x1: optimum is exactly one bit set.
+        m = QUBOModel(np.array([[-1, 3], [0, -1]]))
+        x, e = brute_force(m)
+        assert e == -1
+        assert x.sum() == 1
+
+    def test_matches_exhaustive_python(self):
+        rng = np.random.default_rng(5)
+        m = QUBOModel(np.triu(rng.integers(-4, 5, (6, 6))))
+        _, e = brute_force(m)
+        best = min(
+            m.energy(np.array([(c >> k) & 1 for k in range(6)], dtype=np.uint8))
+            for c in range(64)
+        )
+        assert e == best
+
+    def test_chunking_consistent(self):
+        rng = np.random.default_rng(9)
+        m = QUBOModel(np.triu(rng.integers(-4, 5, (10, 10))))
+        _, e1 = brute_force(m, chunk_bits=4)
+        _, e2 = brute_force(m, chunk_bits=16)
+        assert e1 == e2
+
+    def test_refuses_large_models(self):
+        with pytest.raises(ValueError, match="n <= 24"):
+            brute_force(QUBOModel(np.eye(30)))
+
+    def test_returned_vector_has_returned_energy(self):
+        rng = np.random.default_rng(1)
+        m = QUBOModel(np.triu(rng.integers(-9, 10, (8, 8))))
+        x, e = brute_force(m)
+        assert m.energy(x) == e

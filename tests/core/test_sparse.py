@@ -1,0 +1,172 @@
+"""Tests for sparse QUBO models and the sparse delta paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import BatchDeltaState, DeltaState
+from repro.core.ising import ising_to_qubo
+from repro.core.sparse import SparseQUBOModel, sparse_ising_to_qubo
+from repro.problems.qasp import random_qasp_ising
+from repro.topology.pegasus import advantage_like_graph
+from tests.conftest import bit_vectors_for, random_qubo
+
+
+def sparse_pair(n=20, seed=0, density=0.2):
+    """A dense model and its sparse twin."""
+    dense = random_qubo(n, seed=seed, density=density)
+    return dense, SparseQUBOModel.from_dense(dense)
+
+
+class TestSparseQUBOModel:
+    def test_from_dict_matches_dense(self):
+        terms = {(0, 0): 2, (0, 1): -3, (1, 2): 4, (2, 2): -1}
+        from repro.core.qubo import QUBOModel
+
+        dense = QUBOModel.from_dict(4, terms)
+        sparse = SparseQUBOModel(4, terms)
+        rng = np.random.default_rng(0)
+        for _ in range(16):
+            x = rng.integers(0, 2, 4, dtype=np.uint8)
+            assert sparse.energy(x) == dense.energy(x)
+
+    def test_mirror_entries_accumulate(self):
+        sparse = SparseQUBOModel(2, {(0, 1): 2, (1, 0): 3})
+        x = np.array([1, 1], dtype=np.uint8)
+        assert sparse.energy(x) == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6), data=st.data())
+    def test_energy_matches_dense(self, seed, data):
+        dense, sparse = sparse_pair(n=10, seed=seed)
+        x = data.draw(bit_vectors_for(10))
+        assert sparse.energy(x) == dense.energy(x)
+
+    def test_energies_batch(self):
+        dense, sparse = sparse_pair(seed=1)
+        rng = np.random.default_rng(2)
+        xs = rng.integers(0, 2, size=(8, 20), dtype=np.uint8)
+        assert np.array_equal(sparse.energies(xs), dense.energies(xs))
+
+    def test_delta_vector_matches_dense(self):
+        dense, sparse = sparse_pair(seed=3)
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 2, 20, dtype=np.uint8)
+        assert np.array_equal(sparse.delta_vector(x), dense.delta_vector(x))
+
+    def test_roundtrip_to_dense(self):
+        dense, sparse = sparse_pair(seed=5)
+        back = sparse.to_dense()
+        assert np.array_equal(np.asarray(back.upper), np.asarray(dense.upper))
+
+    def test_rejects_float_dense(self):
+        from repro.core.qubo import QUBOModel
+
+        floaty = QUBOModel(np.array([[0.5, 0.0], [0.0, 1.0]]))
+        with pytest.raises(ValueError, match="integer"):
+            SparseQUBOModel.from_dense(floaty)
+
+    def test_num_interactions_and_density(self):
+        sparse = SparseQUBOModel(4, {(0, 1): 1, (2, 3): -2, (1, 1): 5})
+        assert sparse.num_interactions == 2
+        assert sparse.density == pytest.approx(2 / 6)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            SparseQUBOModel(2, {(0, 5): 1})
+
+
+class TestSparseDeltaState:
+    def test_flip_bit_exact_with_dense(self):
+        dense, sparse = sparse_pair(seed=6)
+        rng = np.random.default_rng(7)
+        x0 = rng.integers(0, 2, 20, dtype=np.uint8)
+        a, b = DeltaState(dense, x0), DeltaState(sparse, x0)
+        for _ in range(60):
+            i = int(rng.integers(20))
+            a.flip(i)
+            b.flip(i)
+            assert a.energy == b.energy
+        assert np.array_equal(a.delta, b.delta)
+
+    def test_greedy_descent_works_sparse(self):
+        _, sparse = sparse_pair(seed=8)
+        state = DeltaState(sparse, np.ones(20, dtype=np.uint8))
+        while not state.is_local_minimum():
+            state.flip(int(np.argmin(state.delta)))
+        assert sparse.energy(state.x) == state.energy
+
+
+class TestSparseBatchDeltaState:
+    def test_flip_bit_exact_with_dense(self):
+        dense, sparse = sparse_pair(seed=9)
+        rng = np.random.default_rng(10)
+        x0 = rng.integers(0, 2, size=(6, 20), dtype=np.uint8)
+        a = BatchDeltaState(dense, batch=6)
+        b = BatchDeltaState(sparse, batch=6)
+        a.reset(x0)
+        b.reset(x0)
+        for _ in range(40):
+            idx = rng.integers(0, 20, size=6)
+            active = rng.random(6) < 0.8
+            a.flip(idx, active)
+            b.flip(idx, active)
+        assert np.array_equal(a.energy, b.energy)
+        assert np.array_equal(a.delta, b.delta)
+        assert np.array_equal(a.x, b.x)
+
+    def test_recompute_consistent(self):
+        _, sparse = sparse_pair(seed=11)
+        state = BatchDeltaState(sparse, batch=4)
+        rng = np.random.default_rng(12)
+        for _ in range(25):
+            state.flip(rng.integers(0, 20, size=4))
+        e, d = state.energy.copy(), state.delta.copy()
+        state.recompute()
+        assert np.array_equal(state.energy, e)
+        assert np.array_equal(state.delta, d)
+
+
+class TestSparseIsingConversion:
+    def test_matches_dense_conversion(self):
+        graph = advantage_like_graph(m=3, seed=0)
+        ising = random_qasp_ising(graph, resolution=2, seed=1)
+        dense_qubo, dense_offset = ising_to_qubo(ising)
+        sparse_qubo, sparse_offset = sparse_ising_to_qubo(ising)
+        assert sparse_offset == dense_offset
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            x = rng.integers(0, 2, ising.n, dtype=np.uint8)
+            assert sparse_qubo.energy(x) == dense_qubo.energy(x)
+
+    def test_density_is_low_on_pegasus(self):
+        graph = advantage_like_graph(m=4, seed=0)
+        ising = random_qasp_ising(graph, resolution=1, seed=1)
+        sparse_qubo, _ = sparse_ising_to_qubo(ising)
+        assert sparse_qubo.density < 0.1
+
+
+class TestSparseEndToEnd:
+    def test_dabs_solves_sparse_model_bit_exactly(self):
+        """A full DABS run on the sparse model must equal the dense run."""
+        from repro.search.batch import BatchSearchConfig
+        from repro.solver.dabs import DABSConfig, DABSSolver
+
+        graph = advantage_like_graph(m=2, seed=0)
+        ising = random_qasp_ising(graph, resolution=1, seed=3)
+        dense_qubo, _ = ising_to_qubo(ising)
+        sparse_qubo, _ = sparse_ising_to_qubo(ising)
+        cfg = DABSConfig(
+            num_gpus=1,
+            blocks_per_gpu=4,
+            pool_capacity=8,
+            batch=BatchSearchConfig(batch_flip_factor=2.0),
+        )
+        dense_run = DABSSolver(dense_qubo, cfg, seed=5).solve(max_rounds=3)
+        sparse_run = DABSSolver(sparse_qubo, cfg, seed=5).solve(max_rounds=3)
+        assert dense_run.best_energy == sparse_run.best_energy
+        assert np.array_equal(dense_run.best_vector, sparse_run.best_vector)
+        assert dense_run.total_flips == sparse_run.total_flips

@@ -1,0 +1,118 @@
+"""Tests for adaptive 5 %/95 % strategy selection (§IV.A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import GeneticOp, MainAlgorithm, Packet
+from repro.ga.adaptive import AdaptiveSelector, SelectionCounters
+from repro.ga.pool import SolutionPool
+
+
+def pool_with_uniform_strategy(alg, op, capacity=20, n=8, seed=0):
+    pool = SolutionPool(capacity, n, np.random.default_rng(seed))
+    pool.algorithms[:] = int(alg)
+    pool.operations[:] = int(op)
+    return pool
+
+
+class TestAdaptiveSelector:
+    def test_exploitation_reads_pool(self):
+        pool = pool_with_uniform_strategy(MainAlgorithm.CYCLICMIN, GeneticOp.ZERO)
+        sel = AdaptiveSelector(explore_probability=0.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert sel.select_algorithm(pool, rng) is MainAlgorithm.CYCLICMIN
+            assert sel.select_operation(pool, rng) is GeneticOp.ZERO
+
+    def test_pure_exploration_is_uniform(self):
+        pool = pool_with_uniform_strategy(MainAlgorithm.CYCLICMIN, GeneticOp.ZERO)
+        sel = AdaptiveSelector(explore_probability=1.0)
+        rng = np.random.default_rng(1)
+        algs = {sel.select_algorithm(pool, rng) for _ in range(200)}
+        ops = {sel.select_operation(pool, rng) for _ in range(300)}
+        assert algs == set(MainAlgorithm)
+        assert ops == set(GeneticOp)
+
+    def test_explore_rate_statistical(self):
+        """With a pool locked to one strategy, deviations only come from the
+        5 % exploration branch."""
+        pool = pool_with_uniform_strategy(MainAlgorithm.MAXMIN, GeneticOp.BEST)
+        sel = AdaptiveSelector(explore_probability=0.05)
+        rng = np.random.default_rng(2)
+        trials = 8000
+        non_pool = sum(
+            sel.select_algorithm(pool, rng) is not MainAlgorithm.MAXMIN
+            for _ in range(trials)
+        )
+        # exploration picks MAXMIN itself 1/5 of the time → expect 4 % overall
+        assert abs(non_pool / trials - 0.05 * 4 / 5) < 0.01
+
+    def test_restricted_set_never_escapes(self):
+        pool = pool_with_uniform_strategy(MainAlgorithm.MAXMIN, GeneticOp.BEST)
+        sel = AdaptiveSelector(
+            algorithm_set=(MainAlgorithm.CYCLICMIN,),
+            operation_set=(GeneticOp.CROSSOVER,),
+            explore_probability=0.05,
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            assert sel.select_algorithm(pool, rng) is MainAlgorithm.CYCLICMIN
+            assert sel.select_operation(pool, rng) is GeneticOp.CROSSOVER
+
+    def test_adaptation_follows_success(self):
+        """After successful packets seed the pool with one strategy, that
+        strategy dominates selection — the paper's core feedback loop."""
+        pool = SolutionPool(20, 8, np.random.default_rng(4))
+        winner = Packet(
+            np.zeros(8, dtype=np.uint8),
+            -50,
+            MainAlgorithm.POSITIVEMIN,
+            GeneticOp.CROSSOVER,
+        )
+        for i in range(20):
+            p = winner.copy()
+            p.energy = -50 - i
+            pool.insert(p)
+        sel = AdaptiveSelector(explore_probability=0.05)
+        rng = np.random.default_rng(5)
+        picks = [sel.select_algorithm(pool, rng) for _ in range(1000)]
+        share = picks.count(MainAlgorithm.POSITIVEMIN) / 1000
+        assert share > 0.9
+
+    def test_rejects_empty_sets(self):
+        with pytest.raises(ValueError):
+            AdaptiveSelector(algorithm_set=())
+        with pytest.raises(ValueError):
+            AdaptiveSelector(operation_set=())
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            AdaptiveSelector(explore_probability=2.0)
+
+
+class TestSelectionCounters:
+    def test_record_and_frequencies(self):
+        c = SelectionCounters()
+        c.record(MainAlgorithm.MAXMIN, GeneticOp.ZERO)
+        c.record(MainAlgorithm.MAXMIN, GeneticOp.ONE)
+        c.record(MainAlgorithm.CYCLICMIN, GeneticOp.ZERO)
+        freqs = c.algorithm_frequencies()
+        assert freqs[MainAlgorithm.MAXMIN] == pytest.approx(2 / 3)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+        ops = c.operation_frequencies()
+        assert ops[GeneticOp.ZERO] == pytest.approx(2 / 3)
+
+    def test_empty_counters(self):
+        c = SelectionCounters()
+        assert all(v == 0.0 for v in c.algorithm_frequencies().values())
+
+    def test_merge(self):
+        a = SelectionCounters()
+        b = SelectionCounters()
+        a.record(MainAlgorithm.MAXMIN, GeneticOp.ZERO)
+        b.record(MainAlgorithm.MAXMIN, GeneticOp.BEST)
+        a.merge(b)
+        assert a.algorithms[MainAlgorithm.MAXMIN] == 2
+        assert a.operations[GeneticOp.BEST] == 1

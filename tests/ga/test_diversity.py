@@ -1,0 +1,114 @@
+"""Tests for pool-diversity measurement and collapse detection (§IV.B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import GeneticOp, MainAlgorithm, Packet
+from repro.ga.island import IslandRing
+from repro.ga.pool import SolutionPool
+
+
+def make_pool(capacity=6, n=16, seed=0):
+    return SolutionPool(capacity, n, np.random.default_rng(seed))
+
+
+def packet(vector, energy):
+    return Packet(
+        np.asarray(vector, dtype=np.uint8),
+        energy,
+        MainAlgorithm.MAXMIN,
+        GeneticOp.RANDOM,
+    )
+
+
+class TestPoolDiversity:
+    def test_none_without_real_solutions(self):
+        assert make_pool().diversity() is None
+
+    def test_none_with_one_solution(self):
+        pool = make_pool()
+        pool.insert(packet(np.zeros(16), -1))
+        assert pool.diversity() is None
+
+    def test_zero_for_identical_solutions(self):
+        pool = make_pool()
+        for e in (-1, -2, -3):
+            pool.insert(packet(np.zeros(16), e))
+        assert pool.diversity() == 0.0
+
+    def test_exact_for_two_vectors(self):
+        pool = make_pool()
+        a = np.zeros(16)
+        b = np.zeros(16)
+        b[:4] = 1
+        pool.insert(packet(a, -1))
+        pool.insert(packet(b, -2))
+        assert pool.diversity() == 4.0
+
+    def test_random_solutions_near_half_n(self):
+        pool = make_pool(capacity=30, n=100)
+        rng = np.random.default_rng(1)
+        for e in range(-30, 0):
+            pool.insert(packet(rng.integers(0, 2, 100), e))
+        assert abs(pool.diversity() - 50.0) < 8.0
+
+    def test_prefilled_random_rows_excluded(self):
+        """Void-energy rows must not mask a collapse."""
+        pool = make_pool(capacity=10)
+        for e in (-1, -2):
+            pool.insert(packet(np.ones(16), e))
+        assert pool.diversity() == 0.0  # despite 8 random void rows
+
+
+class TestRingCollapse:
+    def test_not_collapsed_while_warming_up(self):
+        ring = IslandRing([make_pool(seed=i) for i in range(2)])
+        ring[0].insert(packet(np.zeros(16), -1))
+        ring[0].insert(packet(np.zeros(16), -2))
+        # pool 1 has no real solutions yet
+        assert not ring.collapsed(threshold=4.0)
+
+    def test_collapsed_when_all_pools_uniform(self):
+        ring = IslandRing([make_pool(seed=i) for i in range(2)])
+        for pool in ring.pools:
+            for e in (-1, -2, -3):
+                pool.insert(packet(np.zeros(16), e))
+        assert ring.collapsed(threshold=1.0)
+
+    def test_one_diverse_pool_prevents_collapse(self):
+        ring = IslandRing([make_pool(seed=i) for i in range(2)])
+        for e in (-1, -2):
+            ring[0].insert(packet(np.zeros(16), e))
+        ring[1].insert(packet(np.zeros(16), -1))
+        ring[1].insert(packet(np.ones(16), -2))  # distance 16
+        assert not ring.collapsed(threshold=4.0)
+
+
+class TestSolverCollapseRestart:
+    def test_restart_counter_increments(self):
+        from repro.search.batch import BatchSearchConfig
+        from repro.solver.dabs import DABSConfig, DABSSolver
+        from tests.conftest import random_qubo
+
+        model = random_qubo(10, seed=0)
+        cfg = DABSConfig(
+            num_gpus=1,
+            blocks_per_gpu=3,
+            pool_capacity=4,
+            batch=BatchSearchConfig(batch_flip_factor=2.0),
+            # aggressive: almost any convergence triggers the restart
+            restart_on_collapse=0.99,
+        )
+        result = DABSSolver(model, cfg, seed=0).solve(max_rounds=10)
+        assert result.restarts >= 1
+        assert model.energy(result.best_vector) == result.best_energy
+
+    def test_config_validation(self):
+        from repro.solver.dabs import DABSConfig
+
+        with pytest.raises(ValueError, match="restart_on_collapse"):
+            DABSConfig(restart_on_collapse=1.5)
+        with pytest.raises(ValueError, match="restart_on_collapse"):
+            DABSConfig(restart_on_collapse=0.0)

@@ -1,0 +1,66 @@
+"""Tests for the island ring (§IV.B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import GeneticOp, MainAlgorithm, Packet, VOID_ENERGY
+from repro.ga.island import IslandRing
+from repro.ga.pool import SolutionPool
+
+
+def make_ring(k=4, n=8, seed=0):
+    pools = [SolutionPool(5, n, np.random.default_rng(seed + i)) for i in range(k)]
+    return IslandRing(pools)
+
+
+def packet(n=8, energy=-1):
+    return Packet(np.zeros(n, dtype=np.uint8), energy, MainAlgorithm.MAXMIN, GeneticOp.RANDOM)
+
+
+class TestIslandRing:
+    def test_ring_neighbor_is_cyclic(self):
+        ring = make_ring(k=3)
+        assert ring.neighbor_of(0) is ring[1]
+        assert ring.neighbor_of(1) is ring[2]
+        assert ring.neighbor_of(2) is ring[0]
+
+    def test_single_pool_is_own_neighbor(self):
+        ring = make_ring(k=1)
+        assert ring.neighbor_of(0) is ring[0]
+
+    def test_global_best(self):
+        ring = make_ring(k=3)
+        ring[0].insert(packet(energy=-5))
+        ring[1].insert(packet(energy=-50))
+        ring[2].insert(packet(energy=-20))
+        assert ring.global_best_energy() == -50
+        assert ring.global_best().energy == -50
+
+    def test_global_best_void_when_empty(self):
+        ring = make_ring()
+        assert ring.global_best_energy() == VOID_ENERGY
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            IslandRing([])
+
+    def test_rejects_mixed_sizes(self):
+        pools = [
+            SolutionPool(5, 8, np.random.default_rng(0)),
+            SolutionPool(5, 9, np.random.default_rng(1)),
+        ]
+        with pytest.raises(ValueError, match="same length"):
+            IslandRing(pools)
+
+    def test_reinitialize_all(self):
+        ring = make_ring(k=2)
+        ring[0].insert(packet(energy=-5))
+        ring.reinitialize(np.random.default_rng(9))
+        assert ring.global_best_energy() == VOID_ENERGY
+
+    def test_len_and_indexing(self):
+        ring = make_ring(k=4)
+        assert len(ring) == 4
+        assert ring[3] is ring.pools[3]

@@ -1,0 +1,175 @@
+"""Tests for genetic operations (§IV.A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import GeneticOp, Packet, MainAlgorithm
+from repro.ga.operations import OperationParams, TargetGenerator
+from repro.ga.pool import SolutionPool
+
+N = 64
+
+
+@pytest.fixture
+def gen():
+    return TargetGenerator(N)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def pool(rng):
+    pool = SolutionPool(10, N, np.random.default_rng(0))
+    for e in range(-10, 0):
+        vec = np.random.default_rng(abs(e)).integers(0, 2, N, dtype=np.uint8)
+        pool.insert(Packet(vec, e, MainAlgorithm.MAXMIN, GeneticOp.RANDOM))
+    return pool
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        p = OperationParams()
+        assert p.mutation_p == 0.125  # "say 1/8"
+        assert p.interval_min == 32
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            OperationParams(mutation_p=1.5)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            OperationParams(interval_min=0)
+
+
+class TestMutation:
+    def test_flip_rate_statistical(self, gen):
+        rng = np.random.default_rng(0)
+        parent = np.zeros(N, dtype=np.uint8)
+        flips = np.mean([gen.mutation(parent, rng).sum() for _ in range(400)])
+        assert abs(flips / N - 0.125) < 0.02
+
+    def test_parent_unchanged(self, gen, rng):
+        parent = np.zeros(N, dtype=np.uint8)
+        gen.mutation(parent, rng)
+        assert parent.sum() == 0
+
+    def test_output_is_binary(self, gen, rng):
+        parent = np.ones(N, dtype=np.uint8)
+        child = gen.mutation(parent, rng)
+        assert set(np.unique(child)) <= {0, 1}
+
+
+class TestCrossover:
+    def test_bits_come_from_parents(self, gen, rng):
+        a = np.zeros(N, dtype=np.uint8)
+        b = np.ones(N, dtype=np.uint8)
+        child = gen.crossover(a, b, rng)
+        assert set(np.unique(child)) <= {0, 1}
+        # identical parents → identical child
+        same = gen.crossover(a, a, rng)
+        assert np.array_equal(same, a)
+
+    def test_mixing_roughly_half(self, gen):
+        rng = np.random.default_rng(0)
+        a = np.zeros(N, dtype=np.uint8)
+        b = np.ones(N, dtype=np.uint8)
+        share = np.mean([gen.crossover(a, b, rng).mean() for _ in range(300)])
+        assert abs(share - 0.5) < 0.03
+
+    def test_agreeing_positions_preserved(self, gen, rng):
+        a = np.zeros(N, dtype=np.uint8)
+        b = np.zeros(N, dtype=np.uint8)
+        a[10] = b[10] = 1
+        child = gen.crossover(a, b, rng)
+        assert child[10] == 1
+
+
+class TestZeroOne:
+    def test_zero_only_clears(self, gen, rng):
+        parent = np.ones(N, dtype=np.uint8)
+        child = gen.zero(parent, rng)
+        assert np.all(child <= parent)
+
+    def test_one_only_sets(self, gen, rng):
+        parent = np.zeros(N, dtype=np.uint8)
+        child = gen.one(parent, rng)
+        assert np.all(child >= parent)
+
+    def test_zero_rate(self, gen):
+        rng = np.random.default_rng(1)
+        parent = np.ones(N, dtype=np.uint8)
+        cleared = np.mean([N - gen.zero(parent, rng).sum() for _ in range(400)])
+        assert abs(cleared / N - 0.125) < 0.02
+
+
+class TestIntervalZero:
+    def test_segment_cleared(self, gen, rng):
+        parent = np.ones(N, dtype=np.uint8)
+        child = gen.interval_zero(parent, rng)
+        cleared = N - child.sum()
+        assert 32 <= cleared <= N // 2
+
+    def test_cyclic_wraparound_possible(self):
+        gen = TargetGenerator(40, OperationParams(interval_min=20))
+        rng = np.random.default_rng(3)
+        # run until a segment wraps (start + len > n)
+        wrapped = False
+        for _ in range(200):
+            parent = np.ones(40, dtype=np.uint8)
+            child = gen.interval_zero(parent, rng)
+            zeros = np.flatnonzero(child == 0)
+            if zeros[0] == 0 and zeros[-1] == 39 and len(zeros) < 40:
+                wrapped = True
+                break
+        assert wrapped
+
+    def test_small_n_does_not_crash(self):
+        gen = TargetGenerator(4)
+        rng = np.random.default_rng(0)
+        child = gen.interval_zero(np.ones(4, dtype=np.uint8), rng)
+        assert set(np.unique(child)) <= {0, 1}
+
+
+class TestDispatch:
+    def test_best_returns_pool_best(self, gen, pool, rng):
+        out = gen.generate(GeneticOp.BEST, pool, None, rng)
+        assert np.array_equal(out, pool.best_packet().vector)
+
+    def test_random_ignores_pool(self, gen, pool):
+        a = gen.generate(GeneticOp.RANDOM, pool, None, np.random.default_rng(0))
+        b = gen.generate(GeneticOp.RANDOM, pool, None, np.random.default_rng(0))
+        assert np.array_equal(a, b)  # depends only on the rng
+
+    def test_xrossover_uses_neighbor(self, gen, pool, rng):
+        # neighbor pool full of ones → child contains bits from both
+        neighbor = SolutionPool(10, N, np.random.default_rng(1))
+        ones = Packet(np.ones(N, dtype=np.uint8), -99, MainAlgorithm.MAXMIN, GeneticOp.RANDOM)
+        for _ in range(10):
+            neighbor.insert(ones.copy())
+            ones = Packet(np.ones(N, dtype=np.uint8), ones.energy - 1, ones.algorithm, ones.operation)
+        child = gen.generate(GeneticOp.XROSSOVER, pool, neighbor, rng)
+        assert set(np.unique(child)) <= {0, 1}
+
+    def test_xrossover_without_neighbor_degrades_to_crossover(self, gen, pool, rng):
+        child = gen.generate(GeneticOp.XROSSOVER, pool, None, rng)
+        assert child.shape == (N,)
+
+    def test_all_ops_produce_valid_vectors(self, gen, pool, rng):
+        for op in GeneticOp:
+            out = gen.generate(op, pool, pool, rng)
+            assert out.shape == (N,)
+            assert out.dtype == np.uint8
+            assert set(np.unique(out)) <= {0, 1}
+
+    def test_unknown_op_rejected(self, gen, pool, rng):
+        with pytest.raises(ValueError, match="unknown genetic"):
+            gen.generate("nope", pool, None, rng)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError, match="n must be"):
+            TargetGenerator(0)

@@ -1,0 +1,154 @@
+"""Tests for the solution pool (§IV.A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import VOID_ENERGY, GeneticOp, MainAlgorithm, Packet
+from repro.ga.pool import SolutionPool
+
+
+def make_pool(capacity=10, n=12, seed=0, **kwargs):
+    return SolutionPool(capacity, n, np.random.default_rng(seed), **kwargs)
+
+
+def packet(n=12, energy=-1, alg=MainAlgorithm.MAXMIN, op=GeneticOp.MUTATION, fill=0):
+    return Packet(np.full(n, fill, dtype=np.uint8), energy, alg, op)
+
+
+class TestConstruction:
+    def test_prefilled_with_void_energy(self):
+        pool = make_pool()
+        assert np.all(pool.energies == VOID_ENERGY)
+        assert not pool.has_real_solutions()
+
+    def test_random_strategy_columns(self):
+        pool = make_pool(capacity=200)
+        assert len(np.unique(pool.algorithms)) > 1
+        assert len(np.unique(pool.operations)) > 1
+
+    def test_restricted_strategy_sets(self):
+        pool = make_pool(
+            capacity=50,
+            algorithm_set=(MainAlgorithm.CYCLICMIN,),
+            operation_set=(GeneticOp.CROSSOVER,),
+        )
+        assert np.all(pool.algorithms == int(MainAlgorithm.CYCLICMIN))
+        assert np.all(pool.operations == int(GeneticOp.CROSSOVER))
+
+    @pytest.mark.parametrize("kwargs", [{"capacity": 0}, {"n": 0}])
+    def test_rejects_bad_sizes(self, kwargs):
+        base = {"capacity": 4, "n": 4}
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            SolutionPool(base["capacity"], base["n"], np.random.default_rng(0))
+
+    def test_rejects_empty_strategy_sets(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            make_pool(algorithm_set=())
+
+
+class TestInsert:
+    def test_insert_better_than_worst(self):
+        pool = make_pool()
+        assert pool.insert(packet(energy=-5))
+        assert pool.best_energy == -5
+        assert pool.has_real_solutions()
+
+    def test_keeps_sorted_ascending(self):
+        pool = make_pool(capacity=5)
+        for e in (-3, -9, -1, -7, -5):
+            pool.insert(packet(energy=e, fill=e % 2))
+        assert pool.energies.tolist() == sorted(pool.energies.tolist())
+        assert pool.best_energy == -9
+
+    def test_rejects_worse_than_worst(self):
+        pool = make_pool(capacity=2)
+        pool.insert(packet(energy=-10))
+        pool.insert(packet(energy=-20))
+        assert not pool.insert(packet(energy=-5))
+        assert pool.energies.tolist() == [-20, -10]
+
+    def test_equal_to_worst_rejected(self):
+        pool = make_pool(capacity=2)
+        pool.insert(packet(energy=-10))
+        pool.insert(packet(energy=-10))
+        assert not pool.insert(packet(energy=-10))
+
+    def test_capacity_never_exceeded(self):
+        pool = make_pool(capacity=3)
+        for e in range(-20, 0):
+            pool.insert(packet(energy=e))
+        assert pool.vectors.shape == (3, 12)
+        assert pool.energies.shape == (3,)
+
+    def test_strategy_fields_stored(self):
+        pool = make_pool()
+        pool.insert(
+            packet(energy=-99, alg=MainAlgorithm.POSITIVEMIN, op=GeneticOp.ZERO)
+        )
+        top = pool.best_packet()
+        assert top.algorithm is MainAlgorithm.POSITIVEMIN
+        assert top.operation is GeneticOp.ZERO
+
+    def test_vector_stored_by_copy_semantics(self):
+        pool = make_pool()
+        p = packet(energy=-42, fill=1)
+        pool.insert(p)
+        p.vector[:] = 0
+        assert np.all(pool.best_packet().vector == 1)
+
+    def test_duplicate_rejection_mode(self):
+        pool = make_pool(allow_duplicates=False)
+        assert pool.insert(packet(energy=-5, fill=1))
+        assert not pool.insert(packet(energy=-5, fill=1))
+        # same energy, different vector is allowed
+        other = packet(energy=-5, fill=0)
+        assert pool.insert(other)
+
+    def test_duplicates_allowed_by_default(self):
+        pool = make_pool()
+        assert pool.insert(packet(energy=-5, fill=1))
+        assert pool.insert(packet(energy=-5, fill=1))
+
+
+class TestSelection:
+    def test_select_index_cubic_bias(self):
+        pool = make_pool(capacity=100)
+        # r = 0.5 → floor(0.125 · 100) = 12
+        assert pool.select_index(0.5) == 12
+        assert pool.select_index(0.0) == 0
+        assert pool.select_index(0.999) == int(0.999**3 * 100)
+
+    def test_select_index_rejects_out_of_range(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.select_index(1.0)
+
+    def test_best_selected_with_cubic_probability(self):
+        pool = make_pool(capacity=8)
+        rng = np.random.default_rng(1)
+        hits = sum(pool.select_index(rng.random()) == 0 for _ in range(20000))
+        expected = 8 ** (-1 / 3)  # P(r³·8 < 1) = P(r < 8^(-1/3))
+        assert abs(hits / 20000 - expected) < 0.02
+
+    def test_select_vector_returns_copy(self):
+        pool = make_pool()
+        v = pool.select_vector(np.random.default_rng(0))
+        v[:] = 7
+        assert not np.any(pool.vectors == 7)
+
+    def test_packet_at_bounds(self):
+        pool = make_pool(capacity=3)
+        with pytest.raises(IndexError):
+            pool.packet_at(3)
+
+
+class TestReinitialize:
+    def test_resets_to_void(self):
+        pool = make_pool()
+        pool.insert(packet(energy=-5))
+        pool.reinitialize(np.random.default_rng(2))
+        assert np.all(pool.energies == VOID_ENERGY)
+        assert not pool.has_real_solutions()

@@ -1,0 +1,146 @@
+"""Tests for the virtual GPU substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import (
+    VOID_ENERGY,
+    GeneticOp,
+    MainAlgorithm,
+    Packet,
+    PacketBatch,
+)
+from repro.core.rng import host_generator
+from repro.gpu.device import A100_SPEC, DeviceSpec
+from repro.gpu.virtual_gpu import VirtualGPU
+from repro.search.batch import BatchSearchConfig
+from tests.conftest import random_qubo
+
+N = 16
+BLOCKS = 6
+
+
+def make_gpu(seed=0, algorithm_set=tuple(MainAlgorithm), model=None):
+    model = model or random_qubo(N, seed=3)
+    return model, VirtualGPU(
+        model,
+        DeviceSpec(num_blocks=BLOCKS),
+        BatchSearchConfig(batch_flip_factor=2.0),
+        algorithm_set,
+        host_generator(seed),
+    )
+
+
+def make_batch(n=N, blocks=BLOCKS, algs=None, seed=0):
+    rng = np.random.default_rng(seed)
+    algs = algs or [MainAlgorithm(i % 5) for i in range(blocks)]
+    packets = [
+        Packet(
+            rng.integers(0, 2, n, dtype=np.uint8),
+            VOID_ENERGY,
+            algs[i],
+            GeneticOp.RANDOM,
+        )
+        for i in range(blocks)
+    ]
+    return PacketBatch.from_packets(packets)
+
+
+class TestDeviceSpec:
+    def test_defaults(self):
+        assert DeviceSpec().num_blocks == 16
+
+    def test_a100_spec_matches_paper(self):
+        assert A100_SPEC.num_blocks == 216  # 108 SMs × 2 resident blocks
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(num_blocks=0)
+
+
+class TestVirtualGPU:
+    def test_launch_returns_filled_packets(self):
+        model, gpu = make_gpu()
+        out, flips = gpu.launch(make_batch())
+        assert len(out) == BLOCKS
+        assert np.all(out.energies < VOID_ENERGY)
+        assert np.all(flips > 0)
+
+    def test_reported_energy_matches_vector(self):
+        model, gpu = make_gpu()
+        out, _ = gpu.launch(make_batch())
+        assert np.array_equal(model.energies(out.vectors), out.energies)
+
+    def test_strategy_fields_passed_through(self):
+        model, gpu = make_gpu()
+        batch = make_batch()
+        out, _ = gpu.launch(batch)
+        assert np.array_equal(out.algorithms, batch.algorithms)
+        assert np.array_equal(out.operations, batch.operations)
+
+    def test_block_state_persists_across_launches(self):
+        model, gpu = make_gpu()
+        gpu.launch(make_batch(seed=1))
+        after_first = gpu.block_x.copy()
+        assert after_first.any()  # blocks moved off the zero vector
+        gpu.launch(make_batch(seed=2))
+        # state must have evolved from the persisted vectors, not reset
+        assert gpu.block_x.shape == after_first.shape
+
+    def test_rng_lanes_advance(self):
+        model, gpu = make_gpu()
+        before = gpu.rng_state.copy()
+        gpu.launch(make_batch())
+        assert not np.array_equal(gpu.rng_state, before)
+
+    def test_deterministic_given_seed(self):
+        _, gpu1 = make_gpu(seed=5)
+        _, gpu2 = make_gpu(seed=5)
+        out1, _ = gpu1.launch(make_batch(seed=9))
+        out2, _ = gpu2.launch(make_batch(seed=9))
+        assert np.array_equal(out1.energies, out2.energies)
+        assert np.array_equal(out1.vectors, out2.vectors)
+
+    def test_rejects_wrong_batch_size(self):
+        _, gpu = make_gpu()
+        with pytest.raises(ValueError, match="expected"):
+            gpu.launch(make_batch(blocks=BLOCKS + 1))
+
+    def test_rejects_wrong_vector_length(self):
+        _, gpu = make_gpu()
+        with pytest.raises(ValueError, match="length"):
+            gpu.launch(make_batch(n=N + 1))
+
+    def test_rejects_disabled_algorithm(self):
+        _, gpu = make_gpu(algorithm_set=(MainAlgorithm.MAXMIN,))
+        batch = make_batch(algs=[MainAlgorithm.CYCLICMIN] * BLOCKS)
+        with pytest.raises(ValueError, match="not enabled"):
+            gpu.launch(batch)
+
+    def test_total_flips_accumulates(self):
+        _, gpu = make_gpu()
+        gpu.launch(make_batch())
+        first = gpu.total_flips
+        gpu.launch(make_batch(seed=4))
+        assert gpu.total_flips > first
+
+    def test_mixed_algorithm_groups_all_processed(self):
+        model, gpu = make_gpu()
+        algs = [
+            MainAlgorithm.MAXMIN,
+            MainAlgorithm.MAXMIN,
+            MainAlgorithm.TWONEIGHBOR,
+            MainAlgorithm.CYCLICMIN,
+            MainAlgorithm.POSITIVEMIN,
+            MainAlgorithm.RANDOMMIN,
+        ]
+        out, flips = gpu.launch(make_batch(algs=algs))
+        assert np.all(out.energies < VOID_ENERGY)
+
+    def test_reset_clears_block_state(self):
+        _, gpu = make_gpu()
+        gpu.launch(make_batch())
+        gpu.reset()
+        assert not gpu.block_x.any()

@@ -1,0 +1,78 @@
+"""Tests for Table V/VI frequency accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import GeneticOp, MainAlgorithm
+from repro.ga.adaptive import SelectionCounters
+from repro.harness.frequency import (
+    FrequencyAggregator,
+    executed_frequencies,
+    first_found_frequencies,
+)
+from repro.solver.result import SolveResult
+
+
+def fake_result(first_found, algorithm_counts=None):
+    counters = SelectionCounters()
+    for alg, count in (algorithm_counts or {}).items():
+        for _ in range(count):
+            counters.record(alg, GeneticOp.RANDOM)
+    return SolveResult(
+        best_vector=np.zeros(4, dtype=np.uint8),
+        best_energy=-1,
+        reached_target=True,
+        time_to_target=0.1,
+        elapsed=0.2,
+        rounds=1,
+        total_flips=10,
+        counters=counters,
+        first_found=first_found,
+    )
+
+
+class TestExecutedFrequencies:
+    def test_merges_across_runs(self):
+        runs = [
+            fake_result(None, {MainAlgorithm.MAXMIN: 3}),
+            fake_result(None, {MainAlgorithm.MAXMIN: 1, MainAlgorithm.CYCLICMIN: 4}),
+        ]
+        merged = executed_frequencies(runs)
+        assert merged.algorithms[MainAlgorithm.MAXMIN] == 4
+        assert merged.algorithms[MainAlgorithm.CYCLICMIN] == 4
+
+
+class TestFirstFoundFrequencies:
+    def test_counts_first_found(self):
+        runs = [
+            fake_result((MainAlgorithm.POSITIVEMIN, GeneticOp.BEST)),
+            fake_result((MainAlgorithm.POSITIVEMIN, GeneticOp.ZERO)),
+            fake_result((MainAlgorithm.MAXMIN, GeneticOp.BEST)),
+        ]
+        counters = first_found_frequencies(runs)
+        assert counters.algorithms[MainAlgorithm.POSITIVEMIN] == 2
+        assert counters.operations[GeneticOp.BEST] == 2
+
+    def test_skips_runs_without_improvement(self):
+        counters = first_found_frequencies([fake_result(None)])
+        assert sum(counters.algorithms.values()) == 0
+
+
+class TestFrequencyAggregator:
+    def test_tables_render(self):
+        agg = FrequencyAggregator()
+        agg.add_problem(
+            "K48",
+            [
+                fake_result(
+                    (MainAlgorithm.MAXMIN, GeneticOp.BEST),
+                    {MainAlgorithm.MAXMIN: 2},
+                )
+            ],
+        )
+        t5 = agg.table_v()
+        t6 = agg.table_vi()
+        assert "Table V" in t5 and "K48" in t5 and "100.0%" in t5
+        assert "Table VI" in t6 and "MAXMIN" in t6

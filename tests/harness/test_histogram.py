@@ -1,0 +1,70 @@
+"""Tests for paper-convention histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.histogram import Histogram
+
+
+class TestHistogram:
+    def test_half_open_bins(self):
+        """[b_i, b_{i+1}) semantics: a value on an edge belongs to the
+        right-hand bin."""
+        hist = Histogram.from_values([0.0, 0.1, 0.1, 0.19], bin_width=0.1, start=0.0)
+        assert hist.counts.tolist() == [1, 3]
+
+    def test_counts_sum_to_total(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(200) * 5
+        hist = Histogram.from_values(values, bin_width=0.5)
+        assert hist.total == 200
+
+    def test_default_start_rounds_down(self):
+        hist = Histogram.from_values([0.27, 0.9], bin_width=0.25)
+        assert hist.bin_edges[0] == 0.25
+
+    def test_explicit_start(self):
+        hist = Histogram.from_values([1.0, 2.0, 3.0], bin_width=1.0, start=0.0)
+        assert hist.num_bins == 4
+        assert hist.counts.tolist() == [0, 1, 1, 1]
+
+    def test_start_above_min_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Histogram.from_values([0.5], bin_width=1.0, start=1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero values"):
+            Histogram.from_values([], bin_width=1.0)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError, match="bin_width"):
+            Histogram.from_values([1.0], bin_width=0)
+
+    def test_single_value(self):
+        hist = Histogram.from_values([3.7], bin_width=0.5)
+        assert hist.num_bins == 1
+        assert hist.counts.tolist() == [1]
+
+    def test_labels_are_left_edges(self):
+        hist = Histogram.from_values([0.0, 1.0], bin_width=0.5, start=0.0)
+        assert hist.bin_label(0) == "0"
+        assert hist.bin_label(1) == "0.5"
+
+    def test_to_rows(self):
+        hist = Histogram.from_values([0.0, 0.6], bin_width=0.5, start=0.0)
+        assert hist.to_rows() == [("0", 1), ("0.5", 1)]
+
+    def test_render_ascii(self):
+        hist = Histogram.from_values([0.0, 0.0, 0.6], bin_width=0.5, start=0.0, label="demo")
+        text = hist.render_ascii(width=10)
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].endswith("2")
+        assert "#" in lines[2]
+
+    def test_negative_values(self):
+        hist = Histogram.from_values([-3.2, -1.1], bin_width=1.0)
+        assert hist.total == 2
+        assert hist.bin_edges[0] <= -3.2

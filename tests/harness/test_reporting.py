@@ -1,0 +1,52 @@
+"""Tests for markdown rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.reporting import ExperimentReport, format_gap, markdown_table
+
+
+class TestMarkdownTable:
+    def test_renders_aligned(self):
+        text = markdown_table(["A", "Long header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+        assert "Long header" in lines[0]
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            markdown_table(["A", "B"], [["1"]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            markdown_table([], [])
+
+
+class TestFormatGap:
+    def test_zero_gap(self):
+        assert format_gap(-100, -100) == "0%"
+
+    def test_percent_style(self):
+        assert format_gap(-33241, -33337) == "0.288%"
+
+    def test_zero_reference(self):
+        assert format_gap(0, 0) == "0%"
+        assert format_gap(5, 0) == "inf"
+
+
+class TestExperimentReport:
+    def test_roundtrip(self):
+        report = ExperimentReport(title="T", headers=["a", "b"])
+        report.add_row("x", 1)
+        report.add_note("scaled down")
+        text = report.to_markdown()
+        assert text.startswith("## T")
+        assert "| x" in text
+        assert "- scaled down" in text
+
+    def test_data_dict(self):
+        report = ExperimentReport(title="T", headers=["a"])
+        report.data["k"] = 42
+        assert report.data["k"] == 42

@@ -1,0 +1,86 @@
+"""Tests for TTS measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.tts import TrialRecord, TTSResult, measure_tts
+
+
+class FakeSolver:
+    """Deterministic stand-in: succeeds iff seed is even."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def solve(self, target_energy=None, time_limit=None, max_rounds=None):
+        success = self.seed % 2 == 0
+
+        class Outcome:
+            reached_target = success
+            time_to_target = 0.5 + self.seed if success else None
+            best_energy = target_energy if success else target_energy + 10
+            elapsed = 1.0
+
+        return Outcome()
+
+
+class TestMeasureTTS:
+    def test_collects_all_trials(self):
+        result = measure_tts(FakeSolver, target_energy=-5, trials=4, time_limit=1.0)
+        assert result.trials == 4
+        assert result.successes == 2  # seeds 0, 2
+
+    def test_success_probability(self):
+        result = measure_tts(FakeSolver, target_energy=-5, trials=4, time_limit=1.0)
+        assert result.success_probability == 0.5
+
+    def test_tts_counts_successes_only(self):
+        """Failed trials must not contribute to the TTS (§VI)."""
+        result = measure_tts(FakeSolver, target_energy=-5, trials=4, time_limit=1.0)
+        assert np.allclose(sorted(result.tts_values), [0.5, 2.5])
+        assert result.mean_tts == pytest.approx(1.5)
+
+    def test_no_successes_tts_none(self):
+        result = measure_tts(
+            FakeSolver, target_energy=-5, trials=1, time_limit=1.0, base_seed=1
+        )
+        assert result.mean_tts is None
+        assert result.success_probability == 0.0
+
+    def test_best_energy_over_all_trials(self):
+        result = measure_tts(FakeSolver, target_energy=-5, trials=4, time_limit=1.0)
+        assert result.best_energy == -5
+
+    def test_distinct_seeds(self):
+        seeds = []
+
+        class Spy(FakeSolver):
+            def __init__(self, seed):
+                super().__init__(seed)
+                seeds.append(seed)
+
+        measure_tts(Spy, target_energy=0, trials=3, time_limit=1.0, base_seed=7)
+        assert seeds == [7, 8, 9]
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            measure_tts(FakeSolver, target_energy=0, trials=0, time_limit=1.0)
+
+    def test_summary_renders(self):
+        result = measure_tts(FakeSolver, target_energy=-5, trials=2, time_limit=1.0)
+        text = result.summary()
+        assert "target=-5" in text and "probability" in text
+
+
+class TestTTSResultEdgeCases:
+    def test_empty_result(self):
+        result = TTSResult(target_energy=0)
+        assert result.success_probability == 0.0
+        assert result.trials == 0
+
+    def test_record_immutable(self):
+        rec = TrialRecord(seed=0, success=True, time_to_target=1.0, best_energy=0, elapsed=1.0)
+        with pytest.raises(AttributeError):
+            rec.seed = 1

@@ -1,0 +1,130 @@
+"""Tests for benchmark file formats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.formats import (
+    read_gset,
+    read_qaplib,
+    read_qubo,
+    write_gset,
+    write_qaplib,
+    write_qubo,
+)
+from repro.problems.gset import gset_like
+from repro.problems.maxcut import maxcut_to_qubo
+from repro.problems.qap import grid_qap, random_qap
+from tests.conftest import random_qubo
+
+
+class TestGset:
+    def test_roundtrip(self, tmp_path):
+        adj = gset_like(30, 60, weights=(-1, 1), seed=0)
+        path = tmp_path / "g.txt"
+        write_gset(path, adj)
+        assert np.array_equal(read_gset(path), adj)
+
+    def test_known_content(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("3 2\n1 2 5\n2 3 -1\n")
+        adj = read_gset(path)
+        assert adj[0, 1] == 5 and adj[1, 0] == 5
+        assert adj[1, 2] == -1
+        assert adj[0, 2] == 0
+
+    def test_header_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("3 2\n1 2 5\n")
+        with pytest.raises(ValueError, match="edge tokens"):
+            read_gset(path)
+
+    def test_out_of_range(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("2 1\n1 5 1\n")
+        with pytest.raises(ValueError, match="out of range"):
+            read_gset(path)
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("2 1\n1 1 1\n")
+        with pytest.raises(ValueError, match="self-loop"):
+            read_gset(path)
+
+    def test_read_file_feeds_reduction(self, tmp_path):
+        adj = gset_like(10, 20, seed=1)
+        path = tmp_path / "g.txt"
+        write_gset(path, adj)
+        model = maxcut_to_qubo(read_gset(path))
+        assert model.n == 10
+
+
+class TestQaplib:
+    def test_roundtrip(self, tmp_path):
+        inst = random_qap(5, seed=0)
+        path = tmp_path / "tai5.dat"
+        write_qaplib(path, inst)
+        back = read_qaplib(path)
+        assert np.array_equal(back.flow, inst.flow)
+        assert np.array_equal(back.dist, inst.dist)
+        assert back.name == "tai5"
+
+    def test_grid_instance_roundtrip(self, tmp_path):
+        inst = grid_qap(2, 3, seed=1)
+        path = tmp_path / "nug6.dat"
+        write_qaplib(path, inst)
+        back = read_qaplib(path, name="custom")
+        assert back.name == "custom"
+        assert back.cost([0, 1, 2, 3, 4, 5]) == inst.cost([0, 1, 2, 3, 4, 5])
+
+    def test_strips_diagonals(self, tmp_path):
+        path = tmp_path / "diag.dat"
+        path.write_text("2\n9 1\n1 9\n\n9 2\n2 9\n")
+        inst = read_qaplib(path)
+        assert np.all(np.diagonal(inst.flow) == 0)
+        assert np.all(np.diagonal(inst.dist) == 0)
+        assert inst.flow[0, 1] == 1 and inst.dist[0, 1] == 2
+
+    def test_token_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("2\n1 2 3\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_qaplib(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_qaplib(path)
+
+
+class TestQuboFormat:
+    def test_roundtrip_preserves_energies(self, tmp_path):
+        model = random_qubo(8, seed=2)
+        path = tmp_path / "model.qubo"
+        write_qubo(path, model)
+        back = read_qubo(path)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 2, 8, dtype=np.uint8)
+            assert back.energy(x) == model.energy(x)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "model.qubo"
+        path.write_text("# comment\n2\n0 0 -1\n# another\n0 1 3\n")
+        model = read_qubo(path)
+        assert model.energy(np.array([1, 0], dtype=np.uint8)) == -1
+        assert model.energy(np.array([1, 1], dtype=np.uint8)) == 2
+
+    def test_duplicates_accumulate(self, tmp_path):
+        path = tmp_path / "model.qubo"
+        path.write_text("2\n0 1 1\n0 1 2\n")
+        model = read_qubo(path)
+        assert model.upper[0, 1] == 3
+
+    def test_bad_triples(self, tmp_path):
+        path = tmp_path / "bad.qubo"
+        path.write_text("2\n0 1\n")
+        with pytest.raises(ValueError, match="triples"):
+            read_qubo(path)

@@ -1,0 +1,127 @@
+"""Tests for the MaxCut → QUBO reduction (§II.A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qubo import brute_force
+from repro.problems.gset import g22_like, g39_like, gset_like
+from repro.problems.maxcut import cut_value, maxcut_to_qubo, random_complete_graph
+
+
+def random_adjacency(n, seed, weights=(-1, 1)):
+    return random_complete_graph(n, seed=seed, weights=weights)
+
+
+class TestReduction:
+    def test_energy_is_minus_cut(self):
+        """E(X) = −cut(X) for every vector (the §II.A identity)."""
+        adj = random_adjacency(8, seed=0)
+        model = maxcut_to_qubo(adj)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            x = rng.integers(0, 2, 8, dtype=np.uint8)
+            assert model.energy(x) == -cut_value(adj, x)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**6), data=st.data())
+    def test_energy_is_minus_cut_property(self, seed, data):
+        n = data.draw(st.integers(min_value=2, max_value=10))
+        adj = random_adjacency(n, seed=seed)
+        model = maxcut_to_qubo(adj)
+        x = np.array(
+            data.draw(
+                st.lists(st.integers(0, 1), min_size=n, max_size=n)
+            ),
+            dtype=np.uint8,
+        )
+        assert model.energy(x) == -cut_value(adj, x)
+
+    def test_optimum_is_maxcut(self):
+        adj = random_adjacency(10, seed=3)
+        model = maxcut_to_qubo(adj)
+        x, e = brute_force(model)
+        # exhaustively verify no better cut exists
+        best_cut = max(
+            cut_value(adj, np.array([(c >> k) & 1 for k in range(10)], dtype=np.uint8))
+            for c in range(1 << 10)
+        )
+        assert -e == best_cut
+
+    def test_known_triangle(self):
+        # unit triangle: max cut = 2
+        adj = np.array([[0, 1, 1], [1, 0, 1], [1, 1, 0]])
+        model = maxcut_to_qubo(adj)
+        _, e = brute_force(model)
+        assert e == -2
+
+    def test_complement_invariance(self):
+        adj = random_adjacency(7, seed=5)
+        model = maxcut_to_qubo(adj)
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, 7, dtype=np.uint8)
+        assert model.energy(x) == model.energy(1 - x)
+
+    def test_rejects_asymmetric(self):
+        adj = np.zeros((3, 3), dtype=int)
+        adj[0, 1] = 1
+        with pytest.raises(ValueError, match="symmetric"):
+            maxcut_to_qubo(adj)
+
+    def test_rejects_self_loops(self):
+        adj = np.eye(3, dtype=int)
+        with pytest.raises(ValueError, match="zero diagonal"):
+            maxcut_to_qubo(adj)
+
+
+class TestGenerators:
+    def test_complete_graph_density(self):
+        adj = random_complete_graph(20, seed=0)
+        off_diag = adj[~np.eye(20, dtype=bool)]
+        assert np.all(np.isin(off_diag, (-1, 1)))
+        assert np.array_equal(adj, adj.T)
+
+    def test_complete_graph_deterministic(self):
+        a = random_complete_graph(10, seed=4)
+        b = random_complete_graph(10, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_complete_rejects_small(self):
+        with pytest.raises(ValueError):
+            random_complete_graph(1)
+
+    def test_gset_like_edge_count(self):
+        adj = gset_like(50, 100, seed=0)
+        assert np.count_nonzero(np.triu(adj)) == 100
+
+    def test_gset_like_simple_graph(self):
+        adj = gset_like(30, 200, weights=(-1, 1), seed=1)
+        assert np.all(np.diagonal(adj) == 0)
+        assert np.array_equal(adj, adj.T)
+
+    def test_gset_like_bounds(self):
+        with pytest.raises(ValueError, match="num_edges"):
+            gset_like(10, 46)  # max is 45
+
+    def test_g22_like_average_degree(self):
+        adj = g22_like(200, seed=0)
+        avg_deg = np.count_nonzero(adj) / 200
+        assert abs(avg_deg - 19.99) < 0.5
+        assert np.all(adj[adj != 0] == 1)
+
+    def test_g39_like_weights(self):
+        adj = g39_like(200, seed=0)
+        vals = np.unique(adj[adj != 0])
+        assert set(vals.tolist()) <= {-1, 1}
+        avg_deg = np.count_nonzero(adj) / 200
+        assert abs(avg_deg - 11.78) < 0.5
+
+    def test_gset_rank_inversion_covers_all_pairs(self):
+        """The triangular-rank sampler must be able to produce every pair."""
+        n = 8
+        adj = gset_like(n, n * (n - 1) // 2, seed=0)  # all edges
+        off = ~np.eye(n, dtype=bool)
+        assert np.all(adj[off] != 0)

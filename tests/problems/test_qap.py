@@ -1,0 +1,159 @@
+"""Tests for the QAP → QUBO reduction (§II.B)."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qubo import brute_force
+from repro.problems.qap import (
+    QAPInstance,
+    assignment_cost,
+    decode_assignment,
+    default_penalty,
+    encode_assignment,
+    grid_qap,
+    is_feasible,
+    qap_to_qubo,
+    random_qap,
+)
+
+
+class TestAssignmentCost:
+    def test_identity_permutation(self):
+        inst = random_qap(4, seed=0)
+        c = assignment_cost(inst.flow, inst.dist, [0, 1, 2, 3])
+        assert c == (inst.flow * inst.dist).sum()
+
+    def test_cost_symmetric_instances_positive(self):
+        inst = random_qap(5, seed=1)
+        assert inst.cost([1, 0, 3, 2, 4]) > 0
+
+
+class TestFeasibility:
+    def test_permutation_is_feasible(self):
+        x = encode_assignment([2, 0, 1])
+        assert is_feasible(x, 3)
+
+    def test_decode_roundtrip(self):
+        perm = np.array([3, 1, 0, 2])
+        x = encode_assignment(perm)
+        assert np.array_equal(decode_assignment(x, 4), perm)
+
+    def test_double_one_in_row_infeasible(self):
+        x = np.zeros(9, dtype=np.uint8)
+        x[0] = x[1] = 1  # facility 0 in two locations
+        x[5] = 1
+        assert not is_feasible(x, 3)
+        assert decode_assignment(x, 3) is None
+
+    def test_empty_row_infeasible(self):
+        x = np.zeros(9, dtype=np.uint8)
+        x[0] = 1
+        x[4] = 1
+        assert not is_feasible(x, 3)
+
+
+class TestQuboReduction:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10**6), data=st.data())
+    def test_feasible_energy_identity(self, seed, data):
+        """E(X) = C(g) − n·p for every permutation (the §II.B identity)."""
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        inst = random_qap(n, seed=seed, high=9)
+        model, p = inst.to_qubo()
+        perm = data.draw(st.permutations(range(n)))
+        x = encode_assignment(np.array(perm))
+        assert model.energy(x) == inst.cost(perm) - n * p
+
+    def test_infeasible_pays_penalty(self):
+        inst = random_qap(3, seed=2, high=9)
+        model, p = inst.to_qubo()
+        # all-zero is infeasible: E = 0 > any feasible energy (= C − 3p < 0)
+        zero = np.zeros(9, dtype=np.uint8)
+        worst_feasible = max(
+            inst.cost(perm) for perm in permutations(range(3))
+        ) - 3 * p
+        assert model.energy(zero) > worst_feasible
+
+    def test_optimum_is_feasible_and_optimal(self):
+        """The QUBO optimum decodes to the brute-force QAP optimum."""
+        inst = random_qap(3, seed=3, high=9)
+        model, p = inst.to_qubo()
+        x, e = brute_force(model)  # 9 bits
+        perm = decode_assignment(x, 3)
+        assert perm is not None
+        _, best_cost = inst.brute_force()
+        assert e == best_cost - 3 * p
+        assert inst.cost(perm) == best_cost
+
+    def test_default_penalty_large_enough(self):
+        inst = random_qap(4, seed=4)
+        p = default_penalty(inst.flow, inst.dist)
+        assert p > inst.flow.max() * inst.dist.max()
+
+    def test_custom_penalty_threads_through(self):
+        inst = random_qap(3, seed=5, high=5)
+        model, p = inst.to_qubo(penalty=1000)
+        assert p == 1000
+        x = encode_assignment([0, 1, 2])
+        assert model.energy(x) == inst.cost([0, 1, 2]) - 3000
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError, match="same size"):
+            qap_to_qubo(np.zeros((3, 3)), np.zeros((4, 4)))
+
+    def test_rejects_negative_flow(self):
+        f = np.zeros((3, 3), dtype=int)
+        f[0, 1] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            qap_to_qubo(f, np.zeros((3, 3)))
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError, match="zero diagonal"):
+            qap_to_qubo(np.eye(3), np.zeros((3, 3)))
+
+    def test_rejects_bad_penalty(self):
+        inst = random_qap(3, seed=0)
+        with pytest.raises(ValueError, match="penalty"):
+            qap_to_qubo(inst.flow, inst.dist, penalty=0)
+
+
+class TestGenerators:
+    def test_random_qap_symmetric_zero_diag(self):
+        inst = random_qap(6, seed=1)
+        assert np.array_equal(inst.flow, inst.flow.T)
+        assert np.all(np.diagonal(inst.flow) == 0)
+        assert np.all(np.diagonal(inst.dist) == 0)
+
+    def test_random_qap_deterministic(self):
+        a = random_qap(5, seed=9)
+        b = random_qap(5, seed=9)
+        assert np.array_equal(a.flow, b.flow)
+
+    def test_grid_qap_manhattan(self):
+        inst = grid_qap(2, 3, seed=0)
+        # locations 0..5 on a 2×3 grid; dist(0, 5) = |0−1| + |0−2| = 3
+        assert inst.dist[0, 5] == 3
+        assert inst.dist[0, 1] == 1
+        assert inst.n == 6
+
+    def test_grid_qap_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            grid_qap(1, 1)
+
+    def test_brute_force_small(self):
+        inst = random_qap(4, seed=7, high=9)
+        perm, cost = inst.brute_force()
+        assert inst.cost(perm) == cost
+        # verify optimality exhaustively
+        assert cost == min(inst.cost(p) for p in permutations(range(4)))
+
+    def test_brute_force_refuses_large(self):
+        inst = random_qap(10, seed=0)
+        with pytest.raises(ValueError, match="n <= 9"):
+            inst.brute_force()

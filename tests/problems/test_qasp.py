@@ -1,0 +1,110 @@
+"""Tests for QASP instance generation (§II.C)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.problems.qasp import QASPInstance, random_qasp, random_qasp_ising
+from repro.topology.pegasus import advantage_like_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return advantage_like_graph(m=3, seed=0)
+
+
+class TestRandomQaspIsing:
+    def test_interactions_on_graph_edges_only(self, graph):
+        ising = random_qasp_ising(graph, resolution=2, seed=1)
+        j = ising.interactions
+        for a, b in graph.edges:
+            lo, hi = min(a, b), max(a, b)
+            assert j[lo, hi] != 0
+        # non-edges must be zero
+        nz = np.argwhere(j != 0)
+        edge_set = {(min(a, b), max(a, b)) for a, b in graph.edges}
+        for a, b in nz:
+            assert (int(a), int(b)) in edge_set
+
+    @pytest.mark.parametrize("r", [1, 16, 256])
+    def test_resolution_ranges(self, graph, r):
+        """J ∈ [−r, r] \\ {0}, h ∈ [−4r, 4r] \\ {0} (paper §II.C)."""
+        ising = random_qasp_ising(graph, resolution=r, seed=2)
+        j = ising.interactions[ising.interactions != 0]
+        h = ising.biases
+        assert np.all((np.abs(j) >= 1) & (np.abs(j) <= r))
+        assert np.all((np.abs(h) >= 1) & (np.abs(h) <= 4 * r))
+
+    def test_resolution_one_values(self, graph):
+        ising = random_qasp_ising(graph, resolution=1, seed=3)
+        j = ising.interactions[ising.interactions != 0]
+        assert set(np.unique(j).tolist()) <= {-1, 1}
+
+    def test_reported_resolution_matches(self, graph):
+        ising = random_qasp_ising(graph, resolution=4, seed=4)
+        assert ising.resolution() <= 4
+
+    def test_deterministic(self, graph):
+        a = random_qasp_ising(graph, resolution=2, seed=5)
+        b = random_qasp_ising(graph, resolution=2, seed=5)
+        assert np.array_equal(a.interactions, b.interactions)
+        assert np.array_equal(a.biases, b.biases)
+
+    def test_rejects_bad_resolution(self, graph):
+        with pytest.raises(ValueError, match="resolution"):
+            random_qasp_ising(graph, resolution=0)
+
+    def test_rejects_unlabelled_graph(self):
+        g = nx.Graph([("a", "b")])
+        with pytest.raises(ValueError, match="0..n-1"):
+            random_qasp_ising(g, resolution=1)
+
+
+class TestRandomQasp:
+    def test_instance_consistency(self):
+        inst = random_qasp(resolution=16, m=3, seed=0)
+        assert inst.n == inst.qubo.n == inst.ising.n
+        assert inst.resolution == 16
+
+    def test_energy_offset_identity(self):
+        """QUBO energy = Hamiltonian + offset on random vectors."""
+        from repro.core.ising import bits_to_spins
+
+        inst = random_qasp(resolution=1, m=3, seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            x = rng.integers(0, 2, inst.n, dtype=np.uint8)
+            e = inst.qubo.energy(x)
+            h = inst.ising.hamiltonian(bits_to_spins(x))
+            assert e == h + inst.offset
+            assert inst.hamiltonian_of_energy(e) == h
+
+    def test_scaled_size(self):
+        inst = random_qasp(resolution=1, m=3, seed=3)
+        assert 100 <= inst.n <= 130  # P3 fabric ≈ 128 minus faults
+
+    def test_custom_graph(self):
+        g = nx.path_graph(10)
+        inst = random_qasp(resolution=2, graph=g, seed=4)
+        assert inst.n == 10
+
+    def test_sparse_option_bit_exact(self):
+        dense = random_qasp(resolution=2, m=3, seed=5)
+        sparse = random_qasp(resolution=2, m=3, seed=5, sparse=True)
+        assert sparse.offset == dense.offset
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            x = rng.integers(0, 2, dense.n, dtype=np.uint8)
+            assert sparse.qubo.energy(x) == dense.qubo.energy(x)
+
+    def test_chimera_qasp_2000q_family(self):
+        from repro.problems.qasp import random_chimera_qasp
+
+        inst = random_chimera_qasp(resolution=1, m=2, seed=7)
+        assert inst.n == 8 * 2 * 2  # C_2 has 32 qubits
+        j = inst.ising.interactions[inst.ising.interactions != 0]
+        assert set(np.unique(j).tolist()) <= {-1, 1}
+        # C_16 would be the 2048-qubit 2000Q scale
+        assert 8 * 16 * 16 == 2048

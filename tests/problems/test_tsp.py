@@ -1,0 +1,84 @@
+"""Tests for the TSP-via-QAP extension (§II.B remark)."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import numpy as np
+import pytest
+
+from repro.core.qubo import brute_force
+from repro.problems.qap import decode_assignment, encode_assignment
+from repro.problems.tsp import (
+    random_euclidean_tsp,
+    tour_length,
+    tsp_to_qap,
+)
+
+
+class TestTourLength:
+    def test_triangle(self):
+        dist = np.array([[0, 3, 4], [3, 0, 5], [4, 5, 0]])
+        assert tour_length(dist, [0, 1, 2]) == 3 + 5 + 4
+
+    def test_rotation_invariant(self):
+        dist = random_euclidean_tsp(5, seed=0).dist
+        t1 = tour_length(dist, [0, 1, 2, 3, 4])
+        t2 = tour_length(dist, [1, 2, 3, 4, 0])
+        assert t1 == t2
+
+
+class TestTspToQap:
+    def test_qap_cost_equals_tour_length(self):
+        inst = random_euclidean_tsp(5, seed=1)
+        for perm in ([0, 1, 2, 3, 4], [4, 2, 0, 1, 3], [2, 3, 4, 0, 1]):
+            assert inst.qap.cost(perm) == inst.length(perm)
+
+    def test_qubo_optimum_is_optimal_tour(self):
+        """The 9-bit QUBO (n = 3) optimum decodes to a shortest tour; with
+        n = 3 all tours are equal so every feasible decode is optimal."""
+        inst = random_euclidean_tsp(3, seed=2)
+        model, p = inst.qap.to_qubo()
+        x, e = brute_force(model)
+        tour = inst.decode_tour(x)
+        assert tour is not None
+        assert inst.length(tour) == e + 3 * p
+
+    def test_optimal_tour_via_qap_cost_n4(self):
+        inst = random_euclidean_tsp(4, seed=3)
+        best = min(
+            inst.length([0, *rest]) for rest in permutations([1, 2, 3])
+        )
+        # the QAP cost of the best permutation matches the best tour length
+        costs = [inst.qap.cost(p) for p in permutations(range(4))]
+        assert min(costs) == best
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            tsp_to_qap(np.zeros((2, 2), dtype=int))
+
+    def test_rejects_asymmetric(self):
+        d = np.array([[0, 1, 2], [9, 0, 1], [2, 1, 0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            tsp_to_qap(d)
+
+
+class TestGenerator:
+    def test_distances_euclidean_ish(self):
+        inst = random_euclidean_tsp(6, seed=4)
+        d = inst.dist
+        assert np.array_equal(d, d.T)
+        assert np.all(np.diagonal(d) == 0)
+        # triangle inequality holds approximately for rounded euclidean
+        assert d.max() <= int(np.ceil(np.sqrt(2) * 100)) + 1
+
+    def test_deterministic(self):
+        a = random_euclidean_tsp(5, seed=5)
+        b = random_euclidean_tsp(5, seed=5)
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_decode_tour(self):
+        inst = random_euclidean_tsp(4, seed=6)
+        x = encode_assignment([2, 0, 3, 1])
+        assert np.array_equal(inst.decode_tour(x), [2, 0, 3, 1])
+        assert inst.decode_tour(np.zeros(16, dtype=np.uint8)) is None

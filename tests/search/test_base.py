@@ -1,0 +1,54 @@
+"""Tests for selection helpers shared by all search algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.search.base import masked_argmin, random_choice_from_mask
+
+
+class TestMaskedArgmin:
+    def test_respects_mask(self):
+        values = np.array([[5, 1, 3], [2, 9, 0]])
+        mask = np.array([[True, False, True], [False, True, False]])
+        idx, has = masked_argmin(values, mask)
+        assert idx.tolist() == [2, 1]  # 3 beats 5; only 9 is allowed
+        assert has.tolist() == [True, True]
+
+    def test_empty_mask_falls_back_to_global_argmin(self):
+        values = np.array([[5, 1, 3]])
+        mask = np.zeros((1, 3), dtype=bool)
+        idx, has = masked_argmin(values, mask)
+        assert idx.tolist() == [1]
+        assert has.tolist() == [False]
+
+    def test_mixed_rows(self):
+        values = np.array([[4, 2], [7, 8]])
+        mask = np.array([[False, False], [True, False]])
+        idx, has = masked_argmin(values, mask)
+        assert idx.tolist() == [1, 0]
+        assert has.tolist() == [False, True]
+
+
+class TestRandomChoiceFromMask:
+    def test_single_candidate_always_chosen(self):
+        mask = np.array([[False, True, False]])
+        rand = np.random.default_rng(0).random((1, 3))
+        idx, has = random_choice_from_mask(mask, rand)
+        assert idx.tolist() == [1]
+        assert has.tolist() == [True]
+
+    def test_choice_is_uniform(self):
+        rng = np.random.default_rng(1)
+        mask = np.tile(np.array([True, True, False, True]), (4000, 1))
+        idx, _ = random_choice_from_mask(mask, rng.random((4000, 4)))
+        counts = np.bincount(idx, minlength=4)
+        assert counts[2] == 0
+        # each of 3 candidates ≈ 1333 of 4000
+        assert np.all(counts[[0, 1, 3]] > 1100)
+
+    def test_empty_mask_flagged(self):
+        mask = np.zeros((2, 3), dtype=bool)
+        idx, has = random_choice_from_mask(mask, np.ones((2, 3)) * 0.5)
+        assert not has.any()
+        assert np.all(idx == 0)

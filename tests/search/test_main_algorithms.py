@@ -1,0 +1,247 @@
+"""Tests for the five main search algorithms (§III.A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta import BatchDeltaState
+from repro.core.packet import MainAlgorithm
+from repro.core.rng import XorShift64Star, host_generator, spawn_device_seeds
+from repro.search import build_main_algorithms
+from repro.search.batch import BatchSearchConfig
+from repro.search.cyclicmin import CyclicMinSearch
+from repro.search.maxmin import MaxMinSearch
+from repro.search.positivemin import PositiveMinSearch
+from repro.search.randommin import RandomMinSearch
+from repro.search.twoneighbor import TwoNeighborSearch, two_neighbor_flip_sequence
+from tests.conftest import random_qubo
+
+N = 24
+BATCH = 5
+
+
+@pytest.fixture
+def state():
+    model = random_qubo(N, seed=13)
+    st = BatchDeltaState(model, batch=BATCH)
+    rng = np.random.default_rng(3)
+    st.reset(rng.integers(0, 2, size=(BATCH, N), dtype=np.uint8))
+    return st
+
+
+@pytest.fixture
+def device_rng():
+    return XorShift64Star(spawn_device_seeds(host_generator(0), (BATCH, N)))
+
+
+class TestMaxMin:
+    def test_selected_delta_under_threshold_ceiling(self, state, device_rng):
+        """Selected bits must satisfy Δ ≤ D(t) ≤ maxΔ; at late t they must
+        approach the row minimum."""
+        alg = MaxMinSearch()
+        total = 100
+        idx = alg.select(state, t=total, total=total, rng=device_rng, tabu_mask=None)
+        # at t = T the ceiling D(T) = minΔ, so selection is exactly the min
+        chosen = state.delta[np.arange(BATCH), idx]
+        assert np.array_equal(chosen, state.delta.min(axis=1))
+
+    def test_early_iterations_allow_uphill(self, state, device_rng):
+        alg = MaxMinSearch()
+        seen_deltas = []
+        for _ in range(50):
+            idx = alg.select(state, t=1, total=100, rng=device_rng, tabu_mask=None)
+            seen_deltas.extend(state.delta[np.arange(BATCH), idx].tolist())
+        # with D(1) ≈ maxΔ some selections should exceed the row minimum
+        assert max(seen_deltas) > state.delta.min()
+
+    def test_respects_tabu(self, state, device_rng):
+        alg = MaxMinSearch()
+        tabu = np.zeros((BATCH, N), dtype=bool)
+        tabu[:, :N] = True
+        tabu[:, 7] = False  # only bit 7 allowed
+        idx = alg.select(state, t=50, total=100, rng=device_rng, tabu_mask=tabu)
+        assert np.all(idx == 7)
+
+    def test_all_tabu_falls_back(self, state, device_rng):
+        alg = MaxMinSearch()
+        tabu = np.ones((BATCH, N), dtype=bool)
+        idx = alg.select(state, t=50, total=100, rng=device_rng, tabu_mask=tabu)
+        assert np.all((0 <= idx) & (idx < N))
+
+
+class TestCyclicMin:
+    def test_window_width_schedule(self):
+        alg = CyclicMinSearch(c=32)
+        n, total = 1000, 200
+        widths = [alg.window_width(t, total, n) for t in range(1, total + 1)]
+        assert widths[0] == 32  # floor c
+        assert widths[-1] == n  # full circle at t = T
+        assert all(a <= b for a, b in zip(widths, widths[1:]))
+
+    def test_c_clamped_to_n(self):
+        alg = CyclicMinSearch(c=32)
+        assert alg.window_width(1, 100, 10) <= 10
+
+    def test_selects_min_in_window(self, state):
+        alg = CyclicMinSearch(c=4)
+        alg.begin(state, 100)
+        # width at t=1 of 100 with n=24: max((1/100)^3*24, 4) = 4 → window [0, 4)
+        idx = alg.select(state, t=1, total=100, rng=None, tabu_mask=None)
+        expected = np.argmin(state.delta[:, :4], axis=1)
+        assert np.array_equal(idx, expected)
+
+    def test_cursor_advances_and_wraps(self, state):
+        alg = CyclicMinSearch(c=10)
+        alg.begin(state, 1000)
+        for t in range(1, 8):
+            alg.select(state, t=t, total=1000, rng=None, tabu_mask=None)
+        assert np.all(alg._cursor == (7 * 10) % N)
+
+    def test_deterministic(self, state):
+        a1 = CyclicMinSearch(c=8)
+        a2 = CyclicMinSearch(c=8)
+        a1.begin(state, 50)
+        a2.begin(state, 50)
+        for t in range(1, 6):
+            i1 = a1.select(state, t, 50, None, None)
+            i2 = a2.select(state, t, 50, None, None)
+            assert np.array_equal(i1, i2)
+
+    def test_tabu_within_window(self, state):
+        alg = CyclicMinSearch(c=6)
+        alg.begin(state, 100)
+        tabu = np.zeros((BATCH, N), dtype=bool)
+        best_in_window = np.argmin(state.delta[:, :6], axis=1)
+        tabu[np.arange(BATCH), best_in_window] = True
+        idx = alg.select(state, t=1, total=100, rng=None, tabu_mask=tabu)
+        assert np.all(idx != best_in_window)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError, match="c must be"):
+            CyclicMinSearch(c=0)
+
+
+class TestRandomMin:
+    def test_probability_schedule(self):
+        alg = RandomMinSearch(c=32)
+        n, total = 1000, 100
+        p_early = alg.probability(1, total, n)
+        p_late = alg.probability(total, total, n)
+        assert p_early == 32 / 1000  # the floor c/n
+        assert p_late == 1.0
+
+    def test_selects_min_among_candidates(self, state, device_rng):
+        alg = RandomMinSearch(c=2)
+        # at t = T every bit is a candidate → exact row argmin
+        idx = alg.select(state, t=100, total=100, rng=device_rng, tabu_mask=None)
+        assert np.array_equal(idx, np.argmin(state.delta, axis=1))
+
+    def test_respects_tabu(self, state, device_rng):
+        alg = RandomMinSearch(c=N)
+        tabu = np.zeros((BATCH, N), dtype=bool)
+        tabu[np.arange(BATCH), np.argmin(state.delta, axis=1)] = True
+        idx = alg.select(state, t=100, total=100, rng=device_rng, tabu_mask=tabu)
+        assert np.all(idx != np.argmin(state.delta, axis=1))
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError, match="c must be"):
+            RandomMinSearch(c=0)
+
+
+class TestPositiveMin:
+    def test_candidates_bounded_by_posmin(self, state, device_rng):
+        alg = PositiveMinSearch()
+        positive = np.where(state.delta > 0, state.delta, np.int64(2**62))
+        posmin = positive.min(axis=1)
+        for _ in range(20):
+            idx = alg.select(state, t=1, total=1, rng=device_rng, tabu_mask=None)
+            chosen = state.delta[np.arange(BATCH), idx]
+            assert np.all(chosen <= posmin)
+
+    def test_all_negative_row_any_bit_allowed(self, device_rng):
+        from repro.core.qubo import QUBOModel
+
+        model = QUBOModel(np.diag([-5] * N))  # from zero vector all Δ < 0
+        st = BatchDeltaState(model, batch=BATCH)
+        alg = PositiveMinSearch()
+        seen = set()
+        for _ in range(60):
+            idx = alg.select(st, 1, 1, device_rng, None)
+            seen.update(idx.tolist())
+        assert len(seen) > N // 2  # uniform over all bits
+
+    def test_respects_tabu(self, state, device_rng):
+        alg = PositiveMinSearch()
+        # make every non-tabu bit just one specific index
+        tabu = np.ones((BATCH, N), dtype=bool)
+        tabu[:, 5] = False
+        positive = np.where(state.delta > 0, state.delta, np.int64(2**62))
+        posmin = positive.min(axis=1)
+        idx = alg.select(state, 1, 1, device_rng, tabu)
+        # rows where bit 5 qualifies must select it; others fall back to tabu bits
+        qualifies = state.delta[:, 5] <= posmin
+        assert np.all(idx[qualifies] == 5)
+
+
+class TestTwoNeighbor:
+    def test_sequence_matches_paper_example(self):
+        # §III.A.7 example with n = 6: flips 0,1,0,2,1,3,2,4,3,5,4
+        seq = two_neighbor_flip_sequence(6)
+        assert seq.tolist() == [0, 1, 0, 2, 1, 3, 2, 4, 3, 5, 4]
+
+    def test_sequence_visits_all_one_bit_neighbors(self):
+        """Following the sequence from X=0 must visit every weight-1 vector."""
+        n = 9
+        seq = two_neighbor_flip_sequence(n)
+        x = np.zeros(n, dtype=np.uint8)
+        visited = set()
+        for bit in seq:
+            x[bit] ^= 1
+            visited.add(tuple(x))
+        for i in range(n):
+            e = np.zeros(n, dtype=np.uint8)
+            e[i] = 1
+            assert tuple(e) in visited
+
+    def test_sequence_length(self):
+        for n in (1, 2, 5, 33):
+            assert two_neighbor_flip_sequence(n).shape == (2 * n - 1,)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError, match="n must be"):
+            two_neighbor_flip_sequence(0)
+
+    def test_select_broadcasts_same_bit(self, state):
+        alg = TwoNeighborSearch()
+        alg.begin(state, 2 * N - 1)
+        idx = alg.select(state, t=1, total=2 * N - 1, rng=None, tabu_mask=None)
+        assert np.all(idx == idx[0])
+
+    def test_no_tabu_support(self):
+        assert not TwoNeighborSearch.supports_tabu
+
+
+class TestRegistry:
+    def test_builds_all_five(self):
+        algs = build_main_algorithms()
+        assert set(algs) == set(MainAlgorithm)
+
+    def test_restricted_set(self):
+        algs = build_main_algorithms(include=(MainAlgorithm.CYCLICMIN,))
+        assert set(algs) == {MainAlgorithm.CYCLICMIN}
+
+    def test_config_threads_through(self):
+        cfg = BatchSearchConfig(cyclicmin_c=7, randommin_c=9)
+        algs = build_main_algorithms(cfg)
+        assert algs[MainAlgorithm.CYCLICMIN].c == 7
+        assert algs[MainAlgorithm.RANDOMMIN].c == 9
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown"):
+            build_main_algorithms(include=("nope",))
+
+    def test_instances_not_shared(self):
+        a = build_main_algorithms()
+        b = build_main_algorithms()
+        assert a[MainAlgorithm.CYCLICMIN] is not b[MainAlgorithm.CYCLICMIN]

@@ -1,0 +1,107 @@
+"""Tests for the Greedy and Straight phases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta import BatchDeltaState
+from repro.search.greedy import greedy_descent, greedy_select
+from repro.search.straight import straight_select, straight_walk
+from repro.utils.bitvec import hamming_distance
+from tests.conftest import random_qubo
+
+
+class TestGreedy:
+    def test_terminates_at_local_minimum(self):
+        model = random_qubo(20, seed=1)
+        state = BatchDeltaState(model, batch=6)
+        rng = np.random.default_rng(0)
+        state.reset(rng.integers(0, 2, size=(6, 20), dtype=np.uint8))
+        greedy_descent(state)
+        assert np.all(state.is_local_minimum())
+
+    def test_every_flip_decreases_energy(self):
+        model = random_qubo(15, seed=2)
+        state = BatchDeltaState(model, batch=4)
+        state.reset(np.ones((4, 15), dtype=np.uint8))
+        energies = [state.energy.copy()]
+
+        def on_flip(idx, active):
+            energies.append(state.energy.copy())
+
+        greedy_descent(state, on_flip=on_flip)
+        for before, after in zip(energies, energies[1:]):
+            assert np.all(after <= before)
+
+    def test_select_inactive_at_local_minimum(self):
+        from repro.core.qubo import QUBOModel
+
+        model = QUBOModel(np.diag([2, 3]))  # zero vector is optimal
+        state = BatchDeltaState(model, batch=2)
+        _, active = greedy_select(state)
+        assert not active.any()
+
+    def test_flip_counts_returned(self):
+        model = random_qubo(12, seed=3)
+        state = BatchDeltaState(model, batch=3)
+        state.reset(np.ones((3, 12), dtype=np.uint8))
+        flips = greedy_descent(state)
+        assert flips.shape == (3,)
+        assert np.all(flips >= 0)
+
+    def test_max_iters_cap(self):
+        model = random_qubo(12, seed=4)
+        state = BatchDeltaState(model, batch=2)
+        state.reset(np.ones((2, 12), dtype=np.uint8))
+        flips = greedy_descent(state, max_iters=1)
+        assert np.all(flips <= 1)
+
+
+class TestStraight:
+    def test_reaches_target_in_exact_hamming_flips(self):
+        model = random_qubo(18, seed=5)
+        state = BatchDeltaState(model, batch=4)
+        rng = np.random.default_rng(7)
+        targets = rng.integers(0, 2, size=(4, 18), dtype=np.uint8)
+        dists = [hamming_distance(state.x[r], targets[r]) for r in range(4)]
+        flips = straight_walk(state, targets)
+        assert np.array_equal(state.x, targets)
+        assert flips.tolist() == dists
+
+    def test_distance_decreases_monotonically(self):
+        model = random_qubo(16, seed=6)
+        state = BatchDeltaState(model, batch=2)
+        targets = np.ones((2, 16), dtype=np.uint8)
+        seen = [np.count_nonzero(state.x != targets, axis=1)]
+
+        def on_flip(idx, active):
+            seen.append(np.count_nonzero(state.x != targets, axis=1))
+
+        straight_walk(state, targets, on_flip=on_flip)
+        for before, after in zip(seen, seen[1:]):
+            assert np.all(after <= before)
+
+    def test_select_only_differing_bits(self):
+        model = random_qubo(10, seed=8)
+        state = BatchDeltaState(model, batch=3)
+        targets = np.zeros((3, 10), dtype=np.uint8)
+        targets[:, 4] = 1
+        idx, active = straight_select(state, targets)
+        assert np.all(idx == 4)
+        assert active.all()
+
+    def test_noop_when_already_at_target(self):
+        model = random_qubo(10, seed=9)
+        state = BatchDeltaState(model, batch=2)
+        flips = straight_walk(state, np.zeros((2, 10), dtype=np.uint8))
+        assert np.all(flips == 0)
+
+    def test_rows_converge_independently(self):
+        model = random_qubo(10, seed=10)
+        state = BatchDeltaState(model, batch=2)
+        targets = np.zeros((2, 10), dtype=np.uint8)
+        targets[1] = 1  # row 0 already done, row 1 needs 10 flips
+        flips = straight_walk(state, targets)
+        assert flips.tolist() == [0, 10]
+        assert np.array_equal(state.x, targets)

@@ -1,0 +1,163 @@
+"""Hypothesis property tests for the search-algorithm selection rules.
+
+These complement the deterministic unit tests with randomized states: for
+arbitrary (model, state, iteration) the selection rules must satisfy their
+defining §III.A properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import BatchDeltaState
+from repro.core.rng import XorShift64Star, host_generator, spawn_device_seeds
+from repro.search.cyclicmin import CyclicMinSearch
+from repro.search.maxmin import MaxMinSearch
+from repro.search.positivemin import PositiveMinSearch
+from repro.search.randommin import RandomMinSearch
+from repro.search.twoneighbor import two_neighbor_flip_sequence
+from tests.conftest import random_qubo
+
+BATCH = 3
+
+
+def make_state(n, model_seed, state_seed):
+    model = random_qubo(n, seed=model_seed)
+    state = BatchDeltaState(model, batch=BATCH)
+    rng = np.random.default_rng(state_seed)
+    state.reset(rng.integers(0, 2, size=(BATCH, n), dtype=np.uint8))
+    return state
+
+
+def lanes(n, seed):
+    return XorShift64Star(spawn_device_seeds(host_generator(seed), (BATCH, n)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=40),
+    model_seed=st.integers(0, 10**6),
+    state_seed=st.integers(0, 10**6),
+    t=st.integers(min_value=1, max_value=50),
+)
+def test_all_rules_select_valid_indices(n, model_seed, state_seed, t):
+    state = make_state(n, model_seed, state_seed)
+    rng = lanes(n, state_seed)
+    total = 50
+    for alg in (
+        MaxMinSearch(),
+        CyclicMinSearch(c=4),
+        RandomMinSearch(c=4),
+        PositiveMinSearch(),
+    ):
+        alg.begin(state, total)
+        idx = alg.select(state, t, total, rng, None)
+        assert idx.shape == (BATCH,)
+        assert np.all((0 <= idx) & (idx < n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=30),
+    model_seed=st.integers(0, 10**6),
+    state_seed=st.integers(0, 10**6),
+)
+def test_maxmin_final_iteration_is_steepest(n, model_seed, state_seed):
+    """At t = T the MaxMin ceiling collapses to minΔ: pure steepest descent."""
+    state = make_state(n, model_seed, state_seed)
+    idx = MaxMinSearch().select(state, 100, 100, lanes(n, state_seed), None)
+    chosen = state.delta[np.arange(BATCH), idx]
+    assert np.array_equal(chosen, state.delta.min(axis=1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=30),
+    model_seed=st.integers(0, 10**6),
+    state_seed=st.integers(0, 10**6),
+    t=st.integers(min_value=1, max_value=99),
+)
+def test_maxmin_never_exceeds_row_maximum(n, model_seed, state_seed, t):
+    state = make_state(n, model_seed, state_seed)
+    idx = MaxMinSearch().select(state, t, 100, lanes(n, state_seed), None)
+    chosen = state.delta[np.arange(BATCH), idx]
+    assert np.all(chosen <= state.delta.max(axis=1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=30),
+    model_seed=st.integers(0, 10**6),
+    state_seed=st.integers(0, 10**6),
+    t=st.integers(min_value=1, max_value=100),
+)
+def test_positivemin_candidate_bound(n, model_seed, state_seed, t):
+    """Selected Δ never exceeds posminΔ (when a positive Δ exists)."""
+    state = make_state(n, model_seed, state_seed)
+    idx = PositiveMinSearch().select(state, t, 100, lanes(n, state_seed), None)
+    chosen = state.delta[np.arange(BATCH), idx]
+    for r in range(BATCH):
+        positives = state.delta[r][state.delta[r] > 0]
+        if positives.size:
+            assert chosen[r] <= positives.min()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=30),
+    model_seed=st.integers(0, 10**6),
+    state_seed=st.integers(0, 10**6),
+)
+def test_cyclicmin_window_partition(n, model_seed, state_seed):
+    """Consecutive window selections advance the cursor by the window width
+    modulo n, never skipping a position."""
+    state = make_state(n, model_seed, state_seed)
+    alg = CyclicMinSearch(c=3)
+    total = 40
+    alg.begin(state, total)
+    expected = 0
+    for t in range(1, 8):
+        w = alg.window_width(t, total, n)
+        alg.select(state, t, total, None, None)
+        expected = (expected + w) % n
+        assert np.all(alg._cursor == expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=200))
+def test_two_neighbor_sequence_net_effect(n):
+    """Applying the full 2n−1 flip sequence to X leaves exactly bit n−1
+    flipped (the worked example's final state 000001, generalized)."""
+    seq = two_neighbor_flip_sequence(n)
+    x = np.zeros(n, dtype=np.uint8)
+    for bit in seq:
+        x[bit] ^= 1
+    expected = np.zeros(n, dtype=np.uint8)
+    expected[n - 1] = 1
+    assert np.array_equal(x, expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=24),
+    model_seed=st.integers(0, 10**6),
+    seed=st.integers(0, 10**6),
+)
+def test_batch_search_best_is_lower_bound_of_final(n, model_seed, seed):
+    """The tracked best is ≤ the final state energy and is achievable."""
+    from repro.search.batch import BatchSearchConfig, run_batch_search
+    from repro.search.randommin import RandomMinSearch
+
+    model = random_qubo(n, seed=model_seed)
+    state = BatchDeltaState(model, batch=BATCH)
+    rng = lanes(n, seed)
+    host = np.random.default_rng(seed)
+    targets = host.integers(0, 2, size=(BATCH, n), dtype=np.uint8)
+    tracker, flips = run_batch_search(
+        state, targets, RandomMinSearch(), rng, BatchSearchConfig()
+    )
+    assert np.all(tracker.best_energy <= state.energy)
+    assert np.array_equal(model.energies(tracker.best_x), tracker.best_energy)
+    assert np.all(flips >= 0)

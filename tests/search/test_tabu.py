@@ -1,0 +1,55 @@
+"""Tests for tabu bookkeeping (§III.A.8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.search.tabu import TabuTracker
+
+
+class TestTabuTracker:
+    def test_initially_nothing_tabu(self):
+        t = TabuTracker(batch=3, n=5, period=8)
+        assert not t.mask().any()
+
+    def test_flip_becomes_tabu_for_exactly_period_iterations(self):
+        t = TabuTracker(batch=1, n=4, period=3)
+        t.record(np.array([2]))
+        # tabu for the next 3 iterations
+        for _ in range(3):
+            assert t.mask()[0, 2]
+            t.record(np.array([0]))  # flip something else each iteration
+        # bit 0 was just flipped so it is tabu, but bit 2 expired
+        assert not t.mask()[0, 2]
+
+    def test_zero_period_is_noop(self):
+        t = TabuTracker(batch=2, n=3, period=0)
+        assert not t.enabled
+        assert t.mask() is None
+        t.record(np.array([0, 1]))  # must not raise
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            TabuTracker(1, 1, -1)
+
+    def test_active_mask_limits_stamps(self):
+        t = TabuTracker(batch=3, n=4, period=5)
+        t.record(np.array([1, 1, 1]), active=np.array([True, False, True]))
+        m = t.mask()
+        assert m[0, 1] and m[2, 1]
+        assert not m[1, 1]
+
+    def test_reset_clears_everything(self):
+        t = TabuTracker(batch=1, n=3, period=4)
+        t.record(np.array([0]))
+        t.reset()
+        assert not t.mask().any()
+        assert t.clock == 0
+
+    def test_per_row_independence(self):
+        t = TabuTracker(batch=2, n=3, period=2)
+        t.record(np.array([0, 2]))
+        m = t.mask()
+        assert m[0, 0] and not m[0, 2]
+        assert m[1, 2] and not m[1, 0]

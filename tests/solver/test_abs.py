@@ -1,0 +1,85 @@
+"""Tests for the ABS baseline solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import GeneticOp, MainAlgorithm
+from repro.core.qubo import brute_force
+from repro.search.batch import BatchSearchConfig
+from repro.solver.abs_solver import ABSSolver, MutateCrossoverGenerator
+from repro.solver.dabs import DABSConfig
+from tests.conftest import random_qubo
+
+CFG = DABSConfig(
+    num_gpus=2,
+    blocks_per_gpu=4,
+    pool_capacity=10,
+    batch=BatchSearchConfig(batch_flip_factor=2.0),
+)
+
+
+class TestABSSolver:
+    def test_only_cyclicmin_executed(self):
+        model = random_qubo(14, seed=1)
+        solver = ABSSolver(model, CFG, seed=0)
+        result = solver.solve(max_rounds=4)
+        for alg, count in result.counters.algorithms.items():
+            if alg is not MainAlgorithm.CYCLICMIN:
+                assert count == 0
+        assert result.counters.algorithms[MainAlgorithm.CYCLICMIN] > 0
+
+    def test_single_operation_tag(self):
+        model = random_qubo(14, seed=2)
+        result = ABSSolver(model, CFG, seed=0).solve(max_rounds=3)
+        for op, count in result.counters.operations.items():
+            if op is not GeneticOp.CROSSOVER:
+                assert count == 0
+
+    def test_finds_optimum_small_model(self):
+        model = random_qubo(14, seed=3)
+        _, opt = brute_force(model)
+        result = ABSSolver(model, CFG, seed=0).solve(target_energy=opt, max_rounds=80)
+        assert result.best_energy == opt
+
+    def test_user_algorithm_overrides_ignored(self):
+        """ABS pins its strategy even when the caller's config says otherwise."""
+        cfg = DABSConfig(
+            num_gpus=1,
+            blocks_per_gpu=2,
+            pool_capacity=5,
+            algorithm_set=(MainAlgorithm.MAXMIN,),
+        )
+        model = random_qubo(10, seed=4)
+        solver = ABSSolver(model, cfg, seed=0)
+        assert solver.config.algorithm_set == (MainAlgorithm.CYCLICMIN,)
+
+    def test_result_energy_matches_vector(self):
+        model = random_qubo(12, seed=5)
+        result = ABSSolver(model, CFG, seed=1).solve(max_rounds=3)
+        assert model.energy(result.best_vector) == result.best_energy
+
+
+class TestMutateCrossoverGenerator:
+    def test_child_mixes_and_mutates(self):
+        from repro.core.packet import Packet
+        from repro.ga.pool import SolutionPool
+
+        n = 32
+        gen = MutateCrossoverGenerator(n)
+        pool = SolutionPool(5, n, np.random.default_rng(0))
+        for e in range(1, 6):
+            pool.insert(
+                Packet(
+                    np.zeros(n, dtype=np.uint8),
+                    -e,
+                    MainAlgorithm.CYCLICMIN,
+                    GeneticOp.CROSSOVER,
+                )
+            )
+        rng = np.random.default_rng(1)
+        # all parents zero → child bits can only come from mutation (p = 1/8)
+        children = [gen.generate(GeneticOp.CROSSOVER, pool, None, rng) for _ in range(200)]
+        rate = np.mean([c.mean() for c in children])
+        assert 0.08 < rate < 0.17

@@ -1,0 +1,61 @@
+"""Tests for solver result types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import GeneticOp, MainAlgorithm
+from repro.ga.adaptive import SelectionCounters
+from repro.solver.result import ImprovementEvent, SolveResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        best_vector=np.zeros(4, dtype=np.uint8),
+        best_energy=-42,
+        reached_target=True,
+        time_to_target=1.5,
+        elapsed=2.0,
+        rounds=3,
+        total_flips=1000,
+        counters=SelectionCounters(),
+        first_found=(MainAlgorithm.MAXMIN, GeneticOp.BEST),
+    )
+    defaults.update(overrides)
+    return SolveResult(**defaults)
+
+
+class TestSolveResult:
+    def test_flips_per_second(self):
+        assert make_result().flips_per_second == 500.0
+
+    def test_flips_per_second_zero_elapsed(self):
+        assert make_result(elapsed=0.0).flips_per_second == 0.0
+
+    def test_summary_contains_key_facts(self):
+        text = make_result().summary()
+        assert "energy=-42" in text
+        assert "TTS=1.500s" in text
+        assert "MAXMIN/BEST" in text
+
+    def test_summary_without_target_or_strategy(self):
+        text = make_result(time_to_target=None, first_found=None).summary()
+        assert "TTS" not in text
+        assert "first-found" not in text
+
+    def test_history_default_empty(self):
+        assert make_result().history == []
+
+
+class TestImprovementEvent:
+    def test_immutable(self):
+        ev = ImprovementEvent(
+            time=0.1,
+            round=1,
+            energy=-5,
+            algorithm=MainAlgorithm.CYCLICMIN,
+            operation=GeneticOp.ZERO,
+        )
+        with pytest.raises(AttributeError):
+            ev.energy = -6

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.formats import write_gset, write_qaplib, write_qubo
+from repro.problems.gset import gset_like
+from repro.problems.qap import grid_qap
+from tests.conftest import random_qubo
+
+
+@pytest.fixture
+def qubo_file(tmp_path):
+    model = random_qubo(10, seed=0)
+    path = tmp_path / "model.qubo"
+    write_qubo(path, model)
+    return path, model
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["x.qubo"])
+        assert args.solver == "dabs"
+        assert args.format == "auto"
+
+    def test_rejects_unknown_solver(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x", "--solver", "gurobi"])
+
+
+class TestMain:
+    def test_solves_qubo_file(self, qubo_file, capsys):
+        path, model = qubo_file
+        rc = main([str(path), "--rounds", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "energy" in out
+        assert f"{model.n} variables" in out
+
+    def test_gset_reports_cut(self, tmp_path, capsys):
+        adj = gset_like(12, 20, seed=1)
+        path = tmp_path / "g12.txt"
+        write_gset(path, adj)
+        rc = main([str(path), "--rounds", "5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cut     :" in out
+
+    def test_qaplib_decodes_assignment(self, tmp_path, capsys):
+        inst = grid_qap(2, 2, seed=2)
+        path = tmp_path / "nug4.dat"
+        write_qaplib(path, inst)
+        rc = main([str(path), "--rounds", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "assignment" in out
+
+    @pytest.mark.parametrize("solver", ["abs", "sa", "tabu", "sbm", "exact", "mip"])
+    def test_all_solvers_run(self, qubo_file, capsys, solver):
+        path, model = qubo_file
+        rc = main([str(path), "--solver", solver, "--time-limit", "2", "--rounds", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "energy" in out
+
+    def test_exact_solver_proves_small(self, qubo_file, capsys):
+        path, model = qubo_file
+        from repro.core.qubo import brute_force
+
+        rc = main([str(path), "--solver", "exact"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "proved optimal" in out
+        _, opt = brute_force(model)
+        assert f"energy  : {opt}" in out
+
+    def test_missing_file_errors(self, capsys):
+        rc = main(["/nonexistent/path.qubo"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_file_errors(self, tmp_path, capsys):
+        path = tmp_path / "bad.qubo"
+        path.write_text("2\n0 1\n")
+        rc = main([str(path)])
+        assert rc == 2

@@ -1,0 +1,54 @@
+"""Tests for the Chimera topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topology.chimera import chimera_graph, chimera_index
+
+
+class TestChimeraGraph:
+    def test_node_count(self):
+        # 8 qubits per cell
+        for m in (1, 2, 4):
+            assert chimera_graph(m).number_of_nodes() == 8 * m * m
+
+    def test_c16_is_2000q_scale(self):
+        # D-Wave 2000Q: 2048 qubits
+        assert chimera_graph(16).number_of_nodes() == 2048
+
+    def test_edge_count_formula(self):
+        # per cell: 16 intra; vertical: 4·m·(m−1); horizontal: 4·m·(m−1)
+        for m in (1, 2, 3):
+            g = chimera_graph(m)
+            expected = 16 * m * m + 8 * m * (m - 1)
+            assert g.number_of_edges() == expected
+
+    def test_max_degree(self):
+        g = chimera_graph(3)
+        assert max(d for _, d in g.degree) == 6  # 4 intra + 2 external
+
+    def test_intra_cell_is_k44(self):
+        g = chimera_graph(2)
+        left = [chimera_index(0, 0, 0, k, 2) for k in range(4)]
+        right = [chimera_index(0, 0, 1, k, 2) for k in range(4)]
+        for a in left:
+            for b in right:
+                assert g.has_edge(a, b)
+        for a in left:
+            for b in left:
+                if a != b:
+                    assert not g.has_edge(a, b)
+
+    def test_connected(self):
+        assert nx.is_connected(chimera_graph(3))
+
+    def test_bipartite_cells_coords_attr(self):
+        g = chimera_graph(2)
+        coords = g.nodes[chimera_index(1, 0, 1, 2, 2)]["chimera_coords"]
+        assert coords == (1, 0, 1, 2)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            chimera_graph(0)

@@ -1,0 +1,122 @@
+"""Tests for clique minor-embedding into Chimera (§I.A capability)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ising import IsingModel, bits_to_spins, ising_to_qubo
+from repro.core.qubo import brute_force
+from repro.topology.chimera import chimera_graph
+from repro.topology.embedding import (
+    chimera_clique_embedding,
+    clique_coupler_map,
+    embed_ising,
+    unembed_spins,
+)
+
+
+def random_clique_ising(n, seed, wmax=3):
+    rng = np.random.default_rng(seed)
+    j = np.triu(rng.integers(-wmax, wmax + 1, (n, n)), 1)
+    h = rng.integers(-wmax, wmax + 1, n)
+    return IsingModel(j, h)
+
+
+class TestCliqueEmbedding:
+    def test_chain_count_and_length(self):
+        for m in (1, 2, 3):
+            chains = chimera_clique_embedding(m)
+            assert len(chains) == 4 * m  # embeds K_{4m}
+            assert all(len(c) == 2 * m for c in chains)
+
+    def test_chains_are_disjoint(self):
+        chains = chimera_clique_embedding(3)
+        seen = set()
+        for chain in chains:
+            for q in chain:
+                assert q not in seen
+                seen.add(q)
+
+    def test_chains_are_connected_paths(self):
+        g = chimera_graph(3)
+        for chain in chimera_clique_embedding(3):
+            # row part is a path through shore-1 qubits? chains are
+            # connected subgraphs of the chimera graph
+            sub = g.subgraph(chain)
+            import networkx as nx
+
+            assert nx.is_connected(sub)
+
+    def test_coupler_map_covers_all_pairs(self):
+        m = 2
+        couplers = clique_coupler_map(m)
+        n = 4 * m
+        assert len(couplers) == n * (n - 1) // 2
+
+    def test_couplers_are_real_edges_between_right_chains(self):
+        m = 2
+        g = chimera_graph(m)
+        chains = chimera_clique_embedding(m)
+        for (i, j), (p, q) in clique_coupler_map(m).items():
+            assert g.has_edge(p, q)
+            assert p in chains[i] or p in chains[j]
+            assert q in chains[i] or q in chains[j]
+            # one endpoint per chain
+            assert (p in chains[i]) != (p in chains[j])
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            chimera_clique_embedding(0)
+
+
+class TestEmbedUnembed:
+    def test_unembed_majority(self):
+        chains = [[0, 1, 2], [3, 4]]
+        spins = np.array([1, 1, -1, -1, -1])
+        assert unembed_spins(spins, chains).tolist() == [1, -1]
+
+    def test_unembed_tie_goes_positive(self):
+        chains = [[0, 1]]
+        assert unembed_spins(np.array([1, -1]), chains).tolist() == [1]
+
+    def test_embedding_preserves_ground_state(self):
+        """Brute-force the logical K_4 model and its C_1 embedding: the
+        embedded ground state must unembed to a logical ground state with
+        intact chains."""
+        m = 1
+        n = 4
+        logical = random_clique_ising(n, seed=5)
+        chains = chimera_clique_embedding(m)
+        couplers = clique_coupler_map(m)
+        strength = 1 + float(
+            np.max(
+                np.abs(logical.biases)
+                + np.abs(logical.interactions + logical.interactions.T).sum(axis=1)
+            )
+        )
+        physical = embed_ising(logical, chains, 8 * m * m, couplers, strength)
+        # exhaustive search over the 8 physical spins
+        qubo, offset = ising_to_qubo(physical)
+        x, e = brute_force(qubo)
+        phys_spins = bits_to_spins(x)
+        # chains must be intact in the ground state
+        for chain in chains:
+            vals = set(int(phys_spins[q]) for q in chain)
+            assert len(vals) == 1, "broken chain in embedded ground state"
+        decoded = unembed_spins(phys_spins, chains)
+        # decoded state must be a logical ground state
+        best_logical = min(
+            logical.hamiltonian(bits_to_spins([(c >> k) & 1 for k in range(n)]))
+            for c in range(1 << n)
+        )
+        assert logical.hamiltonian(decoded) == best_logical
+
+    def test_embed_validates_inputs(self):
+        logical = random_clique_ising(4, seed=0)
+        chains = chimera_clique_embedding(1)
+        couplers = clique_coupler_map(1)
+        with pytest.raises(ValueError, match="chains"):
+            embed_ising(logical, chains[:2], 8, couplers, 1.0)
+        with pytest.raises(ValueError, match="chain_strength"):
+            embed_ising(logical, chains, 8, couplers, 0.0)

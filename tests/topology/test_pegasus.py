@@ -1,0 +1,108 @@
+"""Tests for the Pegasus topology."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.pegasus import (
+    advantage_like_graph,
+    pegasus_graph,
+    pegasus_index,
+)
+
+
+class TestPegasusGraph:
+    def test_full_node_count_formula(self):
+        # 24·m·(m−1) qubits before fabric trimming
+        for m in (2, 3, 4):
+            g = pegasus_graph(m, fabric_only=False)
+            assert g.number_of_nodes() == 24 * m * (m - 1)
+
+    def test_p16_matches_advantage_exactly(self):
+        """Fabric P16 = 5640 qubits / 40484 couplers; the coupler count is
+        exactly the published Advantage full-yield figure."""
+        g = pegasus_graph(16)
+        assert g.number_of_nodes() == 5640
+        assert g.number_of_edges() == 40484
+
+    def test_max_degree_is_15(self):
+        g = pegasus_graph(4)
+        assert max(d for _, d in g.degree) == 15  # 12 internal + 2 external + 1 odd
+
+    def test_interior_qubit_has_12_internal_couplers(self):
+        m = 4
+        g = pegasus_graph(m)
+        # pick an interior vertical qubit and count its horizontal neighbours
+        v = pegasus_index(0, m // 2, 5, m // 2, m)
+        horiz = [
+            u
+            for u in g.neighbors(v)
+            if g.nodes[u]["pegasus_coords"][0] == 1
+        ]
+        assert len(horiz) == 12
+
+    def test_external_couplers(self):
+        m = 3
+        g = pegasus_graph(m, fabric_only=False)
+        assert g.has_edge(pegasus_index(0, 0, 0, 0, m), pegasus_index(0, 0, 0, 1, m))
+
+    def test_odd_couplers(self):
+        m = 3
+        g = pegasus_graph(m)
+        for k in (0, 2, 4, 6, 8, 10):
+            assert g.has_edge(
+                pegasus_index(1, 1, k, 0, m), pegasus_index(1, 1, k + 1, 0, m)
+            )
+        assert not g.has_edge(
+            pegasus_index(1, 1, 1, 0, m), pegasus_index(1, 1, 2, 0, m)
+        )
+
+    def test_connected(self):
+        assert nx.is_connected(pegasus_graph(3))
+
+    def test_rejects_small_m(self):
+        with pytest.raises(ValueError):
+            pegasus_graph(1)
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(ValueError, match="length 12"):
+            pegasus_graph(3, vertical_offsets=(2, 2))
+
+    def test_no_self_loops(self):
+        g = pegasus_graph(3)
+        assert all(a != b for a, b in g.edges)
+
+
+class TestAdvantageLikeGraph:
+    def test_default_scale_matches_paper(self):
+        g = advantage_like_graph(m=16, seed=0)
+        # paper: 5627 working qubits, 40279 working couplers
+        assert abs(g.number_of_nodes() - 5627) < 10
+        assert abs(g.number_of_edges() - 40279) < 300
+
+    def test_relabelled_contiguously(self):
+        g = advantage_like_graph(m=3, seed=1)
+        assert sorted(g.nodes) == list(range(g.number_of_nodes()))
+
+    def test_original_index_preserved(self):
+        g = advantage_like_graph(m=3, seed=1)
+        assert all("pegasus_node" in g.nodes[v] for v in g.nodes)
+
+    def test_deterministic(self):
+        a = advantage_like_graph(m=3, seed=5)
+        b = advantage_like_graph(m=3, seed=5)
+        assert sorted(a.edges) == sorted(b.edges)
+
+    def test_no_isolated_nodes(self):
+        g = advantage_like_graph(m=3, faulty_fraction=0.2, seed=2)
+        assert min(d for _, d in g.degree) >= 1
+
+    def test_zero_faults_keeps_fabric(self):
+        g = advantage_like_graph(m=3, faulty_fraction=0.0, faulty_edge_fraction=0.0)
+        assert g.number_of_nodes() == pegasus_graph(3).number_of_nodes()
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            advantage_like_graph(m=3, faulty_fraction=1.0)

@@ -1,0 +1,64 @@
+"""Tests for bit-vector utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitvec import (
+    format_bits,
+    hamming_distance,
+    pack_bits,
+    random_bit_vector,
+    unpack_bits,
+)
+
+
+class TestPacking:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=70)
+    )
+    def test_roundtrip(self, bits):
+        x = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(x), len(x)), x)
+
+    def test_packed_size(self):
+        assert pack_bits(np.zeros(17, dtype=np.uint8)).size == 3
+
+    def test_unpack_rejects_overlong(self):
+        with pytest.raises(ValueError, match="cannot unpack"):
+            unpack_bits(np.zeros(1, dtype=np.uint8), 9)
+
+
+class TestHamming:
+    def test_identical_is_zero(self):
+        x = np.array([1, 0, 1], dtype=np.uint8)
+        assert hamming_distance(x, x) == 0
+
+    def test_counts_differences(self):
+        a = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = np.array([0, 0, 1, 1], dtype=np.uint8)
+        assert hamming_distance(a, b) == 2
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            hamming_distance(np.zeros(3), np.zeros(4))
+
+
+class TestRandomAndFormat:
+    def test_random_bit_vector_deterministic(self):
+        a = random_bit_vector(20, np.random.default_rng(0))
+        b = random_bit_vector(20, np.random.default_rng(0))
+        assert np.array_equal(a, b)
+        assert set(np.unique(a)) <= {0, 1}
+
+    def test_format_groups(self):
+        x = np.array([1, 1, 0, 1, 0, 0, 1, 0], dtype=np.uint8)
+        assert format_bits(x) == "1101 0010"
+
+    def test_format_no_grouping(self):
+        x = np.array([1, 0, 1], dtype=np.uint8)
+        assert format_bits(x, group=0) == "101"

@@ -1,0 +1,81 @@
+"""Tests for validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_bit_vector,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        out = check_square_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_square_matrix([1, 2, 3])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError, match="numeric"):
+            check_square_matrix([["a", "b"], ["c", "d"]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinity"):
+            check_square_matrix(np.array([[np.inf, 0], [0, 0]]))
+
+
+class TestCheckBitVector:
+    def test_converts_bool(self):
+        out = check_bit_vector(np.array([True, False]))
+        assert out.dtype == np.uint8
+
+    def test_converts_int_list(self):
+        out = check_bit_vector([0, 1, 1])
+        assert out.dtype == np.uint8
+
+    def test_rejects_two(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_bit_vector([0, 2])
+
+    def test_rejects_fraction(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_bit_vector([0.5, 0.5])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            check_bit_vector(np.zeros((2, 2)))
+
+    def test_length_check(self):
+        with pytest.raises(ValueError, match="length 5"):
+            check_bit_vector([0, 1], n=5)
+
+
+class TestScalarChecks:
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1)
+
+    def test_positive(self):
+        assert check_positive(3) == 3
+        with pytest.raises(ValueError):
+            check_positive(0)
+        assert check_positive(0, strict=False) == 0
+        with pytest.raises(ValueError):
+            check_positive(-1, strict=False)
+
+    def test_in_range(self):
+        assert check_in_range(5, 0, 10) == 5
+        with pytest.raises(ValueError):
+            check_in_range(11, 0, 10)
