@@ -18,6 +18,7 @@ Quickstart::
 Package layout (see DESIGN.md for the full inventory):
 
 * :mod:`repro.core`      — QUBO/Ising models, incremental Δ engine, RNG, packets
+* :mod:`repro.backends`  — pluggable flip-kernel backends (dense/CSR/numba)
 * :mod:`repro.search`    — the 5 main search algorithms + greedy/straight/tabu
 * :mod:`repro.ga`        — solution pools, genetic operations, adaptive selection
 * :mod:`repro.gpu`       — the virtual-GPU lockstep execution substrate
@@ -28,6 +29,13 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.harness`   — TTS measurement and per-table/figure experiments
 """
 
+from repro.backends import (
+    ComputeBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.core import (
     BatchDeltaState,
     DeltaState,
@@ -52,6 +60,7 @@ __all__ = [
     "ABSSolver",
     "BatchDeltaState",
     "BatchSearchConfig",
+    "ComputeBackend",
     "DABSConfig",
     "DABSSolver",
     "DeltaState",
@@ -64,7 +73,11 @@ __all__ = [
     "SolveResult",
     "SparseQUBOModel",
     "__version__",
+    "available_backends",
     "brute_force",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
     "ising_to_qubo",
     "qubo_to_ising",
     "sparse_ising_to_qubo",

@@ -1,0 +1,198 @@
+"""Pluggable compute backends for the batch-search hot path.
+
+The registry maps names to :class:`~repro.backends.base.ComputeBackend`
+singletons.  Three implementations ship here:
+
+* ``numpy-dense`` — vectorized dense kernels (O(B·n) per flip),
+* ``numpy-sparse`` — CSR kernels (O(B·degree) per flip),
+* ``numba`` — optional JIT of the dense flip; cleanly absent without numba.
+
+Selection (first match wins):
+
+1. an explicit backend — a name or instance via ``DABSConfig.backend``,
+   ``BatchDeltaState(backend=...)`` or the CLI ``--backend`` flag,
+2. the ``REPRO_BACKEND`` environment variable,
+3. ``"auto"`` — CSR-coupled models use ``numpy-sparse``; dense integer
+   models at/below :data:`AUTO_SPARSE_DENSITY` density (and at least
+   :data:`AUTO_SPARSE_MIN_N` bits) also route to the CSR kernels, which is
+   bit-exact and much faster for G-set/Pegasus-style graphs; everything
+   else uses ``numpy-dense``.
+
+Requesting an unavailable backend by name falls back to the ``auto`` choice
+with a :class:`RuntimeWarning`; :func:`get_backend` instead raises
+:class:`~repro.backends.base.BackendUnavailableError` for callers that need
+the hard failure (e.g. the parity tests).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.backends.base import (
+    INT_SENTINEL,
+    BackendUnavailableError,
+    ComputeBackend,
+    masked_argmin,
+)
+from repro.backends.numba_backend import NumbaBackend
+from repro.backends.numpy_dense import NumpyDenseBackend
+from repro.backends.numpy_sparse import NumpySparseBackend
+
+__all__ = [
+    "AUTO_SPARSE_DENSITY",
+    "AUTO_SPARSE_MIN_N",
+    "BackendUnavailableError",
+    "ComputeBackend",
+    "INT_SENTINEL",
+    "NumbaBackend",
+    "NumpyDenseBackend",
+    "NumpySparseBackend",
+    "auto_backend_name",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "masked_argmin",
+    "register_backend",
+    "resolve_backend",
+    "validate_backend_name",
+]
+
+#: ``auto`` routes dense integer models at/below this coupling density to CSR.
+AUTO_SPARSE_DENSITY = 0.05
+#: ... but only from this size on (below it, dense vectorization wins).
+AUTO_SPARSE_MIN_N = 256
+
+#: environment variable consulted when no explicit backend is given
+_ENV_VAR = "REPRO_BACKEND"
+
+_REGISTRY: dict[str, ComputeBackend] = {}
+
+
+def register_backend(cls: type[ComputeBackend]) -> type[ComputeBackend]:
+    """Register a backend class under ``cls.name`` (usable as a decorator).
+
+    Unavailable backends register too — they surface in :func:`backend_names`
+    with a reason, and resolution falls back cleanly.
+    """
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty name")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, available or not."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends whose runtime dependencies are present."""
+    return tuple(
+        name for name in sorted(_REGISTRY) if _REGISTRY[name].is_available()
+    )
+
+
+def validate_backend_name(name: str) -> None:
+    """Strict check of a backend name (``"auto"`` or a registered name).
+
+    Raises ``ValueError`` with the registry's canonical message — the one
+    place the known-name policy lives; the CLI reuses it for eager
+    ``REPRO_BACKEND`` validation.
+    """
+    if name != "auto" and name not in _REGISTRY:
+        raise ValueError(
+            f"unknown backend {name!r} (registered: {', '.join(backend_names())})"
+        )
+
+
+def get_backend(name: str) -> ComputeBackend:
+    """Look up a backend by exact name; hard-fails when unavailable."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown backend {name!r} (registered: {', '.join(backend_names())})"
+        )
+    if not backend.is_available():
+        raise BackendUnavailableError(
+            f"backend {name!r} is unavailable: {backend.unavailable_reason()}"
+        )
+    return backend
+
+
+def auto_backend_name(model) -> str:
+    """The ``auto`` rule: pick kernels by coupling storage and density."""
+    couplings = model.couplings
+    if sp.issparse(couplings):
+        return NumpySparseBackend.name
+    if np.issubdtype(model.dtype, np.integer) and model.n >= AUTO_SPARSE_MIN_N:
+        possible = model.n * (model.n - 1) // 2
+        if possible and model.num_interactions / possible <= AUTO_SPARSE_DENSITY:
+            return NumpySparseBackend.name
+    return NumpyDenseBackend.name
+
+
+def resolve_backend(spec, model) -> ComputeBackend:
+    """Resolve a backend spec against *model*.
+
+    *spec* may be a :class:`ComputeBackend` instance (returned as-is), a
+    registered name, ``"auto"``, or ``None`` — which consults the
+    ``REPRO_BACKEND`` environment variable and then the ``auto`` rule.
+    A named-but-unavailable backend falls back to the ``auto`` choice with
+    a :class:`RuntimeWarning`.  Env-derived problems — an unknown name, or
+    a backend that cannot represent the model (e.g. ``numpy-sparse`` on a
+    float model) — also warn and fall back rather than raise: the env var
+    is a process-wide hint and must not break unrelated consumers.  An
+    explicitly passed unknown name still raises ``ValueError``.
+    """
+    if isinstance(spec, ComputeBackend):
+        return spec
+    name = spec
+    from_env = False
+    if name is None:
+        env = os.environ.get(_ENV_VAR, "").strip()
+        name = env or "auto"
+        from_env = bool(env)
+    if name == "auto":
+        return _REGISTRY[auto_backend_name(model)]
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        if from_env:
+            fallback = auto_backend_name(model)
+            warnings.warn(
+                f"{_ENV_VAR}={name!r} names an unknown backend (registered: "
+                f"{', '.join(backend_names())}); falling back to {fallback!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return _REGISTRY[fallback]
+        raise ValueError(
+            f"unknown backend {name!r} (registered: {', '.join(backend_names())})"
+        )
+    if not backend.is_available():
+        fallback = auto_backend_name(model)
+        warnings.warn(
+            f"backend {name!r} is unavailable "
+            f"({backend.unavailable_reason()}); falling back to {fallback!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _REGISTRY[fallback]
+    if from_env and not backend.supports(model):
+        fallback = auto_backend_name(model)
+        warnings.warn(
+            f"{_ENV_VAR}={name!r} cannot represent model {model.name!r} "
+            f"exactly; falling back to {fallback!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _REGISTRY[fallback]
+    return backend
+
+
+register_backend(NumpyDenseBackend)
+register_backend(NumpySparseBackend)
+register_backend(NumbaBackend)

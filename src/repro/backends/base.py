@@ -1,0 +1,227 @@
+"""Compute-backend interface: the kernels behind the batch search hot path.
+
+The paper specializes one kernel — the per-flip Δ update with X and Δ in
+CUDA registers (§III) — per execution substrate.  This module is the seam
+that makes the same specialization possible here: a :class:`ComputeBackend`
+owns everything the batch search does per iteration on device-shaped data:
+
+* state allocation/reset (``(B, n)`` solutions, energies, flip gains),
+* the per-flip Δ update (Eq. 4/5), dense or CSR,
+* the energy/argmin scans (``neighbor_min``, ``is_local_minimum``),
+* the straight/greedy inner loops (§III.A.1–2).
+
+Layers above (:class:`~repro.core.delta.BatchDeltaState`, the search
+algorithms, the virtual GPU) consume only this interface, so a new
+substrate — a different array library, a JIT, a real GPU — plugs in by
+registering one class (see :mod:`repro.backends`).
+
+Backends must be **bit-exactly interchangeable**: for integer models every
+implementation produces the identical (vector, energy, flip-count)
+trajectory under a fixed seed, which the parity tests assert.  All
+per-model precomputation lives in the object returned by :meth:`prepare`
+(kept on the state), so backend instances themselves are stateless
+singletons shared across solvers and threads.
+
+Selection helpers (:func:`masked_argmin`, :data:`INT_SENTINEL`) live here —
+rather than in :mod:`repro.search.base`, which re-exports them — because
+backend inner loops need them and backends sit below the search layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "INT_SENTINEL",
+    "BackendUnavailableError",
+    "ComputeBackend",
+    "masked_argmin",
+]
+
+#: Sentinel larger than any reachable Δ value; used to exclude positions
+#: from argmin selections.  int64 max would overflow float conversions, so a
+#: comfortably huge but safe value is used instead.
+INT_SENTINEL = np.int64(2**62)
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a requested backend's runtime dependency is missing."""
+
+
+def masked_argmin(
+    values: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row argmin of *values* restricted to ``mask`` positions.
+
+    Returns ``(idx, has_candidate)``.  Rows whose mask is empty fall back to
+    the unrestricted argmin (callers decide whether to treat them as active).
+    """
+    sentinel = np.where(mask, values, INT_SENTINEL)
+    idx = np.argmin(sentinel, axis=1)
+    has = mask.any(axis=1)
+    empty = ~has
+    if empty.any():
+        idx[empty] = np.argmin(values[empty], axis=1)
+    return idx, has
+
+
+class ComputeBackend(ABC):
+    """Kernels for one execution substrate of the batch search.
+
+    Implementations are stateless: all mutable data lives on the *state*
+    object (a :class:`~repro.core.delta.BatchDeltaState`), all per-model
+    read-only data in the kernel cache produced by :meth:`prepare` and
+    stored at ``state.kernel``.  The state object exposes ``model``,
+    ``batch``, ``kernel`` and the arrays ``x`` (``(B, n)`` uint8),
+    ``energy`` (``(B,)``) and ``delta`` (``(B, n)``).
+    """
+
+    #: registry name, e.g. ``"numpy-dense"``
+    name: str = ""
+
+    # -- lifecycle ---------------------------------------------------------
+    @classmethod
+    def is_available(cls) -> bool:
+        """False when a runtime dependency (e.g. numba) is missing."""
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        """Human-readable reason when :meth:`is_available` is False."""
+        return None
+
+    def supports(self, model) -> bool:
+        """False when this backend cannot represent *model* exactly
+        (e.g. CSR int64 kernels given float couplings).  Used by implicit
+        selection (env var) to fall back instead of failing; an explicit
+        request still hard-fails in :meth:`prepare`."""
+        return True
+
+    @abstractmethod
+    def prepare(self, model) -> object:
+        """Build the per-model kernel cache (coupling views, JIT handles).
+
+        Called once per state; the result is shared read-only by every
+        kernel invocation and must not be mutated afterwards.  The default
+        :meth:`reset` implementation expects a ``lin`` attribute (the
+        linear-term vector) on the returned cache.
+        """
+
+    # -- state management --------------------------------------------------
+    def reset(self, state, x=None) -> None:
+        """(Re)initialize ``state.x/energy/delta`` from vector(s) *x*
+        (zero vectors if omitted), reusing the existing buffers when
+        already allocated — cached states reset in place across launches."""
+        lin = state.kernel.lin
+        b, n = state.batch, state.model.n
+        if state.x is None:
+            state.x = np.empty((b, n), dtype=np.uint8)
+            state.energy = np.empty(b, dtype=lin.dtype)
+            state.delta = np.empty((b, n), dtype=lin.dtype)
+        if x is None:
+            state.x[...] = 0
+            state.energy[...] = 0
+            state.delta[...] = lin
+            return
+        np.copyto(state.x, np.asarray(x, dtype=np.uint8))
+        self._compute_from_x(state)
+
+    @abstractmethod
+    def flip(self, state, idx: np.ndarray, active: np.ndarray | None = None) -> None:
+        """Flip bit ``idx[r]`` in every active row *r* (Eq. 4/5 update)."""
+
+    def recompute(self, state) -> None:
+        """Recompute energies/deltas from scratch (consistency checks)."""
+        self._compute_from_x(state)
+
+    @abstractmethod
+    def _compute_from_x(self, state) -> None:
+        """Non-incremental energy/Δ computation from ``state.x`` into the
+        existing ``state.energy``/``state.delta`` buffers."""
+
+    @staticmethod
+    def _active_rows_cols(state, idx, active):
+        """``(rows, cols)`` actually flipping this step; None when no row is.
+
+        Shared mask prologue of every ``flip`` implementation — keeping it
+        in one place is what keeps the backends' masked-lane semantics (and
+        hence their bit-exact parity) from drifting apart.
+        """
+        if active is None:
+            return state._rows, np.asarray(idx)
+        rows = np.flatnonzero(active)
+        if rows.size == 0:
+            return None
+        return rows, np.asarray(idx)[rows]
+
+    # -- scans -------------------------------------------------------------
+    def neighbor_min(self, state) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row best 1-bit neighbour: ``(argmin_k Δ, E + min_k Δ)``."""
+        j = np.argmin(state.delta, axis=1)
+        return j, state.energy + state.delta[state._rows, j]
+
+    def is_local_minimum(self, state) -> np.ndarray:
+        """Per-row flag: no 1-bit flip decreases the energy."""
+        return np.all(state.delta >= 0, axis=1)
+
+    # -- inner loops (§III.A.1–2) ------------------------------------------
+    def greedy_descent(self, state, max_iters=None, on_flip=None) -> np.ndarray:
+        """Steepest descent to a per-row 1-bit local minimum.
+
+        ``max_iters`` is a safety cap (greedy always terminates on integer
+        models because every flip strictly decreases the energy, but float
+        models could cycle through ties).  ``on_flip(idx, active)`` is
+        invoked after each lockstep flip so callers can track bests/budgets.
+        Returns per-row flip counts.
+        """
+        b, n = state.x.shape
+        if max_iters is None:
+            max_iters = 16 * n + 64
+        flips = np.zeros(b, dtype=np.int64)
+        rows = np.arange(b)
+        for _ in range(max_iters):
+            idx = np.argmin(state.delta, axis=1)
+            active = state.delta[rows, idx] < 0
+            if not active.any():
+                break
+            self.flip(state, idx, active)
+            flips += active
+            if on_flip is not None:
+                on_flip(idx, active)
+        return flips
+
+    def straight_walk(self, state, targets, on_flip=None) -> np.ndarray:
+        """Best-gain walk of every row to its target vector.
+
+        The loop bound is exact: the maximum initial Hamming distance.
+        The difference mask and the per-row remaining distances are
+        maintained incrementally — every straight flip turns exactly one
+        differing bit into a matching one — instead of recomputed per step.
+        Returns per-row flip counts.
+        """
+        targets = np.asarray(targets, dtype=np.uint8)
+        b = state.x.shape[0]
+        rows = np.arange(b)
+        flips = np.zeros(b, dtype=np.int64)
+        diff = state.x != targets
+        remaining = diff.sum(axis=1)
+        for _ in range(int(remaining.max(initial=0))):
+            active = remaining > 0
+            if not active.any():
+                break
+            sentinel = np.where(diff, state.delta, INT_SENTINEL)
+            idx = np.argmin(sentinel, axis=1)
+            self.flip(state, idx, active)
+            # inactive rows have an all-False diff row, so clearing their
+            # (meaningless) argmin position is a no-op
+            diff[rows, idx] = False
+            remaining -= active
+            flips += active
+            if on_flip is not None:
+                on_flip(idx, active)
+        return flips
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,93 @@
+"""Optional numba backend: the dense flip kernel JIT-compiled per row.
+
+Importable whether or not numba is installed — :meth:`is_available` gates
+registration-time use and :func:`repro.backends.resolve_backend` falls back
+to the NumPy kernels (with a warning) when the dependency is missing.
+
+The jitted kernel performs exactly the arithmetic of the dense NumPy path
+(same operand order, int64 σ products), so integer-model trajectories are
+bit-identical with ``numpy-dense`` — the backend parity tests assert this
+whenever numba is importable.  Install with the ``numba`` extra:
+``pip install -e '.[numba]'``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.numpy_dense import NumpyDenseBackend
+
+__all__ = ["NumbaBackend"]
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    _NUMBA_ERROR: str | None = None
+except ImportError as exc:  # pragma: no cover - environment-dependent
+    njit = None
+    _NUMBA_ERROR = str(exc)
+
+_flip_dense_jit = None
+
+
+def _build_flip_kernel():  # pragma: no cover - requires numba
+    """Compile (lazily, once) the per-row dense flip kernel."""
+    global _flip_dense_jit
+    if _flip_dense_jit is not None:
+        return _flip_dense_jit
+
+    @njit(cache=True)
+    def flip_dense(x, energy, delta, s, rows, cols):
+        n = x.shape[1]
+        for k in range(rows.shape[0]):
+            r = rows[k]
+            c = cols[k]
+            d_i = delta[r, c]
+            energy[r] += d_i
+            s_old = 2 * np.int64(x[r, c]) - 1
+            x[r, c] = x[r, c] ^ np.uint8(1)
+            for j in range(n):
+                sigma = 2 * np.int64(x[r, j]) - 1
+                delta[r, j] += s[c, j] * (s_old * sigma)
+            delta[r, c] = -d_i
+
+    _flip_dense_jit = flip_dense
+    return flip_dense
+
+
+class NumbaBackend(NumpyDenseBackend):
+    """Dense kernels with the per-flip Δ update JIT-compiled by numba.
+
+    State layout, reset and scans are inherited from the dense NumPy
+    backend; only the hot per-flip update is replaced, mirroring how the
+    paper swaps one CUDA kernel per substrate.
+    """
+
+    name = "numba"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return njit is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        if njit is None:
+            return f"numba is not installed ({_NUMBA_ERROR})"
+        return None
+
+    def flip(
+        self, state, idx: np.ndarray, active: np.ndarray | None = None
+    ) -> None:  # pragma: no cover - requires numba
+        selected = self._active_rows_cols(state, idx, active)
+        if selected is None:
+            return
+        rows, cols = selected
+        kernel = _build_flip_kernel()
+        kernel(
+            state.x,
+            state.energy,
+            state.delta,
+            state.kernel.s,
+            np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+        )

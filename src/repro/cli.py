@@ -6,6 +6,7 @@ Usage::
                            [--solver dabs|abs|sa|tabu|sbm|exact|mip]
                            [--time-limit S] [--rounds N] [--target E]
                            [--seed K] [--gpus G] [--blocks B]
+                           [--backend auto|numpy-dense|numpy-sparse|numba]
 
 The file format is inferred from the extension by default (``.qubo``,
 ``.dat`` for QAPLIB, anything else is tried as Gset).  MaxCut/QAP files are
@@ -16,10 +17,12 @@ back to an assignment.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
 
+from repro.backends import backend_names, validate_backend_name
 from repro.baselines.exact import BranchAndBoundSolver, MipLikeSolver
 from repro.baselines.sbm import SBMConfig, sbm_solve_qubo
 from repro.baselines.simulated_annealing import SAConfig, simulated_annealing
@@ -61,6 +64,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--gpus", type=int, default=2, help="virtual GPUs")
     parser.add_argument("--blocks", type=int, default=8, help="blocks per GPU")
     parser.add_argument(
+        "--backend",
+        choices=("auto",) + backend_names(),
+        default=None,
+        help="compute backend for the dabs/abs flip kernels; other solvers "
+        "ignore it (default: the REPRO_BACKEND env var if set, else auto — "
+        "chosen by coupling density)",
+    )
+    parser.add_argument(
         "--batch-flip-factor", type=float, default=4.0, metavar="B",
         help="batch search flip factor b",
     )
@@ -96,6 +107,7 @@ def _solve(model: QUBOModel, args) -> tuple[np.ndarray, int, str]:
             blocks_per_gpu=args.blocks,
             pool_capacity=20,
             batch=BatchSearchConfig(batch_flip_factor=args.batch_flip_factor),
+            backend=args.backend,
         )
         cls = DABSSolver if args.solver == "dabs" else ABSSolver
         solver = cls(model, config, seed=args.seed)
@@ -142,6 +154,13 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    env_backend = os.environ.get("REPRO_BACKEND", "").strip()
+    if args.solver in ("dabs", "abs") and args.backend is None and env_backend:
+        try:
+            validate_backend_name(env_backend)
+        except ValueError as exc:
+            print(f"error: REPRO_BACKEND: {exc}", file=sys.stderr)
+            return 2
     print(f"instance: {model.name} ({model.n} variables, "
           f"{model.num_interactions} interactions)")
     vector, energy, detail = _solve(model, args)

@@ -20,9 +20,11 @@ Two implementations share the math:
 * :class:`DeltaState` — one solution vector; the readable reference used by
   single-threaded baselines and tests.
 * :class:`BatchDeltaState` — ``B`` vectors advanced in lockstep; rows play
-  the role of CUDA blocks.  Per flip it performs one row-gather of ``S`` and
-  fused in-place updates — O(B·n) work and contiguous memory traffic, the
-  NumPy analogue of the paper's one-Δ-per-thread register layout.
+  the role of CUDA blocks.  It is a thin facade over a pluggable
+  :class:`~repro.backends.base.ComputeBackend` (see :mod:`repro.backends`,
+  DESIGN.md §2), which owns the actual kernels: dense NumPy row-gather
+  updates, CSR neighbourhood updates, or an optional numba JIT.  Every
+  backend is bit-exactly interchangeable on integer models.
 """
 
 from __future__ import annotations
@@ -30,23 +32,11 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse as sp
 
+from repro.backends import resolve_backend
 from repro.core.qubo import QUBOModel
 from repro.utils.validation import check_bit_vector
 
 __all__ = ["DeltaState", "BatchDeltaState"]
-
-
-def _flat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Concatenate ``arange(s, s + c)`` for each (s, c) pair, vectorized."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    cum = np.cumsum(counts)
-    return (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(cum - counts, counts)
-        + np.repeat(starts, counts)
-    )
 
 
 class DeltaState:
@@ -117,6 +107,12 @@ class DeltaState:
 class BatchDeltaState:
     """Incremental state for ``B`` solution vectors advanced in lockstep.
 
+    A facade: the arrays live here, the kernels live on a pluggable
+    :class:`~repro.backends.base.ComputeBackend`.  ``backend`` may be a
+    backend instance, a registered name (``"numpy-dense"``,
+    ``"numpy-sparse"``, ``"numba"``), ``"auto"`` or ``None`` (consults the
+    ``REPRO_BACKEND`` environment variable, then the auto density rule).
+
     Attributes
     ----------
     x:
@@ -125,68 +121,75 @@ class BatchDeltaState:
         ``(B,)`` current energies.
     delta:
         ``(B, n)`` flip gains.
+    backend:
+        The resolved :class:`~repro.backends.base.ComputeBackend`.
+    kernel:
+        The backend's per-model read-only kernel cache.
+
+    ``reset`` reuses the existing buffers, so a state cached across virtual
+    GPU launches (see :class:`~repro.gpu.virtual_gpu.VirtualGPU`) incurs no
+    allocation churn.
     """
 
     __slots__ = (
         "model",
-        "_s",
-        "_lin",
         "batch",
+        "backend",
+        "kernel",
         "x",
         "energy",
         "delta",
         "_rows",
-        "_sparse",
-        "_indptr",
-        "_indices",
-        "_data",
     )
 
-    def __init__(self, model, batch: int) -> None:
+    def __init__(self, model, batch: int, backend=None, kernel=None) -> None:
         if batch <= 0:
             raise ValueError(f"batch must be positive, got {batch}")
         self.model = model
-        self._s = model.couplings
-        self._lin = model.linear
-        self._sparse = sp.issparse(self._s)
-        if self._sparse:
-            csr = self._s
-            self._indptr = np.asarray(csr.indptr, dtype=np.int64)
-            self._indices = np.asarray(csr.indices, dtype=np.int64)
-            self._data = np.asarray(csr.data, dtype=np.int64)
-        else:
-            self._indptr = self._indices = self._data = None
         self.batch = batch
+        self.backend = resolve_backend(backend, model)
+        self.kernel = kernel if kernel is not None else self.backend.prepare(model)
         self._rows = np.arange(batch)
-        self.reset()
+        self.x = None
+        self.energy = None
+        self.delta = None
+        self.backend.reset(self)
 
     @property
     def n(self) -> int:
         """Number of binary variables."""
         return self.model.n
 
+    def row_view(self, batch: int) -> "BatchDeltaState":
+        """A facade over the first *batch* rows, sharing buffers and kernel.
+
+        Row slices of C-contiguous arrays stay contiguous, so the view runs
+        the same kernels at full speed; flips/resets through it mutate the
+        parent's rows.  The virtual GPU uses this to run lockstep sub-groups
+        of any size without allocating per-size device buffers.
+        """
+        if not 1 <= batch <= self.batch:
+            raise ValueError(
+                f"view batch must be in [1, {self.batch}], got {batch}"
+            )
+        view = object.__new__(BatchDeltaState)
+        view.model = self.model
+        view.batch = batch
+        view.backend = self.backend
+        view.kernel = self.kernel
+        view.x = self.x[:batch]
+        view.energy = self.energy[:batch]
+        view.delta = self.delta[:batch]
+        view._rows = self._rows[:batch]
+        return view
+
     def reset(self, x=None) -> None:
         """Reinitialize all rows from ``x`` (``(B, n)`` or broadcastable row);
-        zero vectors if omitted."""
-        n, b = self.model.n, self.batch
-        dtype = self._lin.dtype
-        if x is None:
-            self.x = np.zeros((b, n), dtype=np.uint8)
-            self.energy = np.zeros(b, dtype=dtype)
-            self.delta = np.broadcast_to(self._lin, (b, n)).copy()
-        else:
-            x = np.asarray(x, dtype=np.uint8)
-            self.x = np.ascontiguousarray(np.broadcast_to(x, (b, n))).copy()
-            xi = self.x.astype(dtype)
-            self.energy = self.model.energies(self.x).astype(dtype)
-            if self._sparse:
-                contrib = (self._s @ xi.T).T + self._lin  # S symmetric
-            else:
-                contrib = xi @ self._s + self._lin
-            self.delta = (1 - 2 * xi) * contrib
+        zero vectors if omitted.  Buffers are reused in place."""
+        self.backend.reset(self, x)
 
     def flip(self, idx: np.ndarray, active: np.ndarray | None = None) -> None:
-        """Flip bit ``idx[r]`` in every active row *r* (O(B·n) fused update).
+        """Flip bit ``idx[r]`` in every active row *r* (backend kernel).
 
         Parameters
         ----------
@@ -196,82 +199,16 @@ class BatchDeltaState:
             Optional ``(B,)`` boolean mask; inactive rows are untouched
             (the masked-lane analogue of warp divergence).
         """
-        if self._sparse:
-            if active is None:
-                rows = self._rows
-                cols = np.asarray(idx)
-            else:
-                rows = np.flatnonzero(active)
-                if rows.size == 0:
-                    return
-                cols = np.asarray(idx)[rows]
-            self._flip_sparse(rows, cols)
-            return
-        if active is None:
-            # fast path: all rows flip — no row gathers, fully in-place
-            rows = self._rows
-            cols = np.asarray(idx)
-            d_i = self.delta[rows, cols].copy()
-            self.energy += d_i
-            old_bits = self.x[rows, cols]
-            s_old = (2 * old_bits.astype(self._s.dtype) - 1)[:, None]
-            self.x[rows, cols] = old_bits ^ 1
-            sigma = 2 * self.x.astype(self._s.dtype) - 1
-            self.delta += self._s[cols] * (s_old * sigma)
-            self.delta[rows, cols] = -d_i
-            return
-        rows = np.flatnonzero(active)
-        if rows.size == 0:
-            return
-        cols = np.asarray(idx)[rows]
-        d_i = self.delta[rows, cols].copy()
-        self.energy[rows] += d_i
-        old_bits = self.x[rows, cols]
-        s_old = (2 * old_bits.astype(self._s.dtype) - 1)[:, None]
-        self.x[rows, cols] = old_bits ^ 1
-        sigma = 2 * self.x[rows].astype(self._s.dtype) - 1
-        self.delta[rows] += self._s[cols] * (s_old * sigma)
-        self.delta[rows, cols] = -d_i
-
-    def _flip_sparse(self, rows: np.ndarray, cols: np.ndarray) -> None:
-        """CSR flip path: touch only the O(degree) neighbours of each flip.
-
-        Index pairs ``(row, neighbour)`` are unique (each CSR row holds
-        distinct columns and batch rows are distinct), so the fancy-indexed
-        in-place add is safe.
-        """
-        d_i = self.delta[rows, cols].copy()
-        self.energy[rows] += d_i
-        old_bits = self.x[rows, cols]
-        s_old = 2 * old_bits.astype(np.int64) - 1
-        self.x[rows, cols] = old_bits ^ 1
-        starts = self._indptr[cols]
-        counts = self._indptr[cols + 1] - starts
-        flat = _flat_ranges(starts, counts)
-        neighbours = self._indices[flat]
-        weights = self._data[flat]
-        row_rep = np.repeat(rows, counts)
-        s_old_rep = np.repeat(s_old, counts)
-        sigma_nbr = 2 * self.x[row_rep, neighbours].astype(np.int64) - 1
-        self.delta[row_rep, neighbours] += weights * s_old_rep * sigma_nbr
-        self.delta[rows, cols] = -d_i
+        self.backend.flip(self, idx, active)
 
     def neighbor_min(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-row best 1-bit neighbour: ``(argmin_k Δ, E + min_k Δ)``."""
-        j = np.argmin(self.delta, axis=1)
-        return j, self.energy + self.delta[self._rows, j]
+        return self.backend.neighbor_min(self)
 
     def is_local_minimum(self) -> np.ndarray:
         """Per-row flag: no 1-bit flip decreases the energy."""
-        return np.all(self.delta >= 0, axis=1)
+        return self.backend.is_local_minimum(self)
 
     def recompute(self) -> None:
         """Recompute energies/deltas from scratch (O(B·n²), tests only)."""
-        dtype = self._lin.dtype
-        xi = self.x.astype(dtype)
-        self.energy = self.model.energies(self.x).astype(dtype)
-        if self._sparse:
-            contrib = (self._s @ xi.T).T + self._lin
-        else:
-            contrib = xi @ self._s + self._lin
-        self.delta = (1 - 2 * xi) * contrib
+        self.backend.recompute(self)

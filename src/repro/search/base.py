@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro.backends.base import INT_SENTINEL, masked_argmin
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm
 from repro.core.rng import XorShift64Star
@@ -31,26 +32,6 @@ __all__ = [
     "masked_argmin",
     "random_choice_from_mask",
 ]
-
-#: Sentinel larger than any reachable Δ value; used to exclude positions
-#: from argmin selections.  int64 max would overflow float conversions, so a
-#: comfortably huge but safe value is used instead.
-INT_SENTINEL = np.int64(2**62)
-
-
-def masked_argmin(values: np.ndarray, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Per-row argmin of *values* restricted to ``mask`` positions.
-
-    Returns ``(idx, has_candidate)``.  Rows whose mask is empty fall back to
-    the unrestricted argmin (callers decide whether to treat them as active).
-    """
-    sentinel = np.where(mask, values, INT_SENTINEL)
-    idx = np.argmin(sentinel, axis=1)
-    has = mask.any(axis=1)
-    empty = ~has
-    if empty.any():
-        idx[empty] = np.argmin(values[empty], axis=1)
-    return idx, has
 
 
 def random_choice_from_mask(

@@ -1,4 +1,9 @@
-"""Greedy search (§III.A.1): steepest descent to a 1-bit local minimum."""
+"""Greedy search (§III.A.1): steepest descent to a 1-bit local minimum.
+
+The descent inner loop is owned by the state's compute backend (so a JIT
+backend can fuse it); this module keeps the public entry points and the
+single-step selection rule used by tests and composite phases.
+"""
 
 from __future__ import annotations
 
@@ -32,16 +37,4 @@ def greedy_descent(
     models could cycle through ties).  ``on_flip(idx, active)`` is invoked
     after each lockstep flip so callers can track bests / budgets.
     """
-    b, n = state.x.shape
-    if max_iters is None:
-        max_iters = 16 * n + 64
-    flips = np.zeros(b, dtype=np.int64)
-    for _ in range(max_iters):
-        idx, active = greedy_select(state)
-        if not active.any():
-            break
-        state.flip(idx, active)
-        flips += active
-        if on_flip is not None:
-            on_flip(idx, active)
-    return flips
+    return state.backend.greedy_descent(state, max_iters, on_flip)

@@ -3,7 +3,8 @@
 Each step flips, among the bits where the current solution differs from the
 target, the one with minimum Δ — so the Hamming distance to the target
 decreases by exactly one per step and the walk terminates in ``d(X, D)``
-flips.
+flips.  The walk inner loop is owned by the state's compute backend; this
+module keeps the public entry points and the single-step selection rule.
 """
 
 from __future__ import annotations
@@ -38,16 +39,4 @@ def straight_walk(
 
     The loop bound is exact: the maximum initial Hamming distance.
     """
-    targets = np.asarray(targets, dtype=np.uint8)
-    b = state.x.shape[0]
-    flips = np.zeros(b, dtype=np.int64)
-    max_dist = int(np.max(np.count_nonzero(state.x != targets, axis=1), initial=0))
-    for _ in range(max_dist):
-        idx, active = straight_select(state, targets)
-        if not active.any():
-            break
-        state.flip(idx, active)
-        flips += active
-        if on_flip is not None:
-            on_flip(idx, active)
-    return flips
+    return state.backend.straight_walk(state, targets, on_flip)

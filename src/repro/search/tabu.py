@@ -53,3 +53,16 @@ class TabuTracker:
         """Forget all stamps (used between batch searches)."""
         self._stamp.fill(-(self.period + 1))
         self.clock = 0
+
+    def row_view(self, batch: int) -> "TabuTracker":
+        """A tracker over the first *batch* rows, sharing the stamp buffer
+        (the tabu analogue of :meth:`BatchDeltaState.row_view`)."""
+        if not 1 <= batch <= self._stamp.shape[0]:
+            raise ValueError(
+                f"view batch must be in [1, {self._stamp.shape[0]}], got {batch}"
+            )
+        view = object.__new__(TabuTracker)
+        view.period = self.period
+        view.clock = 0
+        view._stamp = self._stamp[:batch]
+        return view

@@ -7,20 +7,31 @@ genetic operation and main search algorithm chosen by the adaptive
 back into the pools.
 
 Parallel execution: the paper drives each GPU from its own OpenMP thread.
-``parallel="thread"`` reproduces that with a thread pool (NumPy releases
-the GIL inside the batch-search kernels); packet generation and pool
-insertion stay on the host thread in device order, so runs are bit-exactly
-reproducible in both modes.
+``parallel="thread"`` reproduces that with a persistent thread pool (NumPy
+releases the GIL inside the batch-search kernels).  Rounds are
+double-buffered by a :class:`~repro.solver.scheduler.RoundScheduler`:
+round ``r+1``'s packets are generated on the host while round ``r``'s
+launches are in flight, in *both* modes — the identical logical schedule
+keeps sequential and threaded runs bit-exactly reproducible against each
+other (packet generation and pool insertion stay on the host thread in
+device order).
+
+The per-flip kernels below the solver are pluggable
+(:mod:`repro.backends`); ``DABSConfig.backend`` selects one by name, with
+``None``/"auto" deferring to the ``REPRO_BACKEND`` environment variable
+and the coupling-density auto rule.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.backends import backend_names, resolve_backend
 from repro.core.packet import (
     VOID_ENERGY,
     GeneticOp,
@@ -38,6 +49,7 @@ from repro.gpu.device import DeviceSpec
 from repro.gpu.virtual_gpu import VirtualGPU
 from repro.search.batch import BatchSearchConfig
 from repro.solver.result import ImprovementEvent, SolveResult
+from repro.solver.scheduler import RoundScheduler
 from repro.solver.termination import SolveLimits
 
 __all__ = ["DABSConfig", "DABSSolver"]
@@ -72,6 +84,9 @@ class DABSConfig:
     restart_on_collapse: float | None = None
     #: "sequential" round-robin or "thread" (one worker per GPU, as OpenMP)
     parallel: str = "sequential"
+    #: compute backend name ("auto", "numpy-dense", "numpy-sparse", "numba");
+    #: None defers to the REPRO_BACKEND env var, then the auto density rule
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -92,6 +107,13 @@ class DABSConfig:
             0.0 < self.restart_on_collapse < 1.0
         ):
             raise ValueError("restart_on_collapse must be in (0, 1) or None")
+        if self.backend is not None and self.backend != "auto":
+            known = backend_names()
+            if self.backend not in known:
+                raise ValueError(
+                    f"unknown backend {self.backend!r} "
+                    f"(known: auto, {', '.join(known)})"
+                )
 
 
 class DABSSolver:
@@ -119,6 +141,10 @@ class DABSSolver:
             for _ in range(cfg.num_gpus)
         ]
         self.ring = IslandRing(self.pools)
+        # resolve the backend and build its per-model kernel cache once;
+        # every virtual GPU shares the read-only cache
+        backend = resolve_backend(cfg.backend, model)
+        kernel = backend.prepare(model)
         self.gpus = [
             VirtualGPU(
                 model,
@@ -126,6 +152,8 @@ class DABSSolver:
                 cfg.batch,
                 cfg.algorithm_set,
                 self._host_rng,
+                backend=backend,
+                kernel=kernel,
             )
             for i in range(cfg.num_gpus)
         ]
@@ -134,6 +162,44 @@ class DABSSolver:
         )
         self.generator = self._make_generator()
         self.counters = SelectionCounters()
+        # one worker pool per solver, created lazily and reused by every
+        # solve() call; close() (or garbage collection) shuts it down
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_finalizer = None
+
+    # -- executor lifecycle ----------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor | None:
+        """The per-solver worker pool (None in sequential mode)."""
+        if self.config.parallel != "thread":
+            return None
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.config.num_gpus,
+                thread_name_prefix="dabs-vgpu",
+            )
+            self._executor_finalizer = weakref.finalize(
+                self, self._executor.shutdown, wait=False
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down, waiting for idle workers to exit.
+
+        Idempotent; the solver can still solve() afterwards (a fresh pool
+        is created on demand).
+        """
+        if self._executor_finalizer is not None:
+            self._executor_finalizer.detach()
+            self._executor_finalizer = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "DABSSolver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- extension points ------------------------------------------------------
     def _make_generator(self) -> TargetGenerator:
@@ -155,10 +221,24 @@ class DABSSolver:
         packets = []
         for _ in range(self.config.blocks_per_gpu):
             alg, op = self._choose_strategy(pool)
-            self.counters.record(alg, op)
             vector = self.generator.generate(op, pool, neighbor, self._host_rng)
             packets.append(Packet(vector, VOID_ENERGY, alg, op))
         return PacketBatch.from_packets(packets)
+
+    def _generate_round(self) -> list[PacketBatch]:
+        """One packet batch per GPU (host work; may overlap device work)."""
+        return [self._generate_batch(i) for i in range(self.config.num_gpus)]
+
+    def _record_counters(self, batches: list[PacketBatch]) -> None:
+        """Count strategy selections of a round actually submitted.
+
+        Recording happens at submission, not generation, because the
+        double-buffered scheduler speculatively generates one round beyond
+        the last launch.
+        """
+        for batch in batches:
+            for alg, op in zip(batch.algorithms, batch.operations):
+                self.counters.record(MainAlgorithm(int(alg)), GeneticOp(int(op)))
 
     # -- main loop ----------------------------------------------------------------
     def solve(
@@ -180,75 +260,68 @@ class DABSSolver:
         flips_at_start = sum(g.total_flips for g in self.gpus)
         stall_rounds = 0
         restarts = 0
-        executor = (
-            ThreadPoolExecutor(max_workers=cfg.num_gpus)
-            if cfg.parallel == "thread"
-            else None
-        )
-        try:
-            while True:
-                rounds += 1
-                batches = [self._generate_batch(i) for i in range(cfg.num_gpus)]
-                if executor is not None:
-                    results = list(
-                        executor.map(
-                            lambda pair: pair[0].launch(pair[1]),
-                            zip(self.gpus, batches),
-                        )
-                    )
-                else:
-                    results = [
-                        gpu.launch(batch) for gpu, batch in zip(self.gpus, batches)
-                    ]
-                improved = False
-                for gpu_index, (result_batch, _) in enumerate(results):
-                    pool = self.pools[gpu_index]
-                    for packet in result_batch.to_packets():
-                        pool.insert(packet)
-                        if packet.energy < best_energy:
-                            improved = True
-                            best_energy = packet.energy
-                            best_vector = packet.vector.copy()
-                            first_found = (packet.algorithm, packet.operation)
-                            now = time.perf_counter() - start
-                            history.append(
-                                ImprovementEvent(
-                                    now,
-                                    rounds,
-                                    best_energy,
-                                    packet.algorithm,
-                                    packet.operation,
-                                )
+        scheduler = RoundScheduler(self.gpus, executor=self._ensure_executor())
+        # double-buffered rounds: while round r runs on the (virtual) devices,
+        # round r+1's packets are generated here on the host — so generation
+        # always reads the pools as of round r−1, identically in both modes
+        next_batches = self._generate_round()
+        while True:
+            rounds += 1
+            handle = scheduler.submit(next_batches)
+            self._record_counters(next_batches)
+            if not limits.out_of_rounds(rounds):
+                next_batches = self._generate_round()
+            results = handle.wait()
+            improved = False
+            for gpu_index, (result_batch, _) in enumerate(results):
+                pool = self.pools[gpu_index]
+                for packet in result_batch.to_packets():
+                    pool.insert(packet)
+                    if packet.energy < best_energy:
+                        improved = True
+                        best_energy = packet.energy
+                        best_vector = packet.vector.copy()
+                        first_found = (packet.algorithm, packet.operation)
+                        now = time.perf_counter() - start
+                        history.append(
+                            ImprovementEvent(
+                                now,
+                                rounds,
+                                best_energy,
+                                packet.algorithm,
+                                packet.operation,
                             )
-                            if (
-                                time_to_target is None
-                                and limits.target_reached(best_energy)
-                            ):
-                                time_to_target = now
-                elapsed = time.perf_counter() - start
-                if limits.target_reached(best_energy):
-                    break
-                if limits.out_of_time(elapsed) or limits.out_of_rounds(rounds):
-                    break
-                # §IV.B restart: merged pools cannot improve any more
-                stall_rounds = 0 if improved else stall_rounds + 1
-                stalled = (
-                    cfg.restart_after_stall is not None
-                    and stall_rounds >= cfg.restart_after_stall
-                )
-                collapsed = (
-                    cfg.restart_on_collapse is not None
-                    and self.ring.collapsed(cfg.restart_on_collapse * self.model.n)
-                )
-                if stalled or collapsed:
-                    self.ring.reinitialize(self._host_rng)
-                    for gpu in self.gpus:
-                        gpu.reset()
-                    stall_rounds = 0
-                    restarts += 1
-        finally:
-            if executor is not None:
-                executor.shutdown(wait=False)
+                        )
+                        if (
+                            time_to_target is None
+                            and limits.target_reached(best_energy)
+                        ):
+                            time_to_target = now
+            elapsed = time.perf_counter() - start
+            if limits.target_reached(best_energy):
+                break
+            if limits.out_of_time(elapsed) or limits.out_of_rounds(rounds):
+                break
+            # §IV.B restart: merged pools cannot improve any more
+            stall_rounds = 0 if improved else stall_rounds + 1
+            stalled = (
+                cfg.restart_after_stall is not None
+                and stall_rounds >= cfg.restart_after_stall
+            )
+            collapsed = (
+                cfg.restart_on_collapse is not None
+                and self.ring.collapsed(cfg.restart_on_collapse * self.model.n)
+            )
+            if stalled or collapsed:
+                self.ring.reinitialize(self._host_rng)
+                for gpu in self.gpus:
+                    gpu.reset()
+                stall_rounds = 0
+                restarts += 1
+                # the speculatively generated round still targets the
+                # collapsed pre-restart pools — discard it and regenerate
+                # from the reinitialized ones, as the restart intends
+                next_batches = self._generate_round()
         elapsed = time.perf_counter() - start
         return SolveResult(
             best_vector=best_vector,

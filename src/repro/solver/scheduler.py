@@ -1,0 +1,87 @@
+"""Round scheduler: double-buffered execution of solver rounds.
+
+The paper's host drives every GPU from its own OpenMP thread and keeps
+generating work while kernels are in flight.  :class:`RoundScheduler`
+reproduces that structure for the virtual GPUs: the solver *submits* one
+round of packet batches (one per GPU), then generates the next round's
+packets on the host **while the launches run**, and only then waits for
+the results.
+
+Both execution modes run the identical logical schedule —
+
+    submit round r  →  generate round r+1  →  collect round r  →  insert
+
+— so packet generation always reads the pools as of round ``r−1``,
+regardless of mode.  In ``"thread"`` mode the generate step genuinely
+overlaps the in-flight launches (NumPy releases the GIL inside the batch
+kernels); in ``"sequential"`` mode the same steps simply run one after the
+other.  Launches never touch the host-side pools or the host RNG, which is
+what makes the two modes bit-exactly reproducible against each other — a
+property the solver tests assert.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, Future
+
+from repro.core.packet import PacketBatch
+
+__all__ = ["RoundHandle", "RoundScheduler"]
+
+
+class RoundHandle:
+    """One in-flight round: a future (or ready result) per virtual GPU."""
+
+    __slots__ = ("_futures", "_results")
+
+    def __init__(self, futures=None, results=None) -> None:
+        self._futures: list[Future] | None = futures
+        self._results = results
+
+    def wait(self) -> list[tuple[PacketBatch, object]]:
+        """Block until every GPU finished; results in GPU (submission) order."""
+        if self._results is None:
+            self._results = [f.result() for f in self._futures]
+        return self._results
+
+
+class RoundScheduler:
+    """Executes one round of launches per step over a fixed GPU set.
+
+    Parameters
+    ----------
+    gpus:
+        The virtual GPUs, in pool order.
+    executor:
+        A thread pool with one worker per GPU (the OpenMP analogue), or
+        ``None`` for sequential in-line execution.
+    """
+
+    __slots__ = ("gpus", "executor")
+
+    def __init__(self, gpus, executor: Executor | None = None) -> None:
+        self.gpus = list(gpus)
+        self.executor = executor
+
+    def submit(self, batches: list[PacketBatch]) -> RoundHandle:
+        """Start one launch per GPU; returns a handle to collect results.
+
+        With an executor the launches run asynchronously and the caller can
+        overlap host work (next-round packet generation) before calling
+        :meth:`RoundHandle.wait`; without one they run synchronously here.
+        """
+        if len(batches) != len(self.gpus):
+            raise ValueError(
+                f"expected {len(self.gpus)} batches, got {len(batches)}"
+            )
+        if self.executor is not None:
+            futures = [
+                self.executor.submit(gpu.launch, batch)
+                for gpu, batch in zip(self.gpus, batches)
+            ]
+            return RoundHandle(futures=futures)
+        return RoundHandle(
+            results=[
+                gpu.launch(batch) for gpu, batch in zip(self.gpus, batches)
+            ]
+        )

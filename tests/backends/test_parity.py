@@ -1,0 +1,188 @@
+"""Backend parity: every backend must produce bit-identical trajectories.
+
+The backends are only allowed to differ in *how* they compute, never in
+*what*: for the same model and seed, the (vector, energy, flip-count)
+trajectory must match across ``numpy-dense``, ``numpy-sparse`` and (when
+installed) ``numba`` — on dense and sparse models alike.  This is the
+contract that lets ``auto`` switch kernels by density without changing
+results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import NumbaBackend, available_backends
+from repro.core.delta import BatchDeltaState
+from repro.core.rng import XorShift64Star, host_generator, spawn_device_seeds
+from repro.core.sparse import SparseQUBOModel
+from repro.search import build_main_algorithms
+from repro.search.batch import BatchSearchConfig, run_batch_search
+from repro.search.greedy import greedy_descent
+from repro.search.straight import straight_walk
+from repro.solver.dabs import DABSConfig, DABSSolver
+from tests.conftest import random_qubo
+
+BACKENDS = sorted(available_backends())
+
+needs_numba = pytest.mark.skipif(
+    not NumbaBackend.is_available(), reason="numba is not installed"
+)
+
+
+def dense_model(n=24, seed=3, density=0.4):
+    return random_qubo(n, seed=seed, density=density)
+
+
+def sparse_model(n=24, seed=3, density=0.4):
+    return SparseQUBOModel.from_dense(dense_model(n, seed, density))
+
+
+def trajectory(model, backend, flips=40, batch=5, seed=9):
+    """Run a fixed masked flip sequence; return the full final state."""
+    state = BatchDeltaState(model, batch=batch, backend=backend)
+    rng = np.random.default_rng(seed)
+    for _ in range(flips):
+        idx = rng.integers(0, model.n, size=batch)
+        active = rng.random(batch) < 0.8
+        state.flip(idx, active)
+    return state.x.copy(), state.energy.copy(), state.delta.copy()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("make_model", [dense_model, sparse_model])
+class TestKernelParity:
+    def test_flip_trajectory_matches_dense_reference(self, backend, make_model):
+        x_ref, e_ref, d_ref = trajectory(make_model(), "numpy-dense")
+        x, e, d = trajectory(make_model(), backend)
+        assert np.array_equal(x, x_ref)
+        assert np.array_equal(e, e_ref)
+        assert np.array_equal(d, d_ref)
+
+    def test_trajectory_consistent_with_recompute(self, backend, make_model):
+        model = make_model()
+        state = BatchDeltaState(model, batch=4, backend=backend)
+        rng = np.random.default_rng(1)
+        state.reset(rng.integers(0, 2, size=(4, model.n), dtype=np.uint8))
+        for _ in range(30):
+            state.flip(rng.integers(0, model.n, size=4))
+        e, d = state.energy.copy(), state.delta.copy()
+        state.recompute()
+        assert np.array_equal(state.energy, e)
+        assert np.array_equal(state.delta, d)
+
+    def test_greedy_and_straight_loops_match(self, backend, make_model):
+        model = make_model()
+        rng = np.random.default_rng(2)
+        start = rng.integers(0, 2, size=(6, model.n), dtype=np.uint8)
+        targets = rng.integers(0, 2, size=(6, model.n), dtype=np.uint8)
+
+        def run(b):
+            state = BatchDeltaState(model, batch=6, backend=b)
+            state.reset(start)
+            f1 = straight_walk(state, targets)
+            f2 = greedy_descent(state)
+            return state.x.copy(), state.energy.copy(), f1 + f2
+
+        x_ref, e_ref, f_ref = run("numpy-dense")
+        x, e, f = run(backend)
+        assert np.array_equal(x, x_ref)
+        assert np.array_equal(e, e_ref)
+        assert np.array_equal(f, f_ref)
+
+    def test_batch_search_trajectory_matches(self, backend, make_model):
+        model = make_model()
+        config = BatchSearchConfig(batch_flip_factor=2.0)
+
+        def run(b):
+            algorithm = next(iter(build_main_algorithms(config).values()))
+            state = BatchDeltaState(model, batch=4, backend=b)
+            lanes = XorShift64Star(
+                spawn_device_seeds(host_generator(5), (4, model.n))
+            )
+            rng = np.random.default_rng(6)
+            targets = rng.integers(0, 2, size=(4, model.n), dtype=np.uint8)
+            tracker, flips = run_batch_search(
+                state, targets, algorithm, lanes, config
+            )
+            return tracker.best_x.copy(), tracker.best_energy.copy(), flips
+
+        x_ref, e_ref, f_ref = run("numpy-dense")
+        x, e, f = run(backend)
+        assert np.array_equal(x, x_ref)
+        assert np.array_equal(e, e_ref)
+        assert np.array_equal(f, f_ref)
+
+
+class TestSolverParity:
+    """Acceptance: DABS runs bit-identically under every backend setting."""
+
+    CFG = dict(
+        num_gpus=2,
+        blocks_per_gpu=4,
+        pool_capacity=10,
+        batch=BatchSearchConfig(batch_flip_factor=2.0),
+    )
+
+    def _solve(self, model, backend):
+        cfg = DABSConfig(backend=backend, **self.CFG)
+        return DABSSolver(model, cfg, seed=11).solve(max_rounds=4)
+
+    @pytest.mark.parametrize("backend", ["numpy-sparse", "auto", None] + (
+        ["numba"] if NumbaBackend.is_available() else []
+    ))
+    def test_dense_model_identical_across_backends(self, backend):
+        model = dense_model(n=18)
+        ref = self._solve(model, "numpy-dense")
+        res = self._solve(model, backend)
+        assert res.best_energy == ref.best_energy
+        assert np.array_equal(res.best_vector, ref.best_vector)
+        assert res.total_flips == ref.total_flips
+
+    @pytest.mark.parametrize("backend", ["numpy-dense", "auto"])
+    def test_sparse_model_identical_across_backends(self, backend):
+        model = sparse_model(n=18)
+        ref = self._solve(model, "numpy-sparse")
+        res = self._solve(model, backend)
+        assert res.best_energy == ref.best_energy
+        assert np.array_equal(res.best_vector, ref.best_vector)
+        assert res.total_flips == ref.total_flips
+
+    def test_env_var_selection_is_bit_exact(self, monkeypatch):
+        model = dense_model(n=16)
+        ref = self._solve(model, None)
+        monkeypatch.setenv("REPRO_BACKEND", "numpy-sparse")
+        res = self._solve(model, None)
+        assert res.best_energy == ref.best_energy
+        assert np.array_equal(res.best_vector, ref.best_vector)
+
+
+class TestSparseBackendGuards:
+    def test_rejects_float_couplings(self):
+        from repro.backends import get_backend
+        from repro.core.qubo import QUBOModel
+
+        mat = np.zeros((4, 4))
+        mat[0, 1] = 0.5
+        with pytest.raises(ValueError, match="integer couplings"):
+            BatchDeltaState(QUBOModel(mat), batch=2, backend="numpy-sparse")
+        # the dense backend happily takes the same model
+        BatchDeltaState(QUBOModel(mat), batch=2, backend=get_backend("numpy-dense"))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    flips=st.integers(min_value=1, max_value=60),
+)
+def test_property_dense_sparse_kernels_bit_exact(seed, flips):
+    """Any masked flip sequence gives identical states on both kernels."""
+    model = random_qubo(12, seed=21, density=0.6)
+    x1, e1, d1 = trajectory(model, "numpy-dense", flips=flips, seed=seed)
+    x2, e2, d2 = trajectory(model, "numpy-sparse", flips=flips, seed=seed)
+    assert np.array_equal(x1, x2)
+    assert np.array_equal(e1, e2)
+    assert np.array_equal(d1, d2)

@@ -1,0 +1,181 @@
+"""Tests for backend registration, selection and fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendUnavailableError,
+    ComputeBackend,
+    NumbaBackend,
+    auto_backend_name,
+    available_backends,
+    backend_names,
+    get_backend,
+    resolve_backend,
+)
+from repro.core.sparse import SparseQUBOModel
+from repro.core.qubo import QUBOModel
+from repro.solver.dabs import DABSConfig
+from tests.conftest import random_qubo
+
+
+class TestRegistry:
+    def test_numpy_backends_registered_and_available(self):
+        assert {"numpy-dense", "numpy-sparse"} <= set(backend_names())
+        assert {"numpy-dense", "numpy-sparse"} <= set(available_backends())
+
+    def test_numba_registered_even_when_missing(self):
+        assert "numba" in backend_names()
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_get_backend_returns_singleton(self):
+        assert get_backend("numpy-dense") is get_backend("numpy-dense")
+
+    def test_get_numba_importable_or_skipped(self):
+        """Acceptance: the numba backend is importable-or-skipped, never broken."""
+        if NumbaBackend.is_available():
+            assert get_backend("numba").name == "numba"
+        else:
+            with pytest.raises(BackendUnavailableError, match="numba"):
+                get_backend("numba")
+
+
+class TestAutoRule:
+    def test_sparse_model_routes_to_csr(self):
+        model = SparseQUBOModel(10, {(0, 1): -2, (2, 2): 3})
+        assert auto_backend_name(model) == "numpy-sparse"
+
+    def test_small_dense_model_routes_to_dense(self):
+        assert auto_backend_name(random_qubo(16, seed=0)) == "numpy-dense"
+
+    def test_low_density_dense_model_routes_to_csr(self):
+        model = random_qubo(300, seed=1, density=0.01)
+        assert auto_backend_name(model) == "numpy-sparse"
+
+    def test_high_density_large_model_stays_dense(self):
+        model = random_qubo(300, seed=2, density=0.5)
+        assert auto_backend_name(model) == "numpy-dense"
+
+    def test_float_models_stay_dense(self):
+        n = 300
+        mat = np.zeros((n, n))
+        mat[0, 1] = 0.5  # non-integer → CSR int64 kernels cannot represent it
+        model = QUBOModel(mat)
+        assert auto_backend_name(model) == "numpy-dense"
+
+
+class TestResolve:
+    def test_instance_passthrough(self):
+        backend = get_backend("numpy-dense")
+        assert resolve_backend(backend, random_qubo(8, seed=0)) is backend
+
+    def test_name_lookup(self):
+        model = random_qubo(8, seed=0)
+        assert resolve_backend("numpy-sparse", model).name == "numpy-sparse"
+
+    def test_none_uses_auto(self):
+        model = random_qubo(8, seed=0)
+        assert resolve_backend(None, model).name == "numpy-dense"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("tpu", random_qubo(8, seed=0))
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy-sparse")
+        model = random_qubo(8, seed=0)
+        assert resolve_backend(None, model).name == "numpy-sparse"
+        # explicit spec wins over the environment
+        assert resolve_backend("numpy-dense", model).name == "numpy-dense"
+
+    def test_unknown_env_backend_falls_back(self, monkeypatch):
+        """A stale/typo'd REPRO_BACKEND warns and degrades to auto; only an
+        explicitly passed unknown name raises."""
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        model = random_qubo(8, seed=0)
+        with pytest.warns(RuntimeWarning, match="unknown backend"):
+            assert resolve_backend(None, model).name == "numpy-dense"
+
+    def test_env_dense_backend_falls_back_on_huge_sparse_model(self, monkeypatch):
+        """An env hint must not implicitly densify annealer-scale CSR models."""
+        from repro.backends.numpy_dense import DENSIFY_MAX_N
+
+        n = DENSIFY_MAX_N + 1
+        model = SparseQUBOModel(n, {(0, 1): -2, (1, 2): 3})
+        monkeypatch.setenv("REPRO_BACKEND", "numpy-dense")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_backend(None, model).name == "numpy-sparse"
+        # small sparse models may still be densified on request
+        small = SparseQUBOModel(8, {(0, 1): -2})
+        assert resolve_backend(None, small).name == "numpy-dense"
+
+    def test_env_backend_falls_back_on_unsupported_model(self, monkeypatch):
+        """A process-wide REPRO_BACKEND hint must not break float-model
+        consumers the CSR kernels cannot represent."""
+        monkeypatch.setenv("REPRO_BACKEND", "numpy-sparse")
+        n = 6
+        mat = np.zeros((n, n))
+        mat[0, 1] = 0.5  # genuinely float
+        model = QUBOModel(mat)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = resolve_backend(None, model)
+        assert backend.name == "numpy-dense"
+        # an explicit request for the same combination still hard-fails
+        with pytest.raises(ValueError, match="integer couplings"):
+            resolve_backend("numpy-sparse", model).prepare(model)
+
+    def test_env_backend_float_baseline_still_runs(self, monkeypatch):
+        """Reviewer scenario: the noisy-annealer baseline builds float
+        models internally and must survive a global REPRO_BACKEND hint."""
+        from repro.baselines.annealer import QuantumAnnealerSim
+        from repro.core.ising import qubo_to_ising
+
+        monkeypatch.setenv("REPRO_BACKEND", "numpy-sparse")
+        ising, _, _ = qubo_to_ising(random_qubo(8, seed=0))
+        sim = QuantumAnnealerSim(ising, resolution=4, seed=1)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            sim.sample(num_reads=2)
+
+    def test_unavailable_backend_falls_back_with_warning(self):
+        if NumbaBackend.is_available():
+            pytest.skip("numba installed — no fallback to exercise")
+        model = random_qubo(8, seed=0)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = resolve_backend("numba", model)
+        assert backend.name == "numpy-dense"
+
+    def test_custom_backend_registration(self):
+        class _Probe(ComputeBackend):
+            name = "probe-test"
+
+            def prepare(self, model):  # pragma: no cover - never kernel-run
+                return None
+
+            def flip(self, state, idx, active=None):  # pragma: no cover
+                raise NotImplementedError
+
+            def _compute_from_x(self, state):  # pragma: no cover
+                raise NotImplementedError
+
+        from repro.backends import _REGISTRY, register_backend
+
+        register_backend(_Probe)
+        try:
+            assert get_backend("probe-test").name == "probe-test"
+        finally:
+            _REGISTRY.pop("probe-test")
+
+
+class TestConfigValidation:
+    def test_config_accepts_known_backends(self):
+        for name in ("auto", "numpy-dense", "numpy-sparse", "numba", None):
+            assert DABSConfig(backend=name).backend == name
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            DABSConfig(backend="fpga")

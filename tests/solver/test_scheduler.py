@@ -1,0 +1,178 @@
+"""Tests for the double-buffered round scheduler and executor lifecycle."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.search.batch import BatchSearchConfig
+from repro.solver.dabs import DABSConfig, DABSSolver
+from repro.solver.scheduler import RoundHandle, RoundScheduler
+from tests.conftest import random_qubo
+
+CFG = DABSConfig(
+    num_gpus=2,
+    blocks_per_gpu=4,
+    pool_capacity=10,
+    batch=BatchSearchConfig(batch_flip_factor=2.0),
+)
+
+
+class _FakeGPU:
+    """Stand-in device: records launches, optionally sleeps, tags results."""
+
+    def __init__(self, tag, delay=0.0):
+        self.tag = tag
+        self.delay = delay
+        self.launches = []
+
+    def launch(self, batch):
+        if self.delay:
+            time.sleep(self.delay)
+        self.launches.append(batch)
+        return (self.tag, batch)
+
+
+class TestRoundScheduler:
+    def test_sequential_results_in_gpu_order(self):
+        gpus = [_FakeGPU("a"), _FakeGPU("b")]
+        sched = RoundScheduler(gpus)
+        results = sched.submit(["x", "y"]).wait()
+        assert results == [("a", "x"), ("b", "y")]
+
+    def test_threaded_results_stay_in_submission_order(self):
+        # the first GPU is the slowest; order must still be submission order
+        gpus = [_FakeGPU("a", delay=0.05), _FakeGPU("b"), _FakeGPU("c")]
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            sched = RoundScheduler(gpus, executor=pool)
+            results = sched.submit(["x", "y", "z"]).wait()
+        assert results == [("a", "x"), ("b", "y"), ("c", "z")]
+
+    def test_submit_overlaps_host_work_in_thread_mode(self):
+        """submit() returns while launches are still in flight."""
+        release = threading.Event()
+
+        class _Blocked(_FakeGPU):
+            def launch(self, batch):
+                release.wait(timeout=5)
+                return super().launch(batch)
+
+        gpu = _Blocked("a")
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            sched = RoundScheduler([gpu], executor=pool)
+            handle = sched.submit(["x"])
+            # launch has not finished, yet control is back on the host
+            assert gpu.launches == []
+            release.set()
+            assert handle.wait() == [("a", "x")]
+
+    def test_rejects_wrong_batch_count(self):
+        sched = RoundScheduler([_FakeGPU("a")])
+        with pytest.raises(ValueError, match="expected 1 batches"):
+            sched.submit(["x", "y"])
+
+    def test_wait_is_idempotent(self):
+        handle = RoundHandle(results=[1, 2])
+        assert handle.wait() is handle.wait()
+
+
+class TestDoubleBufferedSolve:
+    def test_thread_mode_matches_sequential_with_restarts(self):
+        model = random_qubo(16, seed=20)
+        cfg = replace(CFG, restart_after_stall=2)
+        seq = DABSSolver(model, cfg, seed=5).solve(max_rounds=8)
+        thr = DABSSolver(model, replace(cfg, parallel="thread"), seed=5).solve(
+            max_rounds=8
+        )
+        assert seq.best_energy == thr.best_energy
+        assert np.array_equal(seq.best_vector, thr.best_vector)
+        assert seq.total_flips == thr.total_flips
+        assert seq.restarts == thr.restarts
+
+    def test_counters_count_only_launched_rounds(self):
+        """The speculative round r+1 generation must not inflate counters."""
+        model = random_qubo(12, seed=21)
+        solver = DABSSolver(model, CFG, seed=0)
+        result = solver.solve(max_rounds=4)
+        total = sum(result.counters.algorithms.values())
+        assert total == 4 * CFG.num_gpus * CFG.blocks_per_gpu
+
+    def test_restart_discards_speculative_round(self):
+        """After a §IV.B restart the pre-generated round (targeting the
+        collapsed pools) must be regenerated from the reinitialized ones."""
+        model = random_qubo(10, seed=28)
+        cfg = replace(CFG, num_gpus=1, restart_after_stall=1)
+        solver = DABSSolver(model, cfg, seed=0)
+        calls = [0]
+        original = solver._generate_round
+
+        def counting():
+            calls[0] += 1
+            return original()
+
+        solver._generate_round = counting
+        result = solver.solve(max_rounds=6)
+        assert result.restarts >= 1  # stall=1 forces restarts on this model
+        # one initial round + one per non-final round + one per restart
+        assert calls[0] == result.rounds + result.restarts
+
+    def test_repeated_solve_calls_are_deterministic_pairwise(self):
+        model = random_qubo(12, seed=22)
+        s1 = DABSSolver(model, CFG, seed=9)
+        s2 = DABSSolver(model, CFG, seed=9)
+        for _ in range(2):
+            r1 = s1.solve(max_rounds=2)
+            r2 = s2.solve(max_rounds=2)
+            assert r1.best_energy == r2.best_energy
+            assert np.array_equal(r1.best_vector, r2.best_vector)
+
+
+class TestExecutorLifecycle:
+    THR = replace(CFG, parallel="thread")
+
+    def test_executor_reused_across_solves(self):
+        model = random_qubo(10, seed=23)
+        solver = DABSSolver(model, self.THR, seed=0)
+        solver.solve(max_rounds=2)
+        first = solver._executor
+        assert first is not None
+        solver.solve(max_rounds=2)
+        assert solver._executor is first
+        solver.close()
+
+    def test_close_shuts_down_and_is_idempotent(self):
+        model = random_qubo(10, seed=24)
+        solver = DABSSolver(model, self.THR, seed=0)
+        solver.solve(max_rounds=2)
+        executor = solver._executor
+        solver.close()
+        assert solver._executor is None
+        assert executor._shutdown
+        solver.close()  # idempotent
+
+    def test_solve_after_close_builds_fresh_pool(self):
+        model = random_qubo(10, seed=25)
+        solver = DABSSolver(model, self.THR, seed=0)
+        solver.solve(max_rounds=1)
+        solver.close()
+        result = solver.solve(max_rounds=1)
+        assert model.energy(result.best_vector) == result.best_energy
+        solver.close()
+
+    def test_context_manager_closes(self):
+        model = random_qubo(10, seed=26)
+        with DABSSolver(model, self.THR, seed=0) as solver:
+            solver.solve(max_rounds=1)
+            assert solver._executor is not None
+        assert solver._executor is None
+
+    def test_sequential_mode_never_builds_executor(self):
+        model = random_qubo(10, seed=27)
+        solver = DABSSolver(model, CFG, seed=0)
+        solver.solve(max_rounds=1)
+        assert solver._executor is None

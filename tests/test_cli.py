@@ -25,10 +25,15 @@ class TestParser:
         args = build_parser().parse_args(["x.qubo"])
         assert args.solver == "dabs"
         assert args.format == "auto"
+        assert args.backend is None  # defer to REPRO_BACKEND, then auto
 
     def test_rejects_unknown_solver(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["x", "--solver", "gurobi"])
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x", "--backend", "cuda"])
 
 
 class TestMain:
@@ -39,6 +44,48 @@ class TestMain:
         assert rc == 0
         assert "energy" in out
         assert f"{model.n} variables" in out
+
+    def test_backend_flag_is_bit_exact(self, qubo_file, capsys):
+        path, _ = qubo_file
+        outputs = []
+        for backend in ("numpy-dense", "numpy-sparse"):
+            rc = main([str(path), "--rounds", "5", "--backend", backend])
+            assert rc == 0
+            outputs.append(capsys.readouterr().out)
+        energy = [l for l in outputs[0].splitlines() if l.startswith("energy")]
+        assert energy == [
+            l for l in outputs[1].splitlines() if l.startswith("energy")
+        ]
+        vector = [l for l in outputs[0].splitlines() if l.startswith("vector")]
+        assert vector == [
+            l for l in outputs[1].splitlines() if l.startswith("vector")
+        ]
+
+    def test_env_backend_honoured_and_bad_value_rejected(
+        self, qubo_file, capsys, monkeypatch
+    ):
+        import repro.solver.dabs as dabs_mod
+
+        path, _ = qubo_file
+        resolved = []
+        original = dabs_mod.resolve_backend
+
+        def spy(spec, model):
+            backend = original(spec, model)
+            resolved.append(backend.name)
+            return backend
+
+        monkeypatch.setattr(dabs_mod, "resolve_backend", spy)
+        monkeypatch.setenv("REPRO_BACKEND", "numpy-sparse")
+        assert main([str(path), "--rounds", "2"]) == 0
+        assert "numpy-sparse" in resolved  # the env choice actually ran
+        capsys.readouterr()
+        monkeypatch.setenv("REPRO_BACKEND", "tpu")
+        assert main([str(path), "--rounds", "2"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+        # baseline solvers degrade to auto (with a warning) instead of dying
+        with pytest.warns(RuntimeWarning, match="unknown backend"):
+            assert main([str(path), "--rounds", "2", "--solver", "sa"]) == 0
 
     def test_gset_reports_cut(self, tmp_path, capsys):
         adj = gset_like(12, 20, seed=1)
