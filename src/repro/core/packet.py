@@ -9,11 +9,15 @@ to strategies (the adaptive mechanism of §IV.A).
 
 Two representations:
 
-* :class:`Packet` — host-side dataclass view, used by pool/GA logic.
 * :class:`PacketBatch` — structure-of-arrays buffer for a whole kernel
-  launch.  Transfers between host and virtual GPU move only these contiguous
-  arrays (the buffer-protocol idiom of HPC message passing), never Python
-  objects.
+  launch, and since the columnar host refactor (DESIGN.md §5) the *only*
+  interchange type on the round path: generation builds batches straight
+  from ``(B, n)`` target matrices (:meth:`PacketBatch.void`) and collection
+  folds result batches into pools column-wise.  Transfers between host and
+  virtual GPU move only these contiguous arrays (the buffer-protocol idiom
+  of HPC message passing), never Python objects.
+* :class:`Packet` — host-side dataclass view of one row, kept as a thin
+  compatibility surface for tests, examples and scalar reference paths.
 """
 
 from __future__ import annotations
@@ -114,6 +118,24 @@ class PacketBatch:
     def n(self) -> int:
         """Solution vector length."""
         return self.vectors.shape[1]
+
+    @classmethod
+    def void(
+        cls,
+        vectors: np.ndarray,
+        algorithms: np.ndarray,
+        operations: np.ndarray,
+    ) -> "PacketBatch":
+        """Host→device batch from columnar fields; energies set to void.
+
+        The columnar generation path builds batches directly from the
+        target matrix and strategy columns — no intermediate
+        :class:`Packet` objects (the host never computes energies, §III.C).
+        """
+        energies = np.full(
+            np.asarray(vectors).shape[0], VOID_ENERGY, dtype=np.int64
+        )
+        return cls(vectors, energies, algorithms, operations)
 
     @classmethod
     def from_packets(cls, packets) -> "PacketBatch":

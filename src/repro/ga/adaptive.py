@@ -7,6 +7,12 @@ the solution pool and reuse the strategy recorded there (exploitation).
 Because pool rows record the strategies that *produced* good solutions,
 successful strategies are automatically selected more often — no explicit
 scores or decay parameters.
+
+The columnar path (:meth:`AdaptiveSelector.select_batch`) draws a whole
+launch's strategy columns at once: per column, one explore-coin vector, one
+pool-row vector and one uniform-fallback vector (DESIGN.md §5 documents the
+order).  The scalar methods are kept as the reference path; both implement
+the same per-lane distribution.
 """
 
 from __future__ import annotations
@@ -37,6 +43,28 @@ class SelectionCounters:
         """Count one packet generation."""
         self.algorithms[algorithm] += 1
         self.operations[operation] += 1
+
+    def record_batch(self, algorithms: np.ndarray, operations: np.ndarray) -> None:
+        """Count a whole batch of generations from its strategy columns.
+
+        One ``np.bincount`` per column — no per-packet Python loop.  Codes
+        outside the enum ranges raise, like the per-packet enum
+        construction they replace.
+        """
+        alg_counts = np.bincount(
+            np.asarray(algorithms, dtype=np.intp), minlength=len(MainAlgorithm)
+        )
+        op_counts = np.bincount(
+            np.asarray(operations, dtype=np.intp), minlength=len(GeneticOp)
+        )
+        if alg_counts[len(MainAlgorithm) :].any():
+            raise ValueError("algorithm column contains codes outside MainAlgorithm")
+        if op_counts[len(GeneticOp) :].any():
+            raise ValueError("operation column contains codes outside GeneticOp")
+        for a in MainAlgorithm:
+            self.algorithms[a] += int(alg_counts[int(a)])
+        for o in GeneticOp:
+            self.operations[o] += int(op_counts[int(o)])
 
     def merge(self, other: "SelectionCounters") -> None:
         """Accumulate counts from another counter (per-pool → per-run)."""
@@ -102,3 +130,50 @@ class AdaptiveSelector:
             if candidate in self.operation_set:
                 return candidate
         return self.operation_set[int(rng.integers(len(self.operation_set)))]
+
+    # -- columnar path ---------------------------------------------------------
+    def _select_column(
+        self,
+        pool_column: np.ndarray,
+        allowed: tuple,
+        pool_capacity: int,
+        rng: np.random.Generator,
+        count: int,
+    ) -> np.ndarray:
+        """One strategy column for *count* lanes, three vectorized draws.
+
+        Canonical draw order: explore coins ``rng.random(count)``, pool
+        rows ``rng.integers(capacity, size=count)``, uniform fallbacks
+        ``rng.integers(len(allowed), size=count)``.  Unlike the scalar
+        path the fallback draw always happens (unused lanes discard it) —
+        the per-lane distribution is identical, the stream consumption is
+        not.
+        """
+        coins = rng.random(count)
+        rows = rng.integers(pool_capacity, size=count)
+        fallback = rng.integers(len(allowed), size=count)
+        allowed_codes = np.array([int(x) for x in allowed], dtype=np.uint8)
+        from_pool = pool_column[rows]
+        exploit = (coins >= self.explore_probability) & np.isin(
+            from_pool, allowed_codes
+        )
+        return np.where(exploit, from_pool, allowed_codes[fallback]).astype(np.uint8)
+
+    def select_batch(
+        self, pool: SolutionPool, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Strategy columns ``(algorithms, operations)`` for a whole batch.
+
+        The algorithm column is drawn first, then the operation column —
+        the batch transpose of the scalar per-packet (algorithm, operation)
+        order.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        algorithms = self._select_column(
+            pool.algorithms, self.algorithm_set, pool.capacity, rng, count
+        )
+        operations = self._select_column(
+            pool.operations, self.operation_set, pool.capacity, rng, count
+        )
+        return algorithms, operations

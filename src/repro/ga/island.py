@@ -53,13 +53,21 @@ class IslandRing:
         for pool in self.pools:
             pool.reinitialize(rng)
 
+    def diversities(self) -> list[float | None]:
+        """Per-pool mean pairwise Hamming distance, in ring order.
+
+        Each entry is :meth:`SolutionPool.diversity` — computed on
+        bit-packed rows — or None while that pool is still warming up.
+        """
+        return [p.diversity() for p in self.pools]
+
     def collapsed(self, threshold: float) -> bool:
         """True when *every* pool's diversity has fallen below *threshold*.
 
         Pools without enough returned solutions to measure do not count as
         collapsed (the ring is still warming up).
         """
-        diversities = [p.diversity() for p in self.pools]
+        diversities = self.diversities()
         if any(d is None for d in diversities):
             return False
         return all(d < threshold for d in diversities)

@@ -36,6 +36,21 @@ class MutateCrossoverGenerator(TargetGenerator):
         child = self.crossover(pool.select_vector(rng), pool.select_vector(rng), rng)
         return self.mutation(child, rng)
 
+    def generate_batch(self, operations, pool, neighbor_pool, rng) -> np.ndarray:
+        """Columnar form: the op column is ignored (the strategy is fixed).
+
+        Draw order mirrors the DABS canonical order for a single
+        Crossover group followed by Mutation: first-parent ranks,
+        second-parent ranks, crossover mask, mutation mask.
+        """
+        operations = np.asarray(operations)
+        if operations.ndim != 1:
+            raise ValueError("operations must be a 1-D op-code column")
+        count = operations.size
+        a = pool.select_parents(rng, count)
+        b = pool.select_parents(rng, count)
+        return self.mutation_batch(self.crossover_batch(a, b, rng), rng)
+
 
 class ABSSolver(DABSSolver):
     """Adaptive Bulk Search: CyclicMin + mutation-after-crossover only."""
@@ -60,3 +75,10 @@ class ABSSolver(DABSSolver):
     def _choose_strategy(self, pool: SolutionPool):
         # fixed strategy — nothing to adapt
         return MainAlgorithm.CYCLICMIN, GeneticOp.CROSSOVER
+
+    def _choose_strategies(self, pool: SolutionPool, count: int):
+        # columnar form of the fixed strategy: constant columns, no draws
+        return (
+            np.full(count, int(MainAlgorithm.CYCLICMIN), dtype=np.uint8),
+            np.full(count, int(GeneticOp.CROSSOVER), dtype=np.uint8),
+        )

@@ -6,6 +6,13 @@ genetic operation and main search algorithm chosen by the adaptive
 5 %/95 % rule — launches all GPUs, and folds the returned best solutions
 back into the pools.
 
+The whole round path is columnar (DESIGN.md §5): strategy columns come
+from one vectorized adaptive draw per batch, target vectors from one
+group-wise generator pass, and collection folds each result batch into
+its pool with one sort-merge — :class:`PacketBatch` is the only
+interchange type; per-:class:`Packet` objects appear only on scalar
+reference paths (``_generate_batch_scalar``, tests, examples).
+
 Parallel execution: the paper drives each GPU from its own OpenMP thread.
 ``parallel="thread"`` reproduces that with a persistent thread pool (NumPy
 releases the GIL inside the batch-search kernels).  Rounds are
@@ -27,7 +34,7 @@ from __future__ import annotations
 import time
 import weakref
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -209,13 +216,40 @@ class DABSSolver:
     def _choose_strategy(
         self, pool: SolutionPool
     ) -> tuple[MainAlgorithm, GeneticOp]:
-        """Pick (algorithm, operation) for one packet; ABS overrides this."""
+        """Pick (algorithm, operation) for one packet (scalar reference
+        path); ABS overrides this."""
         alg = self.selector.select_algorithm(pool, self._host_rng)
         op = self.selector.select_operation(pool, self._host_rng)
         return alg, op
 
+    def _choose_strategies(
+        self, pool: SolutionPool, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Strategy columns for a whole batch in one draw; ABS overrides
+        this with constant columns."""
+        return self.selector.select_batch(pool, self._host_rng, count)
+
     # -- packet generation -------------------------------------------------------
     def _generate_batch(self, gpu_index: int) -> PacketBatch:
+        """One columnar batch for GPU *gpu_index* — no Packet objects.
+
+        Strategy columns come from one vectorized adaptive draw; target
+        vectors from one group-wise generator pass (DESIGN.md §5 fixes the
+        RNG draw order).
+        """
+        pool = self.pools[gpu_index]
+        neighbor = self.ring.neighbor_of(gpu_index)
+        algorithms, operations = self._choose_strategies(
+            pool, self.config.blocks_per_gpu
+        )
+        vectors = self.generator.generate_batch(
+            operations, pool, neighbor, self._host_rng
+        )
+        return PacketBatch.void(vectors, algorithms, operations)
+
+    def _generate_batch_scalar(self, gpu_index: int) -> PacketBatch:
+        """Per-packet reference generation, kept for batch-vs-scalar
+        equivalence checks; the solve loop never calls it."""
         pool = self.pools[gpu_index]
         neighbor = self.ring.neighbor_of(gpu_index)
         packets = []
@@ -234,11 +268,13 @@ class DABSSolver:
 
         Recording happens at submission, not generation, because the
         double-buffered scheduler speculatively generates one round beyond
-        the last launch.
+        the last launch.  One ``np.bincount`` per column over the round's
+        concatenated strategy columns — no per-packet loop.
         """
-        for batch in batches:
-            for alg, op in zip(batch.algorithms, batch.operations):
-                self.counters.record(MainAlgorithm(int(alg)), GeneticOp(int(op)))
+        self.counters.record_batch(
+            np.concatenate([batch.algorithms for batch in batches]),
+            np.concatenate([batch.operations for batch in batches]),
+        )
 
     # -- main loop ----------------------------------------------------------------
     def solve(
@@ -273,30 +309,36 @@ class DABSSolver:
                 next_batches = self._generate_round()
             results = handle.wait()
             improved = False
+            # collection is columnar: each result batch folds into its pool
+            # with one sort-merge, and the round's improvement is read off
+            # the energy column — no Packet objects are materialized
             for gpu_index, (result_batch, _) in enumerate(results):
                 pool = self.pools[gpu_index]
-                for packet in result_batch.to_packets():
-                    pool.insert(packet)
-                    if packet.energy < best_energy:
-                        improved = True
-                        best_energy = packet.energy
-                        best_vector = packet.vector.copy()
-                        first_found = (packet.algorithm, packet.operation)
-                        now = time.perf_counter() - start
-                        history.append(
-                            ImprovementEvent(
-                                now,
-                                rounds,
-                                best_energy,
-                                packet.algorithm,
-                                packet.operation,
-                            )
+                pool.insert_batch(
+                    result_batch.vectors,
+                    result_batch.energies,
+                    result_batch.algorithms,
+                    result_batch.operations,
+                )
+                winner = int(np.argmin(result_batch.energies))
+                energy = int(result_batch.energies[winner])
+                if energy < best_energy:
+                    improved = True
+                    best_energy = energy
+                    best_vector = result_batch.vectors[winner].copy()
+                    algorithm = MainAlgorithm(int(result_batch.algorithms[winner]))
+                    operation = GeneticOp(int(result_batch.operations[winner]))
+                    first_found = (algorithm, operation)
+                    now = time.perf_counter() - start
+                    history.append(
+                        ImprovementEvent(
+                            now, rounds, best_energy, algorithm, operation
                         )
-                        if (
-                            time_to_target is None
-                            and limits.target_reached(best_energy)
-                        ):
-                            time_to_target = now
+                    )
+                    if time_to_target is None and limits.target_reached(
+                        best_energy
+                    ):
+                        time_to_target = now
             elapsed = time.perf_counter() - start
             if limits.target_reached(best_energy):
                 break

@@ -18,6 +18,12 @@ kernels); in ``"sequential"`` mode the same steps simply run one after the
 other.  Launches never touch the host-side pools or the host RNG, which is
 what makes the two modes bit-exactly reproducible against each other — a
 property the solver tests assert.
+
+Everything that crosses this seam is columnar: a submitted round is a list
+of :class:`~repro.core.packet.PacketBatch` buffers (one per GPU) and a
+collected round is the same buffers with the vector/energy columns
+overwritten by the device — the host inserts them into the pools
+column-wise without ever materializing per-packet objects (DESIGN.md §5).
 """
 
 from __future__ import annotations

@@ -116,3 +116,22 @@ class TestSelectionCounters:
         a.merge(b)
         assert a.algorithms[MainAlgorithm.MAXMIN] == 2
         assert a.operations[GeneticOp.BEST] == 1
+
+    def test_record_batch_accumulates(self):
+        c = SelectionCounters()
+        c.record_batch(
+            np.array([0, 0, 1], dtype=np.uint8), np.array([5, 6, 5], dtype=np.uint8)
+        )
+        c.record_batch(np.array([0], dtype=np.uint8), np.array([5], dtype=np.uint8))
+        assert c.algorithms[MainAlgorithm.MAXMIN] == 3
+        assert c.algorithms[MainAlgorithm.CYCLICMIN] == 1
+        assert c.operations[GeneticOp.ZERO] == 3
+        assert c.operations[GeneticOp.ONE] == 1
+        assert sum(c.algorithms.values()) == sum(c.operations.values()) == 4
+
+    def test_record_batch_keys_stay_enums(self):
+        c = SelectionCounters()
+        c.record_batch(np.array([2], dtype=np.uint8), np.array([3], dtype=np.uint8))
+        assert all(isinstance(k, MainAlgorithm) for k in c.algorithms)
+        assert all(isinstance(k, GeneticOp) for k in c.operations)
+        assert c.algorithm_frequencies()[MainAlgorithm.RANDOMMIN] == 1.0

@@ -1,0 +1,411 @@
+"""Batch-vs-scalar equivalence of the columnar host data plane (DESIGN.md §5).
+
+Three tiers of evidence that the vectorized path equals the per-packet
+reference path:
+
+* **insert ordering** — ``insert_batch`` must produce the *identical* final
+  pool as sequential ``insert`` for any batch (the stable sort-merge
+  reproduces the ``side="right"`` tie-break exactly);
+* **bit-exact generation** where the canonical draw order coincides with
+  the scalar order: every operation at group size 1, Best at any size
+  (draw-free), Random at any size (one block draw);
+* **distributional generation** for the masked ops at larger group sizes
+  (flip/write rates, structural invariants), where the draw orders differ
+  by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packet import VOID_ENERGY, GeneticOp, MainAlgorithm, Packet
+from repro.core.rng import host_generator
+from repro.ga.adaptive import AdaptiveSelector, SelectionCounters
+from repro.ga.operations import TargetGenerator
+from repro.ga.pool import SolutionPool
+
+N = 37  # deliberately not a multiple of 8: exercises packbits padding
+
+
+def seeded_pool(capacity=12, n=N, seed=3, real=8, allow_duplicates=True):
+    """A pool with *real* returned solutions and the rest still void."""
+    pool = SolutionPool(
+        capacity, n, np.random.default_rng(seed), allow_duplicates=allow_duplicates
+    )
+    fill = np.random.default_rng(seed + 100)
+    for e in range(-real, 0):
+        pool.insert(
+            Packet(
+                fill.integers(0, 2, n, dtype=np.uint8),
+                e,
+                MainAlgorithm(int(fill.integers(len(MainAlgorithm)))),
+                GeneticOp(int(fill.integers(len(GeneticOp)))),
+            )
+        )
+    return pool
+
+
+def pool_pair(**kwargs):
+    """Two identically-constructed pools (same RNG seeds → same content)."""
+    return seeded_pool(**kwargs), seeded_pool(**kwargs)
+
+
+def random_batch(rng, size, n=N, energy_lo=-20, energy_hi=5):
+    vectors = rng.integers(0, 2, size=(size, n), dtype=np.uint8)
+    energies = rng.integers(energy_lo, energy_hi, size=size).astype(np.int64)
+    algorithms = rng.integers(len(MainAlgorithm), size=size).astype(np.uint8)
+    operations = rng.integers(len(GeneticOp), size=size).astype(np.uint8)
+    return vectors, energies, algorithms, operations
+
+
+def assert_pools_equal(a: SolutionPool, b: SolutionPool):
+    assert np.array_equal(a.energies, b.energies)
+    assert np.array_equal(a.vectors, b.vectors)
+    assert np.array_equal(a.algorithms, b.algorithms)
+    assert np.array_equal(a.operations, b.operations)
+
+
+class TestInsertBatchEquivalence:
+    @pytest.mark.parametrize("allow_duplicates", [True, False])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_final_pool_as_sequential(self, allow_duplicates, seed):
+        """Random batches (ties, duplicates, rejects) fold identically."""
+        seq, bat = pool_pair(allow_duplicates=allow_duplicates)
+        rng = np.random.default_rng(seed)
+        vectors, energies, algorithms, operations = random_batch(rng, 25)
+        # force energy ties and exact duplicate rows into the batch
+        energies[5:10] = energies[0]
+        vectors[7] = vectors[6]
+        energies[7] = energies[6]
+        for i in range(len(energies)):
+            seq.insert(
+                Packet(
+                    vectors[i].copy(),
+                    int(energies[i]),
+                    MainAlgorithm(int(algorithms[i])),
+                    GeneticOp(int(operations[i])),
+                )
+            )
+        bat.insert_batch(vectors, energies, algorithms, operations)
+        assert_pools_equal(seq, bat)
+
+    def test_batch_duplicating_pool_rows(self):
+        """Batch rows equal to stored (energy, vector) pairs are rejected
+        in the no-duplicates mode and merged after them otherwise."""
+        for allow in (True, False):
+            seq, bat = pool_pair(allow_duplicates=allow)
+            vectors = seq.vectors[:4].copy()
+            energies = seq.energies[:4].copy()
+            algorithms = np.zeros(4, dtype=np.uint8)
+            operations = np.zeros(4, dtype=np.uint8)
+            for i in range(4):
+                seq.insert(
+                    Packet(
+                        vectors[i].copy(),
+                        int(energies[i]),
+                        MainAlgorithm.MAXMIN,
+                        GeneticOp.RANDOM,
+                    )
+                )
+            bat.insert_batch(vectors, energies, algorithms, operations)
+            assert_pools_equal(seq, bat)
+
+    def test_all_rejected_batch_is_noop(self):
+        seq, bat = pool_pair()
+        worst = seq.worst_energy
+        vectors = np.zeros((3, N), dtype=np.uint8)
+        energies = np.array([worst, worst, worst], dtype=np.int64)
+        cols = np.zeros(3, dtype=np.uint8)
+        inserted = bat.insert_batch(vectors, energies, cols, cols)
+        assert inserted == 0
+        assert_pools_equal(seq, bat)
+
+    def test_inserted_count_is_surviving_rows(self):
+        pool = SolutionPool(2, N, np.random.default_rng(0))
+        vectors = np.zeros((3, N), dtype=np.uint8)
+        vectors[1] = 1
+        # -5 enters, -30 displaces it... no: capacity 2, both void slots
+        # drop first; -30/-20 survive, -5 is pushed out by them
+        energies = np.array([-5, -30, -20], dtype=np.int64)
+        cols = np.zeros(3, dtype=np.uint8)
+        inserted = pool.insert_batch(vectors, energies, cols, cols)
+        assert inserted == 2
+        assert pool.energies.tolist() == [-30, -20]
+
+    def test_intra_batch_displacement_matches_sequential(self):
+        """A row inserted then displaced by later rows of the same batch."""
+        seq = SolutionPool(2, N, np.random.default_rng(1))
+        bat = SolutionPool(2, N, np.random.default_rng(1))
+        vectors = np.arange(3 * N).reshape(3, N).astype(np.uint8) % 2
+        energies = np.array([-1, -50, -40], dtype=np.int64)
+        cols = np.zeros(3, dtype=np.uint8)
+        for i in range(3):
+            seq.insert(
+                Packet(
+                    vectors[i].copy(),
+                    int(energies[i]),
+                    MainAlgorithm.MAXMIN,
+                    GeneticOp.RANDOM,
+                )
+            )
+        bat.insert_batch(vectors, energies, cols, cols)
+        assert_pools_equal(seq, bat)
+        assert bat.energies.tolist() == [-50, -40]
+
+    def test_validates_shapes(self):
+        pool = seeded_pool()
+        with pytest.raises(ValueError, match="vectors must be"):
+            pool.insert_batch(
+                np.zeros((2, N + 1), dtype=np.uint8),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(2, dtype=np.uint8),
+                np.zeros(2, dtype=np.uint8),
+            )
+        with pytest.raises(ValueError, match="one entry per vector row"):
+            pool.insert_batch(
+                np.zeros((2, N), dtype=np.uint8),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=np.uint8),
+                np.zeros(2, dtype=np.uint8),
+            )
+        with pytest.raises(ValueError, match="algorithms must have"):
+            pool.insert_batch(
+                np.zeros((2, N), dtype=np.uint8),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(5, dtype=np.uint8),
+                np.zeros(2, dtype=np.uint8),
+            )
+
+
+class TestSingleLaneBitExact:
+    """At group size 1 the canonical batch draw order coincides with the
+    scalar order, so every operation must agree bit-for-bit."""
+
+    @pytest.mark.parametrize("op", list(GeneticOp))
+    def test_generate_batch_of_one_matches_scalar(self, op):
+        gen = TargetGenerator(N)
+        pool_s, pool_b = pool_pair()
+        neigh_s, neigh_b = pool_pair(seed=11)
+        scalar = gen.generate(op, pool_s, neigh_s, host_generator(77))
+        batch = gen.generate_batch(
+            np.array([int(op)], dtype=np.uint8), pool_b, neigh_b, host_generator(77)
+        )
+        assert batch.shape == (1, N)
+        assert np.array_equal(batch[0], scalar)
+
+    def test_mutate_crossover_batch_of_one_matches_scalar(self):
+        from repro.solver.abs_solver import MutateCrossoverGenerator
+
+        gen = MutateCrossoverGenerator(N)
+        pool_s, pool_b = pool_pair()
+        scalar = gen.generate(GeneticOp.CROSSOVER, pool_s, None, host_generator(5))
+        batch = gen.generate_batch(
+            np.array([int(GeneticOp.CROSSOVER)], dtype=np.uint8),
+            pool_b,
+            None,
+            host_generator(5),
+        )
+        assert np.array_equal(batch[0], scalar)
+
+
+class TestBlockBitExact:
+    def test_best_is_draw_free_and_exact(self):
+        gen = TargetGenerator(N)
+        pool = seeded_pool()
+        rng = host_generator(0)
+        out = gen.generate_batch(
+            np.full(5, int(GeneticOp.BEST), dtype=np.uint8), pool, None, rng
+        )
+        assert np.array_equal(out, np.tile(pool.vectors[0], (5, 1)))
+        # Best consumes no randomness: the stream continues as if untouched
+        assert rng.random() == host_generator(0).random()
+
+    def test_random_is_one_block_draw(self):
+        gen = TargetGenerator(N)
+        pool = seeded_pool()
+        out = gen.generate_batch(
+            np.full(6, int(GeneticOp.RANDOM), dtype=np.uint8),
+            pool,
+            None,
+            host_generator(21),
+        )
+        expected = host_generator(21).integers(0, 2, size=(6, N), dtype=np.uint8)
+        assert np.array_equal(out, expected)
+
+
+class TestCanonicalGroupOrder:
+    def test_groups_processed_in_ascending_enum_order(self):
+        """A mixed batch must consume the RNG stream group-by-group in
+        ascending GeneticOp value, not in lane order."""
+        gen = TargetGenerator(N)
+        pool_a, pool_b = pool_pair()
+        ops = np.array(
+            [int(GeneticOp.ZERO), int(GeneticOp.RANDOM), int(GeneticOp.MUTATION)],
+            dtype=np.uint8,
+        )
+        out = gen.generate_batch(ops, pool_a, None, host_generator(13))
+        # manual replay in canonical order: RANDOM (0), MUTATION (2), ZERO (5)
+        rng = host_generator(13)
+        rand_rows = gen.random_batch(1, rng)
+        mut = gen.mutation_batch(pool_b.select_parents(rng, 1), rng)
+        zero = gen.zero_batch(pool_b.select_parents(rng, 1), rng)
+        assert np.array_equal(out[1], rand_rows[0])
+        assert np.array_equal(out[2], mut[0])
+        assert np.array_equal(out[0], zero[0])
+
+
+class TestDistributionalEquivalence:
+    """Masked batch ops at large group sizes: same per-lane distribution as
+    the scalar ops, asserted statistically and structurally."""
+
+    def test_mutation_flip_rate(self):
+        gen = TargetGenerator(256)
+        parents = np.zeros((400, 256), dtype=np.uint8)
+        out = gen.mutation_batch(parents, host_generator(0))
+        assert abs(out.mean() - 0.125) < 0.01
+
+    def test_crossover_mix_rate_and_agreement(self):
+        gen = TargetGenerator(256)
+        a = np.zeros((300, 256), dtype=np.uint8)
+        b = np.ones((300, 256), dtype=np.uint8)
+        out = gen.crossover_batch(a, b, host_generator(1))
+        assert abs(out.mean() - 0.5) < 0.02
+        same = gen.crossover_batch(a, a, host_generator(2))
+        assert not same.any()
+
+    def test_zero_one_rates_and_monotonicity(self):
+        gen = TargetGenerator(256)
+        ones = np.ones((400, 256), dtype=np.uint8)
+        zeros = np.zeros((400, 256), dtype=np.uint8)
+        z = gen.zero_batch(ones, host_generator(3))
+        o = gen.one_batch(zeros, host_generator(4))
+        assert np.all(z <= ones) and abs(1 - z.mean() - 0.125) < 0.01
+        assert np.all(o >= zeros) and abs(o.mean() - 0.125) < 0.01
+
+    def test_interval_zero_per_row_structure(self):
+        n = 128
+        gen = TargetGenerator(n)
+        parents = np.ones((200, n), dtype=np.uint8)
+        out = gen.interval_zero_batch(parents, host_generator(5))
+        lo, hi = gen._interval_bounds()
+        for row in out:
+            zeros = np.flatnonzero(row == 0)
+            assert lo <= zeros.size <= hi
+            # cyclic contiguity: one run when viewed on the ring
+            gaps = np.diff(np.concatenate([zeros, [zeros[0] + n]]))
+            assert np.count_nonzero(gaps != 1) <= 1
+
+    def test_parents_not_mutated_in_place(self):
+        gen = TargetGenerator(64)
+        pool = seeded_pool(n=64)
+        before = pool.vectors.copy()
+        for op in (GeneticOp.ZERO, GeneticOp.ONE, GeneticOp.INTERVALZERO):
+            gen.generate_batch(
+                np.full(8, int(op), dtype=np.uint8), pool, None, host_generator(6)
+            )
+        assert np.array_equal(pool.vectors, before)
+
+
+class TestAdaptiveBatchEquivalence:
+    def test_explore_rate_statistical(self):
+        pool = seeded_pool(capacity=20)
+        pool.algorithms[:] = int(MainAlgorithm.MAXMIN)
+        pool.operations[:] = int(GeneticOp.BEST)
+        sel = AdaptiveSelector(explore_probability=0.05)
+        algs, _ = sel.select_batch(pool, host_generator(7), 8000)
+        non_pool = np.count_nonzero(algs != int(MainAlgorithm.MAXMIN))
+        # exploration re-picks MAXMIN 1/5 of the time → expect 4 % deviants
+        assert abs(non_pool / 8000 - 0.05 * 4 / 5) < 0.01
+
+    def test_pure_exploitation_reads_pool(self):
+        pool = seeded_pool(capacity=20)
+        pool.algorithms[:] = int(MainAlgorithm.CYCLICMIN)
+        pool.operations[:] = int(GeneticOp.ZERO)
+        sel = AdaptiveSelector(explore_probability=0.0)
+        algs, ops = sel.select_batch(pool, host_generator(8), 64)
+        assert np.all(algs == int(MainAlgorithm.CYCLICMIN))
+        assert np.all(ops == int(GeneticOp.ZERO))
+
+    def test_restricted_set_never_escapes(self):
+        pool = seeded_pool(capacity=20)
+        pool.algorithms[:] = int(MainAlgorithm.MAXMIN)
+        pool.operations[:] = int(GeneticOp.BEST)
+        sel = AdaptiveSelector(
+            algorithm_set=(MainAlgorithm.CYCLICMIN,),
+            operation_set=(GeneticOp.CROSSOVER,),
+            explore_probability=0.05,
+        )
+        algs, ops = sel.select_batch(pool, host_generator(9), 500)
+        assert np.all(algs == int(MainAlgorithm.CYCLICMIN))
+        assert np.all(ops == int(GeneticOp.CROSSOVER))
+
+    def test_rejects_bad_count(self):
+        sel = AdaptiveSelector()
+        with pytest.raises(ValueError, match="count"):
+            sel.select_batch(seeded_pool(), host_generator(0), 0)
+
+    def test_record_batch_matches_sequential_record(self):
+        rng = np.random.default_rng(10)
+        algs = rng.integers(len(MainAlgorithm), size=200).astype(np.uint8)
+        ops = rng.integers(len(GeneticOp), size=200).astype(np.uint8)
+        seq = SelectionCounters()
+        for a, o in zip(algs, ops):
+            seq.record(MainAlgorithm(int(a)), GeneticOp(int(o)))
+        bat = SelectionCounters()
+        bat.record_batch(algs, ops)
+        assert seq.algorithms == bat.algorithms
+        assert seq.operations == bat.operations
+
+    def test_record_batch_rejects_unknown_codes(self):
+        """Corrupt strategy columns must fail loudly, like the per-packet
+        enum construction they replace."""
+        c = SelectionCounters()
+        with pytest.raises(ValueError, match="MainAlgorithm"):
+            c.record_batch(np.array([0, 9], dtype=np.uint8), np.array([0, 0], dtype=np.uint8))
+        with pytest.raises(ValueError, match="GeneticOp"):
+            c.record_batch(np.array([0, 0], dtype=np.uint8), np.array([0, 200], dtype=np.uint8))
+
+
+class TestSolverPathsAgree:
+    def test_both_generation_paths_produce_valid_void_batches(self):
+        from repro.search.batch import BatchSearchConfig
+        from repro.solver.dabs import DABSConfig, DABSSolver
+        from tests.conftest import random_qubo
+
+        model = random_qubo(16, seed=0)
+        cfg = DABSConfig(
+            num_gpus=2,
+            blocks_per_gpu=8,
+            pool_capacity=10,
+            batch=BatchSearchConfig(batch_flip_factor=1.0),
+        )
+        solver = DABSSolver(model, cfg, seed=0)
+        for path in (solver._generate_batch, solver._generate_batch_scalar):
+            batch = path(0)
+            assert len(batch) == 8
+            assert batch.n == 16
+            assert np.all(batch.energies == VOID_ENERGY)
+            assert set(np.unique(batch.vectors)) <= {0, 1}
+            alg_codes = {int(a) for a in MainAlgorithm}
+            op_codes = {int(o) for o in GeneticOp}
+            assert {int(a) for a in batch.algorithms} <= alg_codes
+            assert {int(o) for o in batch.operations} <= op_codes
+
+    def test_abs_strategy_columns_are_constant(self):
+        from repro.search.batch import BatchSearchConfig
+        from repro.solver.abs_solver import ABSSolver
+        from repro.solver.dabs import DABSConfig
+        from tests.conftest import random_qubo
+
+        model = random_qubo(12, seed=1)
+        cfg = DABSConfig(
+            num_gpus=1,
+            blocks_per_gpu=6,
+            pool_capacity=5,
+            batch=BatchSearchConfig(batch_flip_factor=1.0),
+        )
+        solver = ABSSolver(model, cfg, seed=0)
+        batch = solver._generate_batch(0)
+        assert np.all(batch.algorithms == int(MainAlgorithm.CYCLICMIN))
+        assert np.all(batch.operations == int(GeneticOp.CROSSOVER))

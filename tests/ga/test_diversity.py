@@ -61,6 +61,47 @@ class TestPoolDiversity:
             pool.insert(packet(np.ones(16), e))
         assert pool.diversity() == 0.0  # despite 8 random void rows
 
+    def test_exact_when_n_not_multiple_of_eight(self):
+        """The bit-packed path zero-pads the last byte; padding must not
+        contribute to the distance."""
+        pool = SolutionPool(6, 13, np.random.default_rng(0))
+        a = np.zeros(13)
+        b = np.zeros(13)
+        b[[0, 7, 8, 12]] = 1  # bits straddling byte boundaries + last bit
+        pool.insert(packet(a, -1))
+        pool.insert(packet(b, -2))
+        assert pool.diversity() == 4.0
+
+    def test_matches_per_bit_reference(self):
+        """Packed popcount distance == the per-bit definition, any n."""
+        for n in (8, 13, 64, 100):
+            pool = SolutionPool(8, n, np.random.default_rng(n))
+            rng = np.random.default_rng(n + 1)
+            for e in range(-6, 0):
+                pool.insert(packet(rng.integers(0, 2, n), e))
+            vecs = pool.vectors[pool.energies != np.iinfo(np.int64).max]
+            m = vecs.shape[0]
+            ref = (vecs[:, None, :] != vecs[None, :, :]).sum() / (m * (m - 1))
+            assert pool.diversity() == pytest.approx(ref)
+
+    def test_duplicate_rejection_with_odd_n(self):
+        """Scalar + batch duplicate checks are packed too; padding must not
+        make distinct vectors look equal."""
+        pool = SolutionPool(6, 13, np.random.default_rng(1), allow_duplicates=False)
+        a = np.zeros(13, dtype=np.uint8)
+        b = np.zeros(13, dtype=np.uint8)
+        b[12] = 1  # differs only in the padded final byte
+        assert pool.insert(packet(a, -5))
+        assert not pool.insert(packet(a, -5))
+        assert pool.insert(packet(b, -5))
+        inserted = pool.insert_batch(
+            np.stack([a, b]),
+            np.array([-5, -5], dtype=np.int64),
+            np.zeros(2, dtype=np.uint8),
+            np.zeros(2, dtype=np.uint8),
+        )
+        assert inserted == 0  # both already stored at that energy
+
 
 class TestRingCollapse:
     def test_not_collapsed_while_warming_up(self):

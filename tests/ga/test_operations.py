@@ -151,7 +151,9 @@ class TestDispatch:
         ones = Packet(np.ones(N, dtype=np.uint8), -99, MainAlgorithm.MAXMIN, GeneticOp.RANDOM)
         for _ in range(10):
             neighbor.insert(ones.copy())
-            ones = Packet(np.ones(N, dtype=np.uint8), ones.energy - 1, ones.algorithm, ones.operation)
+            ones = Packet(
+                np.ones(N, dtype=np.uint8), ones.energy - 1, ones.algorithm, ones.operation
+            )
         child = gen.generate(GeneticOp.XROSSOVER, pool, neighbor, rng)
         assert set(np.unique(child)) <= {0, 1}
 
@@ -173,3 +175,69 @@ class TestDispatch:
     def test_rejects_bad_n(self):
         with pytest.raises(ValueError, match="n must be"):
             TargetGenerator(0)
+
+
+class TestBatchDispatch:
+    def test_mixed_ops_all_rows_valid(self, gen, pool, rng):
+        ops = np.array([int(op) for op in GeneticOp] * 3, dtype=np.uint8)
+        out = gen.generate_batch(ops, pool, pool, rng)
+        assert out.shape == (ops.size, N)
+        assert out.dtype == np.uint8
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_best_rows_equal_pool_best(self, gen, pool, rng):
+        ops = np.array(
+            [int(GeneticOp.BEST), int(GeneticOp.RANDOM), int(GeneticOp.BEST)],
+            dtype=np.uint8,
+        )
+        out = gen.generate_batch(ops, pool, None, rng)
+        assert np.array_equal(out[0], pool.best_packet().vector)
+        assert np.array_equal(out[2], pool.best_packet().vector)
+
+    def test_zero_rows_only_clear_parent_bits(self, gen, pool, rng):
+        # a pool of all-ones parents: Zero output can only contain cleared bits
+        ones_pool = SolutionPool(5, N, np.random.default_rng(9))
+        for e in range(1, 6):
+            ones_pool.insert(
+                Packet(
+                    np.ones(N, dtype=np.uint8), -e, MainAlgorithm.MAXMIN, GeneticOp.RANDOM
+                )
+            )
+        ops = np.full(20, int(GeneticOp.ZERO), dtype=np.uint8)
+        out = gen.generate_batch(ops, ones_pool, None, rng)
+        assert np.all(out <= 1)
+        assert out.sum() < out.size  # some bits actually cleared
+
+    def test_xrossover_group_draws_from_neighbor(self, gen, pool, rng):
+        neighbor = SolutionPool(5, N, np.random.default_rng(10))
+        for e in range(1, 6):
+            neighbor.insert(
+                Packet(
+                    np.ones(N, dtype=np.uint8), -e, MainAlgorithm.MAXMIN, GeneticOp.RANDOM
+                )
+            )
+        zeros_pool = SolutionPool(5, N, np.random.default_rng(11))
+        for e in range(1, 6):
+            zeros_pool.insert(
+                Packet(
+                    np.zeros(N, dtype=np.uint8), -e, MainAlgorithm.MAXMIN, GeneticOp.RANDOM
+                )
+            )
+        ops = np.full(30, int(GeneticOp.XROSSOVER), dtype=np.uint8)
+        out = gen.generate_batch(ops, zeros_pool, neighbor, rng)
+        # ~half the bits must come from the all-ones neighbour pool
+        assert 0.3 < out.mean() < 0.7
+
+    def test_rejects_non_column_ops(self, gen, pool, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            gen.generate_batch(
+                np.zeros((2, 2), dtype=np.uint8), pool, None, rng
+            )
+
+    def test_unknown_code_rejected(self, gen, pool, rng):
+        with pytest.raises(ValueError):
+            gen.generate_batch(np.array([200], dtype=np.uint8), pool, None, rng)
+
+    def test_empty_batch(self, gen, pool, rng):
+        out = gen.generate_batch(np.empty(0, dtype=np.uint8), pool, None, rng)
+        assert out.shape == (0, N)

@@ -112,6 +112,76 @@ class TestInsert:
         assert pool.insert(packet(energy=-5, fill=1))
         assert pool.insert(packet(energy=-5, fill=1))
 
+    def test_duplicate_check_accepts_non_uint8_vectors(self):
+        """The packed comparison must coerce, not crash, on float 0/1
+        vectors (the pre-packbits per-bit comparison accepted them)."""
+        pool = make_pool(allow_duplicates=False)
+        assert pool.insert(Packet(np.zeros(12), -5, MainAlgorithm.MAXMIN, GeneticOp.ZERO))
+        assert not pool.insert(Packet(np.zeros(12), -5, MainAlgorithm.MAXMIN, GeneticOp.ZERO))
+
+
+class TestInsertBatch:
+    def test_better_rows_enter_sorted(self):
+        pool = make_pool(capacity=5)
+        vectors = np.zeros((3, 12), dtype=np.uint8)
+        energies = np.array([-3, -9, -5], dtype=np.int64)
+        cols = np.zeros(3, dtype=np.uint8)
+        assert pool.insert_batch(vectors, energies, cols, cols) == 3
+        assert pool.energies[:3].tolist() == [-9, -5, -3]
+        assert pool.best_energy == -9
+
+    def test_rejects_worse_than_worst(self):
+        pool = make_pool(capacity=2)
+        pool.insert(packet(energy=-10))
+        pool.insert(packet(energy=-20))
+        vectors = np.ones((2, 12), dtype=np.uint8)
+        energies = np.array([-10, -5], dtype=np.int64)
+        cols = np.zeros(2, dtype=np.uint8)
+        assert pool.insert_batch(vectors, energies, cols, cols) == 0
+        assert pool.energies.tolist() == [-20, -10]
+
+    def test_capacity_never_exceeded(self):
+        pool = make_pool(capacity=3)
+        rng = np.random.default_rng(0)
+        vectors = rng.integers(0, 2, size=(20, 12), dtype=np.uint8)
+        energies = np.arange(-20, 0, dtype=np.int64)
+        cols = np.zeros(20, dtype=np.uint8)
+        pool.insert_batch(vectors, energies, cols, cols)
+        assert pool.vectors.shape == (3, 12)
+        assert pool.energies.tolist() == [-20, -19, -18]
+
+    def test_strategy_columns_stored(self):
+        pool = make_pool()
+        vectors = np.ones((1, 12), dtype=np.uint8)
+        pool.insert_batch(
+            vectors,
+            np.array([-99], dtype=np.int64),
+            np.array([int(MainAlgorithm.POSITIVEMIN)], dtype=np.uint8),
+            np.array([int(GeneticOp.ZERO)], dtype=np.uint8),
+        )
+        top = pool.best_packet()
+        assert top.algorithm is MainAlgorithm.POSITIVEMIN
+        assert top.operation is GeneticOp.ZERO
+
+    def test_duplicate_rows_rejected_when_disallowed(self):
+        pool = make_pool(allow_duplicates=False)
+        vectors = np.ones((2, 12), dtype=np.uint8)
+        energies = np.array([-5, -5], dtype=np.int64)
+        cols = np.zeros(2, dtype=np.uint8)
+        assert pool.insert_batch(vectors, energies, cols, cols) == 1
+
+    def test_caller_buffers_not_aliased(self):
+        pool = make_pool()
+        vectors = np.ones((1, 12), dtype=np.uint8)
+        pool.insert_batch(
+            vectors,
+            np.array([-42], dtype=np.int64),
+            np.zeros(1, dtype=np.uint8),
+            np.zeros(1, dtype=np.uint8),
+        )
+        vectors[:] = 0
+        assert np.all(pool.best_packet().vector == 1)
+
 
 class TestSelection:
     def test_select_index_cubic_bias(self):
@@ -143,6 +213,30 @@ class TestSelection:
         pool = make_pool(capacity=3)
         with pytest.raises(IndexError):
             pool.packet_at(3)
+
+    def test_select_indices_matches_scalar(self):
+        pool = make_pool(capacity=100)
+        r = np.array([0.0, 0.5, 0.999, 0.123])
+        expected = [pool.select_index(float(x)) for x in r]
+        assert pool.select_indices(r).tolist() == expected
+
+    def test_select_indices_rejects_out_of_range(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.select_indices(np.array([0.5, 1.0]))
+
+    def test_select_parents_shape_and_copy(self):
+        pool = make_pool()
+        parents = pool.select_parents(np.random.default_rng(0), 7)
+        assert parents.shape == (7, 12)
+        parents[:] = 9
+        assert not np.any(pool.vectors == 9)
+
+    def test_select_parents_single_draw_matches_select_vector(self):
+        pool = make_pool()
+        one = pool.select_parents(np.random.default_rng(3), 1)
+        scalar = pool.select_vector(np.random.default_rng(3))
+        assert np.array_equal(one[0], scalar)
 
 
 class TestReinitialize:

@@ -172,3 +172,28 @@ class TestDABSSolver:
         solver = DABSSolver(model, SMALL_CFG, seed=0)
         solver.solve(max_rounds=2)
         assert all(pool.has_real_solutions() for pool in solver.pools)
+
+    def test_pools_stay_sorted_after_columnar_collection(self):
+        """insert_batch folds whole result batches; the sorted-pool
+        invariant every other component relies on must survive."""
+        model = random_qubo(14, seed=14)
+        solver = DABSSolver(model, SMALL_CFG, seed=0)
+        solver.solve(max_rounds=4)
+        for pool in solver.pools:
+            energies = pool.energies.tolist()
+            assert energies == sorted(energies)
+            assert pool.vectors.shape == (SMALL_CFG.pool_capacity, model.n)
+
+    def test_history_events_attribute_batch_winners(self):
+        """Each improvement event carries the (algorithm, operation) of the
+        batch row that produced it — read straight off the columns."""
+        model = random_qubo(16, seed=15)
+        result = DABSSolver(model, SMALL_CFG, seed=0).solve(max_rounds=8)
+        assert result.history
+        for ev in result.history:
+            assert isinstance(ev.algorithm, MainAlgorithm)
+            assert isinstance(ev.operation, GeneticOp)
+        assert result.first_found == (
+            result.history[-1].algorithm,
+            result.history[-1].operation,
+        )
