@@ -36,9 +36,11 @@ from repro.backends.base import (
     INT_SENTINEL,
     BackendUnavailableError,
     ComputeBackend,
+    GreedyTruncationWarning,
     masked_argmin,
 )
 from repro.backends.numba_backend import NumbaBackend
+from repro.backends.spec import SelectionSpec
 from repro.backends.numpy_dense import NumpyDenseBackend
 from repro.backends.numpy_sparse import NumpySparseBackend
 
@@ -47,8 +49,10 @@ __all__ = [
     "AUTO_SPARSE_MIN_N",
     "BackendUnavailableError",
     "ComputeBackend",
+    "GreedyTruncationWarning",
     "INT_SENTINEL",
     "NumbaBackend",
+    "SelectionSpec",
     "NumpyDenseBackend",
     "NumpySparseBackend",
     "auto_backend_name",

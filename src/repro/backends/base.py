@@ -8,7 +8,11 @@ owns everything the batch search does per iteration on device-shaped data:
 * state allocation/reset (``(B, n)`` solutions, energies, flip gains),
 * the per-flip Δ update (Eq. 4/5), dense or CSR,
 * the energy/argmin scans (``neighbor_min``, ``is_local_minimum``),
-* the straight/greedy inner loops (§III.A.1–2).
+* **whole search phases** (DESIGN.md §6): the straight/greedy inner loops
+  (§III.A.1–2) and, via :meth:`run_main_phase`, entire main phases lowered
+  from a declarative :class:`~repro.backends.spec.SelectionSpec` — one
+  backend call per phase instead of one per flip, with the tabu stamps and
+  best-tracker folds computed in place on reused buffers.
 
 Layers above (:class:`~repro.core.delta.BatchDeltaState`, the search
 algorithms, the virtual GPU) consume only this interface, so a new
@@ -17,7 +21,9 @@ registering one class (see :mod:`repro.backends`).
 
 Backends must be **bit-exactly interchangeable**: for integer models every
 implementation produces the identical (vector, energy, flip-count)
-trajectory under a fixed seed, which the parity tests assert.  All
+trajectory under a fixed seed, which the parity tests assert.  The fused
+phase runners carry the same contract against the stepwise reference path
+(``MainSearch.select`` + per-flip ``flip``/``record``/``fold``).  All
 per-model precomputation lives in the object returned by :meth:`prepare`
 (kept on the state), so backend instances themselves are stateless
 singletons shared across solvers and threads.
@@ -29,14 +35,26 @@ backend inner loops need them and backends sit below the search layer.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 
 import numpy as np
+
+from repro.backends.spec import (
+    KIND_CYCLIC_WINDOW,
+    KIND_FIXED_SEQUENCE,
+    KIND_MAXMIN_THRESHOLD,
+    KIND_POSITIVE_MIN,
+    KIND_RANDOM_CANDIDATE_MIN,
+    SelectionSpec,
+)
 
 __all__ = [
     "INT_SENTINEL",
     "BackendUnavailableError",
     "ComputeBackend",
+    "GreedyTruncationWarning",
+    "greedy_iteration_cap",
     "masked_argmin",
 ]
 
@@ -48,6 +66,24 @@ INT_SENTINEL = np.int64(2**62)
 
 class BackendUnavailableError(RuntimeError):
     """Raised when a requested backend's runtime dependency is missing."""
+
+
+def greedy_iteration_cap(n: int) -> int:
+    """Default greedy-descent safety cap (``16·n + 64``).
+
+    One definition shared by the stepwise loop, the fused phase runners
+    and the truncation-flagging logic, so the paths can never disagree on
+    when a descent counts as truncated.
+    """
+    return 16 * n + 64
+
+
+class GreedyTruncationWarning(RuntimeWarning):
+    """A greedy descent hit its iteration safety cap before convergence.
+
+    The returned rows are *not* guaranteed to be 1-bit local minima; the
+    per-row truncation flag identifies which rows were cut short.
+    """
 
 
 def masked_argmin(
@@ -67,6 +103,15 @@ def masked_argmin(
     return idx, has
 
 
+def _warn_truncated(count: int, max_iters: int) -> None:
+    warnings.warn(
+        f"greedy descent stopped at its {max_iters}-iteration safety cap "
+        f"with {count} row(s) not at a local minimum",
+        GreedyTruncationWarning,
+        stacklevel=3,
+    )
+
+
 class ComputeBackend(ABC):
     """Kernels for one execution substrate of the batch search.
 
@@ -74,12 +119,24 @@ class ComputeBackend(ABC):
     object (a :class:`~repro.core.delta.BatchDeltaState`), all per-model
     read-only data in the kernel cache produced by :meth:`prepare` and
     stored at ``state.kernel``.  The state object exposes ``model``,
-    ``batch``, ``kernel`` and the arrays ``x`` (``(B, n)`` uint8),
-    ``energy`` (``(B,)``) and ``delta`` (``(B, n)``).
+    ``batch``, ``kernel``, the arrays ``x`` (``(B, n)`` uint8), ``energy``
+    (``(B,)``) and ``delta`` (``(B, n)``), plus ``scratch`` — named reused
+    ``(B, n)`` work buffers for the fused phase runners.
     """
 
     #: registry name, e.g. ``"numpy-dense"``
     name: str = ""
+
+    #: selection-spec kinds this backend can run as fused phases
+    lowered_kinds: frozenset = frozenset(
+        {
+            KIND_MAXMIN_THRESHOLD,
+            KIND_CYCLIC_WINDOW,
+            KIND_RANDOM_CANDIDATE_MIN,
+            KIND_POSITIVE_MIN,
+            KIND_FIXED_SEQUENCE,
+        }
+    )
 
     # -- lifecycle ---------------------------------------------------------
     @classmethod
@@ -120,6 +177,8 @@ class ComputeBackend(ABC):
             state.x = np.empty((b, n), dtype=np.uint8)
             state.energy = np.empty(b, dtype=lin.dtype)
             state.delta = np.empty((b, n), dtype=lin.dtype)
+        # derived caches (e.g. the sparse backend's σ matrix) follow x
+        self._invalidate_derived(state)
         if x is None:
             state.x[...] = 0
             state.energy[...] = 0
@@ -127,6 +186,11 @@ class ComputeBackend(ABC):
             return
         np.copyto(state.x, np.asarray(x, dtype=np.uint8))
         self._compute_from_x(state)
+
+    def _invalidate_derived(self, state) -> None:
+        """Drop any x-derived incremental caches before ``state.x`` is
+        rewritten.  Backends that keep such caches in the state scratch
+        (e.g. the sparse backend's σ matrix) override this hook."""
 
     @abstractmethod
     def flip(self, state, idx: np.ndarray, active: np.ndarray | None = None) -> None:
@@ -156,6 +220,16 @@ class ComputeBackend(ABC):
             return None
         return rows, np.asarray(idx)[rows]
 
+    def _stamp(self, tabu, rows, idx, active, value: int) -> None:
+        """Row-local tabu stamping inside a fused phase (no clock motion)."""
+        if not tabu.enabled:
+            return
+        if active is None:
+            tabu.stamps[rows, idx] = value
+        else:
+            act = np.flatnonzero(active)
+            tabu.stamps[act, idx[act]] = value
+
     # -- scans -------------------------------------------------------------
     def neighbor_min(self, state) -> tuple[np.ndarray, np.ndarray]:
         """Per-row best 1-bit neighbour: ``(argmin_k Δ, E + min_k Δ)``."""
@@ -166,30 +240,38 @@ class ComputeBackend(ABC):
         """Per-row flag: no 1-bit flip decreases the energy."""
         return np.all(state.delta >= 0, axis=1)
 
-    # -- inner loops (§III.A.1–2) ------------------------------------------
+    # -- stepwise inner loops (§III.A.1–2, reference path) ------------------
     def greedy_descent(self, state, max_iters=None, on_flip=None) -> np.ndarray:
         """Steepest descent to a per-row 1-bit local minimum.
 
         ``max_iters`` is a safety cap (greedy always terminates on integer
         models because every flip strictly decreases the energy, but float
-        models could cycle through ties).  ``on_flip(idx, active)`` is
-        invoked after each lockstep flip so callers can track bests/budgets.
-        Returns per-row flip counts.
+        models could cycle through ties).  Hitting the cap with rows still
+        descending emits a :class:`GreedyTruncationWarning` — use
+        :meth:`run_greedy_phase` to obtain the per-row truncation flags.
+        ``on_flip(idx, active)`` is invoked after each lockstep flip so
+        callers can track bests/budgets.  Returns per-row flip counts.
         """
         b, n = state.x.shape
         if max_iters is None:
-            max_iters = 16 * n + 64
+            max_iters = greedy_iteration_cap(n)
         flips = np.zeros(b, dtype=np.int64)
         rows = np.arange(b)
+        converged = False
         for _ in range(max_iters):
             idx = np.argmin(state.delta, axis=1)
             active = state.delta[rows, idx] < 0
             if not active.any():
+                converged = True
                 break
             self.flip(state, idx, active)
             flips += active
             if on_flip is not None:
                 on_flip(idx, active)
+        if not converged:
+            still = int(np.count_nonzero(state.delta.min(axis=1) < 0))
+            if still:
+                _warn_truncated(still, max_iters)
         return flips
 
     def straight_walk(self, state, targets, on_flip=None) -> np.ndarray:
@@ -222,6 +304,347 @@ class ComputeBackend(ABC):
             if on_flip is not None:
                 on_flip(idx, active)
         return flips
+
+    # -- fused phase runners (DESIGN.md §6) --------------------------------
+    #
+    # One backend call per *phase*.  Tabu stamps are written row-locally
+    # (``stamps[r, i] = clock + t``) and the clock advanced once per phase,
+    # which is bit-identical to the stepwise per-flip ``record`` because a
+    # row's k-th flip of any phase always lands on lockstep iteration k.
+    # Best-tracker folds go through ``tracker.fold`` (one argmin scan) —
+    # deferred to the end of the phase where provably bit-identical
+    # (greedy), per-iteration otherwise.
+    #
+    # Candidate masking is *arithmetic*: instead of the reference's
+    # ``np.where(mask, Δ, SENTINEL)`` (a slow select kernel), excluded
+    # positions get the sentinel **added** (``Δ + excluded·SENTINEL``) or,
+    # for key argmaxes, subtracted.  Within a row this preserves order and
+    # first-index ties among candidates (Δ and keys are ≪ the sentinel),
+    # so every argmin/argmax selects the identical bit; rows with *no*
+    # candidate reduce to the plain row argmin/argmax, which is exactly
+    # the reference's empty-mask fallback for the min rules (the random
+    # rules keep their explicit fallback).
+
+    def run_straight_phase(self, state, targets, tabu, tracker) -> np.ndarray:
+        """Fused straight phase: walk every row to its target vector.
+
+        Bit-identical to :meth:`straight_walk` + per-flip tabu/tracker
+        bookkeeping.  The sentinel penalty matrix is maintained
+        incrementally — each straight flip converts exactly one differing
+        bit — so the per-iteration cost is one add + one argmin.
+        Returns per-row flip counts.
+        """
+        targets = np.asarray(targets, dtype=np.uint8)
+        b = state.x.shape[0]
+        rows = state._rows
+        delta = state.delta
+        flips = np.zeros(b, dtype=np.int64)
+        diff = state.x != targets
+        remaining = diff.sum(axis=1)
+        total_iters = int(remaining.max(initial=0))
+        shadow = state.scratch("shadow_i64", np.int64)
+        penalty = state.scratch("penalty_i64", np.int64)
+        # penalty = SENTINEL at already-matching positions, 0 at differing
+        np.multiply(~diff, INT_SENTINEL, out=penalty)
+        stamps = tabu.stamps
+        stamp_on = tabu.enabled
+        clock = tabu.clock
+        for t in range(total_iters):
+            active = remaining > 0
+            np.add(delta, penalty, out=shadow)
+            idx = np.argmin(shadow, axis=1)
+            if bool(active.all()):
+                self.flip(state, idx)
+                if stamp_on:
+                    stamps[rows, idx] = clock + t
+            else:
+                self.flip(state, idx, active)
+                self._stamp(tabu, rows, idx, active, clock + t)
+            penalty[rows, idx] = INT_SENTINEL
+            remaining -= active
+            flips += active
+            tracker.fold(state)
+        tabu.advance(total_iters)
+        return flips
+
+    def run_greedy_phase(
+        self, state, tabu, tracker, max_iters=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fused greedy phase: steepest descent with deferred best folds.
+
+        The tracker fold happens once after convergence — bit-identical
+        because every intermediate state's best 1-bit neighbour is the
+        next visited state (DESIGN.md §2).  Returns ``(flips, truncated)``
+        where ``truncated[r]`` flags rows cut off by the ``max_iters``
+        safety cap before reaching a local minimum (also warned via
+        :class:`GreedyTruncationWarning`).
+        """
+        b, n = state.x.shape
+        if max_iters is None:
+            max_iters = greedy_iteration_cap(n)
+        rows = state._rows
+        delta = state.delta
+        flips = np.zeros(b, dtype=np.int64)
+        stamps = tabu.stamps
+        stamp_on = tabu.enabled
+        clock = tabu.clock
+        iters = 0
+        converged = False
+        for t in range(max_iters):
+            idx = np.argmin(delta, axis=1)
+            active = delta[rows, idx] < 0
+            if not active.any():
+                converged = True
+                break
+            iters = t + 1
+            if bool(active.all()):
+                self.flip(state, idx)
+                if stamp_on:
+                    stamps[rows, idx] = clock + t
+            else:
+                self.flip(state, idx, active)
+                self._stamp(tabu, rows, idx, active, clock + t)
+            flips += active
+        truncated = np.zeros(b, dtype=bool)
+        if not converged:
+            np.less(delta.min(axis=1), 0, out=truncated)
+            count = int(np.count_nonzero(truncated))
+            if count:
+                _warn_truncated(count, max_iters)
+        tabu.advance(iters)
+        tracker.fold(state)
+        return flips, truncated
+
+    def run_main_phase(
+        self, state, spec: SelectionSpec, iterations: int, rng, tabu, tracker
+    ) -> np.ndarray:
+        """Run one whole main phase from a lowered selection spec.
+
+        Dispatches on ``spec.kind``; every runner executes the same
+        per-iteration schedule as the stepwise reference (mask → select →
+        flip → stamp → fold) with the ``(B, n)`` intermediates kept in
+        reused scratch buffers and all RNG lane traffic in integer keys.
+        Returns per-row flip counts (always ``iterations``).
+        """
+        if spec.kind == KIND_MAXMIN_THRESHOLD:
+            self._fused_maxmin(state, spec, iterations, rng, tabu, tracker)
+        elif spec.kind == KIND_CYCLIC_WINDOW:
+            self._fused_cyclic_window(state, spec, iterations, tabu, tracker)
+        elif spec.kind == KIND_RANDOM_CANDIDATE_MIN:
+            self._fused_random_candidate(state, spec, iterations, rng, tabu, tracker)
+        elif spec.kind == KIND_POSITIVE_MIN:
+            self._fused_positive_min(state, spec, iterations, rng, tabu, tracker)
+        elif spec.kind == KIND_FIXED_SEQUENCE:
+            self._fused_fixed_sequence(state, spec, iterations, tabu, tracker)
+        else:  # pragma: no cover - guarded by lowered_kinds at the call site
+            raise ValueError(f"backend {self.name!r} cannot lower {spec.kind!r}")
+        return np.full(state.batch, iterations, dtype=np.int64)
+
+    # Per-kind fused main loops.  Each mirrors the corresponding
+    # ``MainSearch.select`` line by line (the parity tests hold them
+    # together); comments reference the reference implementation.
+
+    def _fused_maxmin(self, state, spec, iterations, rng, tabu, tracker) -> None:
+        delta = state.delta
+        rows = state._rows
+        n = state.x.shape[1]
+        use_tabu = tabu.enabled
+        stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        # a row can hold at most ``period`` tabu bits (one stamp per
+        # iteration), so with period < n the all-tabu fallback of the
+        # reference never fires and the tabu penalty can be maintained
+        # incrementally: each iteration tabus the stamped bit and expires
+        # at most the one bit stamped ``period + 1`` iterations ago (a
+        # phase-local ring; pre-phase stamps have all expired by then)
+        incremental = use_tabu and period < n
+        frac = spec.schedule
+        excl = state.scratch("sel_bool", bool)
+        usable = state.scratch("usable_bool", bool)
+        notbuf = state.scratch("not_bool", bool)
+        shadow = state.scratch("shadow_i64", np.int64)
+        penalty = state.scratch("penalty_i64", np.int64)
+        keys = state.scratch("keys_i64", np.int64)
+        ring = (
+            np.zeros((period + 1, rows.shape[0]), dtype=np.int64)
+            if incremental
+            else None
+        )
+        for t in range(iterations):
+            if use_tabu:
+                if not incremental:  # pragma: no cover - period >= n corner
+                    # reference semantics incl. the all-tabu row fallback
+                    np.less(stamps, clock + t - period, out=usable)
+                    has_usable = usable.any(axis=1)
+                    if not has_usable.all():
+                        usable[~has_usable] = True
+                    np.logical_not(usable, out=notbuf)
+                    np.multiply(notbuf, INT_SENTINEL, out=penalty)
+                elif t <= period:
+                    np.greater_equal(stamps, clock + t - period, out=notbuf)
+                    np.multiply(notbuf, INT_SENTINEL, out=penalty)
+                else:
+                    t0 = t - period - 1
+                    exp_cols = ring[t0 % (period + 1)]
+                    expired = stamps[rows, exp_cols] == clock + t0
+                    if expired.any():
+                        er = rows[expired]
+                        penalty[er, exp_cols[expired]] = 0
+                np.add(delta, penalty, out=shadow)
+                dmin = shadow.min(axis=1).astype(np.float64)
+                np.subtract(delta, penalty, out=shadow)
+                dmax = shadow.max(axis=1).astype(np.float64)
+            else:
+                dmin = delta.min(axis=1).astype(np.float64)
+                dmax = delta.max(axis=1).astype(np.float64)
+            f = frac[t]
+            ceiling = (1.0 - f) * dmin + f * dmax
+            u = rng.row_random()
+            d = dmin + u * (ceiling - dmin)
+            # Δ is integral, so Δ ≤ d ⟺ Δ ≤ ⌊d⌋ — integer compare, no cast
+            thr = np.floor(d).astype(np.int64)
+            rng.next_keys(out=keys)
+            np.greater(delta, thr[:, None], out=excl)
+            np.multiply(excl, INT_SENTINEL, out=shadow)
+            keys -= shadow
+            if use_tabu:
+                keys -= penalty
+            idx = np.argmax(keys, axis=1)
+            # excluded keys went negative, so a negative winner means the
+            # row had no candidate — the reference's row-min fallback
+            missing = keys[rows, idx] < 0
+            if missing.any():
+                idx[missing] = np.argmin(delta[missing], axis=1)
+            self.flip(state, idx)
+            if use_tabu:
+                stamps[rows, idx] = clock + t
+                if incremental:
+                    penalty[rows, idx] = INT_SENTINEL
+                    ring[t % (period + 1)] = idx
+            tracker.fold(state)
+        tabu.advance(iterations)
+
+    def _fused_cyclic_window(self, state, spec, iterations, tabu, tracker) -> None:
+        delta = state.delta
+        b, n = state.x.shape
+        rows = state._rows
+        rows_col = rows[:, None]
+        cursor = spec.cursor
+        widths = spec.widths
+        use_tabu = tabu.enabled
+        stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        for t in range(iterations):
+            w = int(widths[t])
+            cols = (cursor[:, None] + np.arange(w)[None, :]) % n
+            vals = delta[rows_col, cols]
+            if use_tabu:
+                # all-tabu rows need no fallback: adding the sentinel to
+                # every window value leaves their argmin unchanged, which
+                # is exactly the reference's "must flip something" rule
+                win_tabu = stamps[rows_col, cols] >= clock + t - period
+                vals = vals + win_tabu * INT_SENTINEL
+            local = np.argmin(vals, axis=1)
+            idx = cols[rows, local]
+            cursor += w
+            cursor %= n
+            self.flip(state, idx)
+            if use_tabu:
+                stamps[rows, idx] = clock + t
+            tracker.fold(state)
+        tabu.advance(iterations)
+
+    def _fused_random_candidate(
+        self, state, spec, iterations, rng, tabu, tracker
+    ) -> None:
+        delta = state.delta
+        rows = state._rows
+        use_tabu = tabu.enabled
+        stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        thresholds = spec.thresholds
+        sel = state.scratch("sel_bool", bool)
+        usable = state.scratch("usable_bool", bool)
+        notbuf = state.scratch("not_bool", bool)
+        shadow = state.scratch("shadow_i64", np.int64)
+        penalty = state.scratch("penalty_i64", np.int64)
+        keys = state.scratch("keys_i64", np.int64)
+        for t in range(iterations):
+            rng.next_keys(out=keys)
+            np.less(keys, thresholds[t], out=sel)
+            if use_tabu:
+                np.less(stamps, clock + t - period, out=usable)
+                np.logical_and(sel, usable, out=sel)
+            # masked_argmin, penalty form: candidate-less rows reduce to the
+            # plain row argmin — identical to the reference's fallback
+            np.logical_not(sel, out=notbuf)
+            np.multiply(notbuf, INT_SENTINEL, out=penalty)
+            np.add(delta, penalty, out=shadow)
+            idx = np.argmin(shadow, axis=1)
+            self.flip(state, idx)
+            if use_tabu:
+                stamps[rows, idx] = clock + t
+            tracker.fold(state)
+        tabu.advance(iterations)
+
+    def _fused_positive_min(
+        self, state, spec, iterations, rng, tabu, tracker
+    ) -> None:
+        delta = state.delta
+        rows = state._rows
+        use_tabu = tabu.enabled
+        stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        sel = state.scratch("sel_bool", bool)
+        sel2 = state.scratch("usable_bool", bool)
+        notbuf = state.scratch("not_bool", bool)
+        shadow = state.scratch("shadow_i64", np.int64)
+        penalty = state.scratch("penalty_i64", np.int64)
+        keys = state.scratch("keys_i64", np.int64)
+        for t in range(iterations):
+            # posminΔ = min{Δ > 0} (sentinel when no positive Δ exists);
+            # the penalty min over an all-nonpositive row is the row min
+            # + sentinel, ≥ the plain sentinel the reference uses — both
+            # exceed every Δ, so the candidate mask below is identical
+            np.less_equal(delta, 0, out=notbuf)
+            np.multiply(notbuf, INT_SENTINEL, out=penalty)
+            np.add(delta, penalty, out=shadow)
+            posmin = shadow.min(axis=1)
+            np.less_equal(delta, posmin[:, None], out=sel)
+            if use_tabu:
+                # fall back to tabu bits only when every candidate is tabu
+                np.less(stamps, clock + t - period, out=sel2)
+                np.logical_and(sel, sel2, out=sel2)
+                keep = sel2.any(axis=1)
+                sel[keep] = sel2[keep]
+            rng.next_keys(out=keys)
+            np.logical_not(sel, out=notbuf)
+            np.multiply(notbuf, INT_SENTINEL, out=penalty)
+            keys -= penalty
+            idx = np.argmax(keys, axis=1)
+            has = sel.any(axis=1)
+            if not has.all():  # pragma: no cover - mask never empty by design
+                missing = ~has
+                idx[missing] = np.argmin(delta[missing], axis=1)
+            self.flip(state, idx)
+            if use_tabu:
+                stamps[rows, idx] = clock + t
+            tracker.fold(state)
+        tabu.advance(iterations)
+
+    def _fused_fixed_sequence(self, state, spec, iterations, tabu, tracker) -> None:
+        b = state.batch
+        seq = spec.sequence
+        length = seq.shape[0]
+        stamp_on = tabu.enabled
+        stamps, clock = tabu.stamps, tabu.clock
+        idx = np.empty(b, dtype=np.int64)
+        for t in range(iterations):
+            bit = int(seq[t % length])
+            idx[...] = bit
+            self.flip(state, idx)
+            if stamp_on:
+                # the stepwise path records stamps even though the
+                # fixed-sequence rule never consults the mask
+                stamps[:, bit] = clock + t
+            tracker.fold(state)
+        tabu.advance(iterations)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

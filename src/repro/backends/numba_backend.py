@@ -1,33 +1,66 @@
-"""Optional numba backend: the dense flip kernel JIT-compiled per row.
+"""Optional numba backend: dense kernels and whole phases JIT-compiled.
 
 Importable whether or not numba is installed — :meth:`is_available` gates
 registration-time use and :func:`repro.backends.resolve_backend` falls back
 to the NumPy kernels (with a warning) when the dependency is missing.
 
-The jitted kernel performs exactly the arithmetic of the dense NumPy path
-(same operand order, int64 σ products), so integer-model trajectories are
-bit-identical with ``numpy-dense`` — the backend parity tests assert this
-whenever numba is importable.  Install with the ``numba`` extra:
-``pip install -e '.[numba]'``.
+Beyond the per-flip Δ update, this backend compiles the **fused phase
+runners** (DESIGN.md §6): the straight walk, the greedy descent and one
+main-phase kernel dispatching on the lowered selection kind — ``prange``
+over rows, with the Δ/X updates, tabu stamps, best-tracker folds and the
+xorshift64* lane advancement all in row-local compiled loops.  Rows are
+independent within a phase (stamps are written row-locally against the
+phase's clock origin), which is exactly what makes the row-parallel
+execution bit-identical to the lockstep NumPy path.
+
+The kernels perform exactly the arithmetic of the NumPy reference (same
+operand order, int64 σ products, the same integer-key draw scheme), so
+integer-model trajectories are bit-identical with ``numpy-dense`` — the
+fused parity tests assert this whenever numba is importable.  Install with
+the ``numba`` extra: ``pip install -e '.[numba]'``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.base import _warn_truncated, greedy_iteration_cap
+from repro.backends.spec import (
+    KIND_CYCLIC_WINDOW,
+    KIND_FIXED_SEQUENCE,
+    KIND_MAXMIN_THRESHOLD,
+    KIND_POSITIVE_MIN,
+    KIND_RANDOM_CANDIDATE_MIN,
+    SelectionSpec,
+)
 from repro.backends.numpy_dense import NumpyDenseBackend
 
 __all__ = ["NumbaBackend"]
 
 try:  # pragma: no cover - exercised only when numba is installed
-    from numba import njit
+    from numba import njit, prange
 
     _NUMBA_ERROR: str | None = None
 except ImportError as exc:  # pragma: no cover - environment-dependent
     njit = None
+    prange = range
     _NUMBA_ERROR = str(exc)
 
+#: numeric codes for the main-phase kernel's kind dispatch
+_KIND_CODES = {
+    KIND_MAXMIN_THRESHOLD: 0,
+    KIND_CYCLIC_WINDOW: 1,
+    KIND_RANDOM_CANDIDATE_MIN: 2,
+    KIND_POSITIVE_MIN: 3,
+    KIND_FIXED_SEQUENCE: 4,
+}
+
+_INT_SENTINEL = 2**62
+_MULTIPLIER = 0x2545F4914F6CDD1D
+_DOUBLE_SCALE = 2.0**-53
+
 _flip_dense_jit = None
+_kernels = None
 
 
 def _build_flip_kernel():  # pragma: no cover - requires numba
@@ -55,12 +88,279 @@ def _build_flip_kernel():  # pragma: no cover - requires numba
     return flip_dense
 
 
+def _build_phase_kernels():  # pragma: no cover - requires numba
+    """Compile (lazily, once) the fused phase kernels.
+
+    Every helper mirrors its NumPy reference line by line: first-index
+    argmin/argmax tie-breaks, the σ-product operand order of the dense
+    flip, the canonical lane draw order (thread-0 lane for row scalars,
+    all ``n`` lanes per key draw) and the single-scan best fold.
+    """
+    global _kernels
+    if _kernels is not None:
+        return _kernels
+
+    mult = np.uint64(_MULTIPLIER)
+    u11 = np.uint64(11)
+    u12 = np.uint64(12)
+    u25 = np.uint64(25)
+    u27 = np.uint64(27)
+    sent = np.int64(_INT_SENTINEL)
+
+    @njit(inline="always")
+    def lane_next(lanes, r, j):
+        v = lanes[r, j]
+        v ^= v >> u12
+        v ^= v << u25
+        v ^= v >> u27
+        lanes[r, j] = v
+        return v
+
+    @njit(inline="always")
+    def lane_key(lanes, r, j):
+        return np.int64((lane_next(lanes, r, j) * mult) >> u11)
+
+    @njit(inline="always")
+    def flip_row(x, energy, delta, s, r, i):
+        d_i = delta[r, i]
+        energy[r] += d_i
+        s_old = 2 * np.int64(x[r, i]) - 1
+        x[r, i] = x[r, i] ^ np.uint8(1)
+        for j in range(delta.shape[1]):
+            sigma = 2 * np.int64(x[r, j]) - 1
+            delta[r, j] += s[i, j] * (s_old * sigma)
+        delta[r, i] = -d_i
+
+    @njit(inline="always")
+    def fold_row(x, energy, delta, best_x, best_e, r):
+        n = delta.shape[1]
+        j = 0
+        dmin = delta[r, 0]
+        for k in range(1, n):
+            if delta[r, k] < dmin:
+                dmin = delta[r, k]
+                j = k
+        e = energy[r]
+        nb = e + dmin
+        if dmin < 0 and nb < best_e[r]:
+            for k in range(n):
+                best_x[r, k] = x[r, k]
+            best_x[r, j] = best_x[r, j] ^ np.uint8(1)
+            best_e[r] = nb
+        elif e < best_e[r]:
+            for k in range(n):
+                best_x[r, k] = x[r, k]
+            best_e[r] = e
+
+    @njit(inline="always")
+    def argmin_row(delta, r):
+        j = 0
+        m = delta[r, 0]
+        for k in range(1, delta.shape[1]):
+            if delta[r, k] < m:
+                m = delta[r, k]
+                j = k
+        return j
+
+    @njit(cache=True, parallel=True)
+    def straight_phase(x, energy, delta, s, targets, stamps, stamp_on, clock,
+                       best_x, best_e, flips):
+        b, n = x.shape
+        for r in prange(b):
+            diff = np.empty(n, dtype=np.bool_)
+            dist = 0
+            for k in range(n):
+                dv = x[r, k] != targets[r, k]
+                diff[k] = dv
+                if dv:
+                    dist += 1
+            for t in range(dist):
+                idx = 0
+                have = False
+                m = sent
+                for k in range(n):
+                    if diff[k] and delta[r, k] < m:
+                        m = delta[r, k]
+                        idx = k
+                        have = True
+                if not have:
+                    idx = 0  # unreachable: t < dist ⇒ a differing bit exists
+                flip_row(x, energy, delta, s, r, idx)
+                if stamp_on:
+                    stamps[r, idx] = clock + t
+                diff[idx] = False
+                fold_row(x, energy, delta, best_x, best_e, r)
+            flips[r] = dist
+
+    @njit(cache=True, parallel=True)
+    def greedy_phase(x, energy, delta, s, stamps, stamp_on, clock,
+                     best_x, best_e, flips, truncated, max_iters):
+        b, n = x.shape
+        for r in prange(b):
+            f = 0
+            for t in range(max_iters):
+                j = argmin_row(delta, r)
+                if delta[r, j] >= 0:
+                    break
+                flip_row(x, energy, delta, s, r, j)
+                if stamp_on:
+                    stamps[r, j] = clock + t
+                f += 1
+            flips[r] = f
+            trunc = False
+            if f >= max_iters:
+                for k in range(n):
+                    if delta[r, k] < 0:
+                        trunc = True
+                        break
+            truncated[r] = trunc
+            fold_row(x, energy, delta, best_x, best_e, r)
+
+    @njit(cache=True, parallel=True)
+    def main_phase(kind, x, energy, delta, s, lanes, stamps, period, clock,
+                   use_tabu, stamp_on, schedule, thresholds, widths, sequence,
+                   cursor, best_x, best_e, iterations):
+        b, n = x.shape
+        seq_len = sequence.shape[0]
+        for r in prange(b):
+            for t in range(iterations):
+                cut = clock + t - period
+                idx = 0
+                if kind == 0:  # maxmin-threshold
+                    all_usable = True
+                    if use_tabu:
+                        all_usable = False
+                        any_usable = False
+                        for k in range(n):
+                            if stamps[r, k] < cut:
+                                any_usable = True
+                                break
+                        if not any_usable:
+                            all_usable = True  # all-tabu row: full fallback
+                    first = True
+                    dmin_i = np.int64(0)
+                    dmax_i = np.int64(0)
+                    for k in range(n):
+                        if all_usable or stamps[r, k] < cut:
+                            v = delta[r, k]
+                            if first:
+                                dmin_i = v
+                                dmax_i = v
+                                first = False
+                            else:
+                                if v < dmin_i:
+                                    dmin_i = v
+                                if v > dmax_i:
+                                    dmax_i = v
+                    frac = schedule[t]
+                    dminf = np.float64(dmin_i)
+                    dmaxf = np.float64(dmax_i)
+                    ceiling = (1.0 - frac) * dminf + frac * dmaxf
+                    v0 = lane_next(lanes, r, 0)
+                    u = np.float64((v0 * mult) >> u11) * _DOUBLE_SCALE
+                    d = dminf + u * (ceiling - dminf)
+                    thr = np.int64(np.floor(d))
+                    best_key = np.int64(-1)
+                    have = False
+                    for k in range(n):
+                        key = lane_key(lanes, r, k)
+                        if delta[r, k] <= thr and (all_usable or stamps[r, k] < cut):
+                            if key > best_key:
+                                best_key = key
+                                idx = k
+                                have = True
+                    if not have:
+                        idx = argmin_row(delta, r)
+                elif kind == 1:  # cyclic-window
+                    w = widths[t]
+                    start = cursor[r]
+                    all_sent = True
+                    have = False
+                    m = np.int64(0)
+                    local = 0
+                    for q in range(w):
+                        k = (start + q) % n
+                        v = delta[r, k]
+                        if use_tabu and stamps[r, k] >= cut:
+                            v = sent
+                        if v != sent:
+                            all_sent = False
+                        if not have or v < m:
+                            m = v
+                            local = q
+                            have = True
+                    if all_sent and use_tabu:
+                        # every window bit tabu: fall back to the raw window
+                        have = False
+                        for q in range(w):
+                            k = (start + q) % n
+                            v = delta[r, k]
+                            if not have or v < m:
+                                m = v
+                                local = q
+                                have = True
+                    idx = (start + local) % n
+                    cursor[r] = (start + w) % n
+                elif kind == 2:  # random-candidate-min
+                    thr = thresholds[t]
+                    have = False
+                    m = np.int64(0)
+                    for k in range(n):
+                        key = lane_key(lanes, r, k)
+                        if key < thr and (not use_tabu or stamps[r, k] < cut):
+                            if not have or delta[r, k] < m:
+                                m = delta[r, k]
+                                idx = k
+                                have = True
+                    if not have:
+                        idx = argmin_row(delta, r)
+                elif kind == 3:  # positive-min
+                    posmin = sent
+                    for k in range(n):
+                        v = delta[r, k]
+                        if v > 0 and v < posmin:
+                            posmin = v
+                    any_non_tabu = False
+                    if use_tabu:
+                        for k in range(n):
+                            if delta[r, k] <= posmin and stamps[r, k] < cut:
+                                any_non_tabu = True
+                                break
+                    best_key = np.int64(-1)
+                    have = False
+                    for k in range(n):
+                        key = lane_key(lanes, r, k)
+                        cand = delta[r, k] <= posmin
+                        if cand and use_tabu and any_non_tabu:
+                            cand = stamps[r, k] < cut
+                        if cand and key > best_key:
+                            best_key = key
+                            idx = k
+                            have = True
+                    if not have:
+                        idx = argmin_row(delta, r)
+                else:  # fixed-sequence
+                    idx = sequence[t % seq_len]
+                flip_row(x, energy, delta, s, r, idx)
+                if stamp_on:
+                    stamps[r, idx] = clock + t
+                fold_row(x, energy, delta, best_x, best_e, r)
+
+    _kernels = (straight_phase, greedy_phase, main_phase)
+    return _kernels
+
+
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
 class NumbaBackend(NumpyDenseBackend):
-    """Dense kernels with the per-flip Δ update JIT-compiled by numba.
+    """Dense kernels with flips *and whole phases* JIT-compiled by numba.
 
     State layout, reset and scans are inherited from the dense NumPy
-    backend; only the hot per-flip update is replaced, mirroring how the
-    paper swaps one CUDA kernel per substrate.
+    backend; the per-flip update and the three phase runners are replaced
+    by compiled row-parallel loops, mirroring how the paper swaps one CUDA
+    kernel per substrate.
     """
 
     name = "numba"
@@ -91,3 +391,99 @@ class NumbaBackend(NumpyDenseBackend):
             np.ascontiguousarray(rows, dtype=np.int64),
             np.ascontiguousarray(cols, dtype=np.int64),
         )
+
+    # -- fused phase runners (compiled) ------------------------------------
+    #
+    # The kernels hold Δ/energy in int64 locals (exact arithmetic, the
+    # bit-exactness contract only covers integer models anyway); float
+    # models fall back to the vectorized NumPy phase runners.
+    @staticmethod
+    def _jit_supported(state) -> bool:  # pragma: no cover - requires numba
+        return state.delta.dtype == np.int64
+
+    def run_straight_phase(
+        self, state, targets, tabu, tracker
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        if not self._jit_supported(state):
+            return super().run_straight_phase(state, targets, tabu, tracker)
+        straight_phase, _, _ = _build_phase_kernels()
+        targets = np.ascontiguousarray(targets, dtype=np.uint8)
+        flips = np.zeros(state.batch, dtype=np.int64)
+        straight_phase(
+            state.x,
+            state.energy,
+            state.delta,
+            state.kernel.s,
+            targets,
+            tabu.stamps,
+            tabu.enabled,
+            tabu.clock,
+            tracker.best_x,
+            tracker.best_energy,
+            flips,
+        )
+        tabu.advance(int(flips.max(initial=0)))
+        return flips
+
+    def run_greedy_phase(
+        self, state, tabu, tracker, max_iters=None
+    ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover - requires numba
+        if not self._jit_supported(state):
+            return super().run_greedy_phase(state, tabu, tracker, max_iters)
+        _, greedy_phase, _ = _build_phase_kernels()
+        n = state.x.shape[1]
+        if max_iters is None:
+            max_iters = greedy_iteration_cap(n)
+        flips = np.zeros(state.batch, dtype=np.int64)
+        truncated = np.zeros(state.batch, dtype=bool)
+        greedy_phase(
+            state.x,
+            state.energy,
+            state.delta,
+            state.kernel.s,
+            tabu.stamps,
+            tabu.enabled,
+            tabu.clock,
+            tracker.best_x,
+            tracker.best_energy,
+            flips,
+            truncated,
+            max_iters,
+        )
+        count = int(np.count_nonzero(truncated))
+        if count:
+            _warn_truncated(count, max_iters)
+        tabu.advance(int(flips.max(initial=0)))
+        return flips, truncated
+
+    def run_main_phase(
+        self, state, spec: SelectionSpec, iterations: int, rng, tabu, tracker
+    ) -> np.ndarray:  # pragma: no cover - requires numba
+        if not self._jit_supported(state):
+            return super().run_main_phase(state, spec, iterations, rng, tabu, tracker)
+        _, _, main_phase = _build_phase_kernels()
+        kind = _KIND_CODES[spec.kind]
+        use_tabu = spec.supports_tabu and tabu.enabled
+        main_phase(
+            kind,
+            state.x,
+            state.energy,
+            state.delta,
+            state.kernel.s,
+            rng.state,
+            tabu.stamps,
+            tabu.period,
+            tabu.clock,
+            use_tabu,
+            tabu.enabled,
+            spec.schedule if spec.schedule is not None else _EMPTY_F64,
+            spec.thresholds if spec.thresholds is not None else _EMPTY_I64,
+            spec.widths if spec.widths is not None else _EMPTY_I64,
+            spec.sequence if spec.sequence is not None else _EMPTY_I64,
+            spec.cursor if spec.cursor is not None else _EMPTY_I64,
+            tracker.best_x,
+            tracker.best_energy,
+            iterations,
+        )
+        tabu.advance(iterations)
+        return np.full(state.batch, iterations, dtype=np.int64)

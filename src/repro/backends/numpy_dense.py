@@ -63,7 +63,7 @@ class NumpyDenseBackend(ComputeBackend):
             # fast path: all rows flip — no row gathers, fully in-place
             rows = state._rows
             cols = np.asarray(idx)
-            d_i = state.delta[rows, cols].copy()
+            d_i = state.delta[rows, cols]  # fancy read = copy
             state.energy += d_i
             old_bits = state.x[rows, cols]
             s_old = (2 * old_bits.astype(s.dtype) - 1)[:, None]
@@ -76,7 +76,7 @@ class NumpyDenseBackend(ComputeBackend):
         if selected is None:
             return
         rows, cols = selected
-        d_i = state.delta[rows, cols].copy()
+        d_i = state.delta[rows, cols]  # fancy read = copy
         state.energy[rows] += d_i
         old_bits = state.x[rows, cols]
         s_old = (2 * old_bits.astype(s.dtype) - 1)[:, None]

@@ -5,6 +5,15 @@ QASP graphs: thousands of bits, <1 % density).  Per flip only the CSR
 neighbourhood of each flipped bit is updated, the sparse analogue of the
 paper's companion work on sparse QUBO.
 
+The hot flip path uses a padded **ELL layout** built once per model: a
+``(n, K)`` neighbour-index matrix (K = max degree) padded with each row's
+own index at weight 0, so one fancy-gather/scatter pair replaces the
+per-flip CSR range concatenation.  Padding is exact: the pad weight is 0
+and the pad position ``(r, i)`` for flipped bit ``i`` is overwritten by
+``Δ_i ← −Δ_i`` afterwards (couplings have a zero diagonal, so pads never
+collide with a real neighbour update).  Degree-skewed graphs whose ELL
+matrix would exceed 4× the CSR footprint fall back to the range path.
+
 Integer weights stay in exact int64 arithmetic, so this backend is
 bit-identical with ``numpy-dense`` on the same model (asserted by the
 backend parity tests).
@@ -18,6 +27,9 @@ from scipy import sparse as sp
 from repro.backends.base import ComputeBackend
 
 __all__ = ["NumpySparseBackend"]
+
+#: refuse ELL padding beyond this blow-up over the CSR footprint
+_ELL_MAX_BLOWUP = 4.0
 
 
 def _flat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
@@ -36,7 +48,7 @@ def _flat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
 class _SparseKernel:
     """Per-model read-only data of the CSR kernels."""
 
-    __slots__ = ("csr", "indptr", "indices", "data", "lin")
+    __slots__ = ("csr", "indptr", "indices", "data", "lin", "ell_cols", "ell_data")
 
     def __init__(self, csr, lin: np.ndarray) -> None:
         self.csr = csr
@@ -44,6 +56,29 @@ class _SparseKernel:
         self.indices = np.asarray(csr.indices, dtype=np.int64)
         self.data = np.asarray(csr.data, dtype=np.int64)
         self.lin = lin
+        self.ell_cols = None
+        self.ell_data = None
+        self._build_ell()
+
+    def _build_ell(self) -> None:
+        n = self.indptr.shape[0] - 1
+        degrees = np.diff(self.indptr)
+        k = int(degrees.max(initial=0))
+        if k == 0:
+            return
+        nnz = self.indices.shape[0]
+        if n * k > _ELL_MAX_BLOWUP * max(nnz, 1):
+            return  # degree-skewed: padding would dominate memory/traffic
+        # pad with the row's own index at weight 0 (the diagonal is zero,
+        # so a pad never aliases a real neighbour; the padded Δ entry is
+        # always overwritten by the flip's own −Δ_i write)
+        cols = np.repeat(np.arange(n, dtype=np.int64)[:, None], k, axis=1)
+        data = np.zeros((n, k), dtype=np.int64)
+        fill = np.arange(k)[None, :] < degrees[:, None]
+        cols[fill] = self.indices
+        data[fill] = self.data
+        self.ell_cols = cols
+        self.ell_data = data
 
 
 class NumpySparseBackend(ComputeBackend):
@@ -70,6 +105,9 @@ class NumpySparseBackend(ComputeBackend):
             s = sp.csr_array(s)
         return _SparseKernel(s, np.asarray(model.linear))
 
+    def _invalidate_derived(self, state) -> None:
+        state._scratch.pop("sigma8", None)
+
     def _compute_from_x(self, state) -> None:
         """Non-incremental O(B·nnz) energy/Δ computation from ``state.x``."""
         kernel = state.kernel
@@ -83,10 +121,52 @@ class NumpySparseBackend(ComputeBackend):
         selected = self._active_rows_cols(state, idx, active)
         if selected is None:
             return
-        self._flip_rows(state, *selected)
+        if state.kernel.ell_cols is not None:
+            self._flip_rows_ell(state, *selected)
+        else:
+            self._flip_rows(state, *selected)
+
+    @staticmethod
+    def _sigma(state) -> np.ndarray:
+        """The ``σ(x) = 2x − 1`` matrix as int8, maintained incrementally.
+
+        Rebuilt lazily after every reset (the base ``reset`` drops it) so
+        flips only touch the positions they change; int8 keeps the σ
+        products exact (±1) while shrinking gather traffic 8×.
+        """
+        sig = state._scratch.get("sigma8")
+        if sig is None:
+            sig = np.empty(state.x.shape, dtype=np.int8)
+            np.multiply(state.x, np.int8(2), out=sig, casting="unsafe")
+            sig -= np.int8(1)
+            state._scratch["sigma8"] = sig
+        return sig
+
+    def _flip_rows_ell(self, state, rows: np.ndarray, cols: np.ndarray) -> None:
+        """ELL flip path: one (m, K) gather/scatter pair per lockstep flip.
+
+        Index pairs ``(row, neighbour)`` are unique per batch row (distinct
+        CSR columns plus the weight-0 self pad, which only ever aliases the
+        flipped bit's own Δ entry — rewritten to ``−Δ_i`` below), so the
+        fancy-indexed in-place add is safe.
+        """
+        kernel = state.kernel
+        delta = state.delta
+        sig = self._sigma(state)
+        d_i = delta[rows, cols]
+        state.energy[rows] += d_i
+        s_old = sig[rows, cols]  # pre-flip σ_i (fancy read = copy)
+        state.x[rows, cols] ^= 1
+        sig[rows, cols] = -s_old
+        neighbours = kernel.ell_cols[cols]  # (m, K)
+        rows_col = rows[:, None]
+        sigma_nbr = sig[rows_col, neighbours]  # post-flip σ_k, int8
+        contrib = kernel.ell_data[cols] * (s_old[:, None] * sigma_nbr)
+        delta[rows_col, neighbours] += contrib
+        delta[rows, cols] = -d_i
 
     def _flip_rows(self, state, rows: np.ndarray, cols: np.ndarray) -> None:
-        """CSR flip path: touch only the O(degree) neighbours of each flip.
+        """CSR range flip path (fallback for degree-skewed graphs).
 
         Index pairs ``(row, neighbour)`` are unique (each CSR row holds
         distinct columns and batch rows are distinct), so the fancy-indexed

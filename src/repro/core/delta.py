@@ -140,6 +140,7 @@ class BatchDeltaState:
         "energy",
         "delta",
         "_rows",
+        "_scratch",
     )
 
     def __init__(self, model, batch: int, backend=None, kernel=None) -> None:
@@ -150,10 +151,24 @@ class BatchDeltaState:
         self.backend = resolve_backend(backend, model)
         self.kernel = kernel if kernel is not None else self.backend.prepare(model)
         self._rows = np.arange(batch)
+        self._scratch = {}
         self.x = None
         self.energy = None
         self.delta = None
         self.backend.reset(self)
+
+    def scratch(self, key: str, dtype) -> np.ndarray:
+        """A named reused ``(B, n)`` work buffer (fused phase runners).
+
+        Allocated lazily once per (state, key) and never cleared — callers
+        own the contents only within a single phase iteration.  States
+        cached across virtual-GPU launches therefore run fused phases with
+        zero per-flip allocation.
+        """
+        arr = self._scratch.get(key)
+        if arr is None:
+            arr = self._scratch[key] = np.empty((self.batch, self.n), dtype=dtype)
+        return arr
 
     @property
     def n(self) -> int:
@@ -181,6 +196,7 @@ class BatchDeltaState:
         view.energy = self.energy[:batch]
         view.delta = self.delta[:batch]
         view._rows = self._rows[:batch]
+        view._scratch = {}
         return view
 
     def reset(self, x=None) -> None:

@@ -3,13 +3,13 @@
 Substitution note (see DESIGN.md §1.2): the paper runs each batch search in
 a CUDA block of up to 1024 threads with X and Δ in registers.  Here each
 block is one row of ``(B, n)`` NumPy arrays and all blocks running the same
-main search algorithm advance in lockstep; per-flip work is executed by a
-pluggable compute backend (:mod:`repro.backends`) — one vectorized
-row-gather of the coupling matrix for dense models, a CSR neighbourhood
-update for sparse ones.  Packets with different algorithms are grouped per
-launch and each group runs its own lockstep sub-batch (lanes in different
-groups cannot share a flip schedule, just as divergent warps serialize on
-real hardware).
+main search algorithm advance in lockstep; whole phases are executed by a
+pluggable compute backend (:mod:`repro.backends`) — the straight/greedy
+loops and fused main phases lowered from each algorithm's selection spec
+(DESIGN.md §6).  Packets with different algorithms are grouped per launch
+and each group runs its own lockstep sub-batch (lanes in different groups
+cannot share a flip schedule, just as divergent warps serialize on real
+hardware).
 
 State that persists across launches, mirroring §III.B / Fig. 4 (2):
 
@@ -19,14 +19,15 @@ State that persists across launches, mirroring §III.B / Fig. 4 (2):
   Mersenne twister (§V).
 
 Additionally, the device-side working buffers — one full-size
-:class:`~repro.core.delta.BatchDeltaState` (with its backend kernel cache)
-and one tabu stamp array per GPU — persist across launches, the analogue
-of device memory staying allocated between kernel launches.  A lockstep
-group of any size runs on a row-slice *view* of those buffers
-(:meth:`~repro.core.delta.BatchDeltaState.row_view`), so memory stays
-bounded at one ``(num_blocks, n)`` buffer set per GPU regardless of how
-the adaptive selector partitions the packets.  A launch resets the view
-in place from the persistent ``X`` rows, which is bit-identical to
+:class:`~repro.core.delta.BatchDeltaState` (with its backend kernel cache
+and fused-phase scratch buffers), one tabu stamp array and one
+:class:`~repro.search.batch.BestTracker` per GPU — persist across
+launches, the analogue of device memory staying allocated between kernel
+launches.  A lockstep group of any size runs on row-slice *views* of those
+buffers (:meth:`~repro.core.delta.BatchDeltaState.row_view`), so memory
+stays bounded at one ``(num_blocks, n)`` buffer set per GPU regardless of
+how the adaptive selector partitions the packets.  A launch resets the
+views in place from the persistent ``X`` rows, which is bit-identical to
 building fresh state but skips the per-launch allocation and CSR
 index-conversion churn.
 """
@@ -42,7 +43,7 @@ from repro.core.qubo import QUBOModel
 from repro.core.rng import XorShift64Star, spawn_device_seeds
 from repro.gpu.device import DeviceSpec
 from repro.search import build_main_algorithms
-from repro.search.batch import BatchSearchConfig, run_batch_search
+from repro.search.batch import BatchSearchConfig, BestTracker, run_batch_search
 from repro.search.tabu import TabuTracker
 
 __all__ = ["VirtualGPU"]
@@ -60,11 +61,13 @@ class VirtualGPU:
         host_rng: np.random.Generator,
         backend=None,
         kernel=None,
+        fused: bool = True,
     ) -> None:
         self.model = model
         self.spec = spec
         self.config = config
         self.backend = resolve_backend(backend, model)
+        self.fused = fused
         self.algorithms = build_main_algorithms(config, include=algorithm_set)
         n = model.n
         b = spec.num_blocks
@@ -73,28 +76,37 @@ class VirtualGPU:
         # persistent per-(block, thread) RNG lane states
         self.rng_state = spawn_device_seeds(host_rng, (b, n))
         self.total_flips = 0
+        # rows whose greedy polish ever hit the safety cap (float models)
+        self.greedy_truncations = 0
         # the persistent full-size device buffers; lockstep groups run on
         # row-slice views of them (kernel may be shared across GPUs)
         self._state = BatchDeltaState(
             model, batch=b, backend=self.backend, kernel=kernel
         )
         self._tabu = TabuTracker(b, n, config.tabu_period)
-        self._views: dict[int, tuple[BatchDeltaState, TabuTracker]] = {}
+        self._tracker = BestTracker(self._state)
+        self._views: dict[int, tuple[BatchDeltaState, TabuTracker, BestTracker]] = {}
 
     @property
     def num_blocks(self) -> int:
         """Lockstep lanes per launch."""
         return self.spec.num_blocks
 
-    def _group_buffers(self, size: int) -> tuple[BatchDeltaState, TabuTracker]:
-        """The (state, tabu) views for a lockstep group of *size* rows."""
+    def _group_buffers(
+        self, size: int
+    ) -> tuple[BatchDeltaState, TabuTracker, BestTracker]:
+        """The (state, tabu, tracker) views for a lockstep group of *size*."""
         if size == self.num_blocks:
-            return self._state, self._tabu
-        pair = self._views.get(size)
-        if pair is None:
-            pair = (self._state.row_view(size), self._tabu.row_view(size))
-            self._views[size] = pair
-        return pair
+            return self._state, self._tabu, self._tracker
+        triple = self._views.get(size)
+        if triple is None:
+            triple = (
+                self._state.row_view(size),
+                self._tabu.row_view(size),
+                self._tracker.row_view(size),
+            )
+            self._views[size] = triple
+        return triple
 
     def launch(self, batch: PacketBatch) -> tuple[PacketBatch, np.ndarray]:
         """Run one batch search per packet; returns (result batch, flips).
@@ -121,7 +133,7 @@ class VirtualGPU:
                     f"{alg_enum!r} is not enabled on this device "
                     f"(enabled: {sorted(self.algorithms)})"
                 )
-            state, tabu = self._group_buffers(rows.size)
+            state, tabu, tracker = self._group_buffers(rows.size)
             state.reset(self.block_x[rows])
             lanes = XorShift64Star(self.rng_state[rows])
             tracker, group_flips = run_batch_search(
@@ -131,10 +143,13 @@ class VirtualGPU:
                 lanes,
                 self.config,
                 tabu=tabu,
+                tracker=tracker,
+                fused=self.fused,
             )
             out_vectors[rows] = tracker.best_x
             out_energies[rows] = tracker.best_energy
             flips[rows] = group_flips
+            self.greedy_truncations += int(tracker.greedy_truncated.sum())
             # persist device state for the next launch
             self.block_x[rows] = state.x
             self.rng_state[rows] = lanes.state

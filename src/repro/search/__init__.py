@@ -11,6 +11,7 @@ from repro.core.packet import MainAlgorithm
 from repro.search.base import (
     INT_SENTINEL,
     MainSearch,
+    SelectionSpec,
     masked_argmin,
     random_choice_from_mask,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "MaxMinSearch",
     "PositiveMinSearch",
     "RandomMinSearch",
+    "SelectionSpec",
     "TabuTracker",
     "TwoNeighborSearch",
     "build_main_algorithms",

@@ -12,7 +12,15 @@ Two selection helpers encode recurring idioms:
   mask (used by Straight/RandomMin; min-based rules),
 * :func:`random_choice_from_mask` — per-row uniformly random candidate
   (used by MaxMin/PositiveMin; implemented with the random-argmax trick so a
-  single ``(B, n)`` uniform draw serves the whole batch).
+  single ``(B, n)`` draw serves the whole batch).  The draw is consumed as
+  **integer keys** (:meth:`XorShift64Star.next_keys`): the float conversion
+  is strictly monotonic, so the key argmax selects the identical candidate
+  while skipping a ``(B, n)`` float cast per flip.
+
+Each algorithm additionally *lowers* itself to a declarative
+:class:`~repro.backends.spec.SelectionSpec` (:meth:`MainSearch.lower`), which
+backends turn into fused whole-phase kernels; :meth:`MainSearch.select`
+remains the stepwise reference those kernels are parity-tested against.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.backends.base import INT_SENTINEL, masked_argmin
+from repro.backends.spec import SelectionSpec
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm
 from repro.core.rng import XorShift64Star
@@ -29,22 +38,23 @@ from repro.core.rng import XorShift64Star
 __all__ = [
     "INT_SENTINEL",
     "MainSearch",
+    "SelectionSpec",
     "masked_argmin",
     "random_choice_from_mask",
 ]
 
 
 def random_choice_from_mask(
-    mask: np.ndarray, rand: np.ndarray
+    mask: np.ndarray, keys: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-row uniformly random True position of ``mask``.
 
-    ``rand`` is a ``(B, n)`` uniform draw; the selected index is the argmax
-    of ``rand`` over candidates, which is uniform among them.  Returns
-    ``(idx, has_candidate)``; rows with an empty mask return index 0 and
-    ``has_candidate=False``.
+    ``keys`` is a ``(B, n)`` integer-key draw (``rng.next_keys()``, all keys
+    ≥ 0); the selected index is the argmax of ``keys`` over candidates,
+    which is uniform among them.  Returns ``(idx, has_candidate)``; rows
+    with an empty mask return index 0 and ``has_candidate=False``.
     """
-    keyed = np.where(mask, rand, -1.0)
+    keyed = np.where(mask, keys, np.int64(-1))
     idx = np.argmax(keyed, axis=1)
     has = mask.any(axis=1)
     return idx, has
@@ -78,6 +88,17 @@ class MainSearch(ABC):
         tabu_mask: np.ndarray | None,
     ) -> np.ndarray:
         """Return the ``(B,)`` bit indices to flip at iteration ``t`` (1-based)."""
+
+    def lower(
+        self, state: BatchDeltaState, iterations: int
+    ) -> SelectionSpec | None:
+        """Lower this algorithm to a :class:`SelectionSpec` for fused phases.
+
+        Called after :meth:`begin`.  Returning None (the default) keeps the
+        phase on the stepwise :meth:`select` path — custom algorithms work
+        unlowered, just without the fused fast path.
+        """
+        return None
 
     @property
     def name(self) -> str:

@@ -13,6 +13,19 @@ The best solution seen by the every-iteration 1-bit-neighbour scan (Step 1
 of the incremental search algorithm) is maintained by :class:`BestTracker`,
 which copies rows only when they improve — the vectorized counterpart of the
 paper's rarely-firing ``atomicMin``.
+
+Two execution paths share this schedule (DESIGN.md §6):
+
+* **fused** (default): each phase is one
+  :class:`~repro.backends.base.ComputeBackend` call — the straight/greedy
+  loops and whole main phases lowered from the algorithm's
+  :class:`~repro.backends.spec.SelectionSpec`;
+* **stepwise** (``fused=False``): the reference path dispatching one
+  ``select → flip → record → fold`` round-trip per iteration.
+
+Both produce bit-identical (vector, energy, flip-count) trajectories under
+a fixed seed — asserted per algorithm × backend × tabu setting by
+``tests/backends/test_fused_parity.py``.
 """
 
 from __future__ import annotations
@@ -21,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends.base import greedy_iteration_cap
 from repro.core.delta import BatchDeltaState
 from repro.core.rng import XorShift64Star
 from repro.search.base import MainSearch
@@ -67,31 +81,76 @@ class BatchSearchConfig:
 class BestTracker:
     """Per-row best-solution memory fed by the 1-bit-neighbour scan.
 
-    ``update`` considers both the current vector and its best 1-bit
+    ``fold`` considers both the current vector and its best 1-bit
     neighbour, so after a search the tracker holds the minimum over every
     visited vector *and* every 1-bit neighbour of a visited vector.
+
+    The buffers are device-owned state: allocated once, reset in place
+    across launches (:meth:`reset`), with row-slice views for lockstep
+    sub-groups (:meth:`row_view`).  ``greedy_truncated`` flags rows whose
+    greedy polish hit the iteration safety cap before converging.
     """
 
-    __slots__ = ("best_x", "best_energy")
+    __slots__ = ("best_x", "best_energy", "greedy_truncated")
 
     def __init__(self, state: BatchDeltaState) -> None:
         self.best_x = state.x.copy()
         self.best_energy = state.energy.copy()
+        self.greedy_truncated = np.zeros(state.batch, dtype=bool)
 
-    def update(self, state: BatchDeltaState) -> None:
-        """Fold the current state (and its 1-bit neighbours) into the best."""
-        better = state.energy < self.best_energy
-        if better.any():
-            rows = np.flatnonzero(better)
-            self.best_x[rows] = state.x[rows]
-            self.best_energy[rows] = state.energy[rows]
-        j, nb_energy = state.neighbor_min()
-        better = nb_energy < self.best_energy
-        if better.any():
-            rows = np.flatnonzero(better)
+    def reset(self, state: BatchDeltaState) -> None:
+        """Re-seed the best memory from the current state, in place."""
+        np.copyto(self.best_x, state.x)
+        np.copyto(self.best_energy, state.energy)
+        self.greedy_truncated[...] = False
+
+    def fold(self, state: BatchDeltaState) -> None:
+        """Fold the current state (and its 1-bit neighbours) into the best.
+
+        One Δ-argmin scan per call: with ``j = argmin Δ`` and
+        ``nb = E + Δ_j``, the neighbour can only improve when ``Δ_j < 0``
+        (otherwise ``nb ≥ E``), so the two-pass fold (current first, then
+        neighbour against the updated best) collapses to: take the
+        neighbour iff ``Δ_j < 0 ∧ nb < best``, else the current state iff
+        ``E < best`` — provably the same result and tie-breaks.
+        """
+        delta = state.delta
+        energy = state.energy
+        j = delta.argmin(axis=1)
+        d_j = delta[state._rows, j]
+        nb = energy + d_j
+        best = self.best_energy
+        # fast path: nothing improves (the common case after the first
+        # few flips) — min(E, nb) < best ⟺ one of the folds would fire
+        if not (np.minimum(nb, energy) < best).any():
+            return
+        fire_nb = (d_j < 0) & (nb < best)
+        fire_cur = (energy < best) & ~fire_nb
+        if fire_nb.any():
+            rows = np.flatnonzero(fire_nb)
             self.best_x[rows] = state.x[rows]
             self.best_x[rows, j[rows]] ^= 1
-            self.best_energy[rows] = nb_energy[rows]
+            best[rows] = nb[rows]
+        if fire_cur.any():
+            rows = np.flatnonzero(fire_cur)
+            self.best_x[rows] = state.x[rows]
+            best[rows] = energy[rows]
+
+    #: historic name of :meth:`fold`, kept for callers/tests
+    update = fold
+
+    def row_view(self, batch: int) -> "BestTracker":
+        """A tracker over the first *batch* rows, sharing the buffers
+        (the best-memory analogue of :meth:`BatchDeltaState.row_view`)."""
+        if not 1 <= batch <= self.best_x.shape[0]:
+            raise ValueError(
+                f"view batch must be in [1, {self.best_x.shape[0]}], got {batch}"
+            )
+        view = object.__new__(BestTracker)
+        view.best_x = self.best_x[:batch]
+        view.best_energy = self.best_energy[:batch]
+        view.greedy_truncated = self.greedy_truncated[:batch]
+        return view
 
 
 def run_main_phase(
@@ -102,16 +161,49 @@ def run_main_phase(
     tabu: TabuTracker,
     tracker: BestTracker,
 ) -> np.ndarray:
-    """Run ``iterations`` lockstep flips of *algorithm*; returns flip counts."""
+    """Stepwise reference main phase: one ``select`` round-trip per flip.
+
+    The fused path (:meth:`ComputeBackend.run_main_phase`) must reproduce
+    this loop bit-exactly; unlowerable algorithms always run here.
+    Returns per-row flip counts.
+    """
     algorithm.begin(state, iterations)
+    return _stepwise_main_loop(state, algorithm, iterations, rng, tabu, tracker)
+
+
+def _stepwise_main_loop(state, algorithm, iterations, rng, tabu, tracker):
+    """The per-flip loop of :func:`run_main_phase`, after ``begin``."""
     use_tabu = algorithm.supports_tabu and tabu.enabled
     for t in range(1, iterations + 1):
         mask = tabu.mask() if use_tabu else None
         idx = algorithm.select(state, t, iterations, rng, mask)
         state.flip(idx)
         tabu.record(idx)
-        tracker.update(state)
+        tracker.fold(state)
     return np.full(state.batch, iterations, dtype=np.int64)
+
+
+def _run_lowered_main_phase(
+    state: BatchDeltaState,
+    algorithm: MainSearch,
+    iterations: int,
+    rng: XorShift64Star,
+    tabu: TabuTracker,
+    tracker: BestTracker,
+) -> np.ndarray:
+    """One main phase on the fused path (falls back to stepwise when the
+    algorithm does not lower or the backend cannot run the spec).
+
+    ``begin`` runs exactly once per phase on either outcome, so custom
+    algorithms with non-idempotent per-phase state behave identically to
+    the stepwise path.
+    """
+    algorithm.begin(state, iterations)
+    spec = algorithm.lower(state, iterations)
+    backend = state.backend
+    if spec is None or spec.kind not in backend.lowered_kinds:
+        return _stepwise_main_loop(state, algorithm, iterations, rng, tabu, tracker)
+    return backend.run_main_phase(state, spec, iterations, rng, tabu, tracker)
 
 
 def run_batch_search(
@@ -121,6 +213,8 @@ def run_batch_search(
     rng: XorShift64Star,
     config: BatchSearchConfig,
     tabu: TabuTracker | None = None,
+    tracker: BestTracker | None = None,
+    fused: bool = True,
 ) -> tuple[BestTracker, np.ndarray]:
     """Execute one full batch search on all rows of *state*.
 
@@ -133,6 +227,12 @@ def run_batch_search(
         ``(B, n)`` target vectors from the host packets.
     algorithm:
         The main search algorithm for this launch (one per lockstep group).
+    tabu, tracker:
+        Device-owned bookkeeping to reuse across launches (reset in
+        place); fresh ones are allocated when omitted.
+    fused:
+        Run whole phases below the backend seam (default); ``False`` takes
+        the stepwise reference path, bit-identical by contract.
 
     Returns
     -------
@@ -144,12 +244,56 @@ def run_batch_search(
         tabu = TabuTracker(state.batch, n, config.tabu_period)
     else:
         tabu.reset()
-    tracker = BestTracker(state)
-    tracker.update(state)
+    if tracker is None:
+        tracker = BestTracker(state)
+    else:
+        tracker.reset(state)
+    tracker.fold(state)
+    if fused:
+        return _run_fused(state, targets, algorithm, rng, config, tabu, tracker)
+    return _run_stepwise(state, targets, algorithm, rng, config, tabu, tracker)
+
+
+def _run_fused(state, targets, algorithm, rng, config, tabu, tracker):
+    """The fused schedule: one backend call per phase."""
+    n = state.n
+    backend = state.backend
+
+    def greedy_polish() -> np.ndarray:
+        f, truncated = backend.run_greedy_phase(state, tabu, tracker)
+        tracker.greedy_truncated |= truncated
+        return f
+
+    flips = backend.run_straight_phase(state, targets, tabu, tracker)
+    if isinstance(algorithm, TwoNeighborSearch):
+        # greedy → single 2n−1-flip traversal → greedy, regardless of budget
+        flips += greedy_polish()
+        flips += _run_lowered_main_phase(
+            state, algorithm, algorithm.num_iterations(n), rng, tabu, tracker
+        )
+        flips += greedy_polish()
+        return tracker, flips
+
+    budget = config.batch_budget(n)
+    main_iters = config.main_iterations(n)
+    while True:
+        flips += greedy_polish()
+        if np.all(flips >= budget):
+            break
+        flips += _run_lowered_main_phase(
+            state, algorithm, main_iters, rng, tabu, tracker
+        )
+    return tracker, flips
+
+
+def _run_stepwise(state, targets, algorithm, rng, config, tabu, tracker):
+    """The stepwise reference schedule (one Python round-trip per flip)."""
+    n = state.n
+    greedy_cap = greedy_iteration_cap(n)
 
     def on_flip(idx: np.ndarray, active: np.ndarray) -> None:
         tabu.record(idx, active)
-        tracker.update(state)
+        tracker.fold(state)
 
     def on_greedy_flip(idx: np.ndarray, active: np.ndarray) -> None:
         tabu.record(idx, active)
@@ -162,11 +306,12 @@ def run_batch_search(
         # bit-identical tracker — and skips a (B, n) argmin scan per flip,
         # the dominant cost of the greedy phase.
         f = greedy_descent(state, on_flip=on_greedy_flip)
-        tracker.update(state)
+        if int(f.max(initial=0)) >= greedy_cap:
+            tracker.greedy_truncated |= ~state.is_local_minimum()
+        tracker.fold(state)
         return f
 
     flips = straight_walk(state, targets, on_flip=on_flip)
-    budget = config.batch_budget(n)
     if isinstance(algorithm, TwoNeighborSearch):
         # greedy → single 2n−1-flip traversal → greedy, regardless of budget
         flips += greedy_polish()
@@ -177,6 +322,7 @@ def run_batch_search(
         return tracker, flips
 
     main_iters = config.main_iterations(n)
+    budget = config.batch_budget(n)
     while True:
         flips += greedy_polish()
         if np.all(flips >= budget):

@@ -6,12 +6,17 @@ paper) starts where the previous window ended; the bit with minimum Δ inside
 the window is flipped.  The window grows with ``t``, so high-Δ bits are
 selected with decreasing probability — an annealing schedule that uses *no
 random numbers*, which is why it maps so well to GPUs ([16]).
+
+The per-row window cursor is device-owned state shared between the stepwise
+and fused paths (it rides along in the lowered spec and both paths advance
+it in place), so phases can alternate between paths mid-search.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.spec import KIND_CYCLIC_WINDOW, SelectionSpec
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm
 from repro.core.rng import XorShift64Star
@@ -31,6 +36,7 @@ class CyclicMinSearch(MainSearch):
             raise ValueError(f"window floor c must be >= 1, got {c}")
         self.c = c
         self._cursor: np.ndarray | None = None
+        self._spec_cache: tuple[int, int, int, np.ndarray] | None = None
 
     def begin(self, state: BatchDeltaState, total_iters: int) -> None:
         # the window continues from wherever the previous phase left it;
@@ -66,5 +72,31 @@ class CyclicMinSearch(MainSearch):
             vals = shadow
         local = np.argmin(vals, axis=1)
         idx = cols[np.arange(state.batch), local]
-        self._cursor = (self._cursor + w) % n
+        # advance in place: the cursor array is shared with lowered specs
+        self._cursor += w
+        self._cursor %= n
         return idx
+
+    def lower(self, state: BatchDeltaState, iterations: int) -> SelectionSpec:
+        n = state.n
+        cached = self._spec_cache
+        if (
+            cached is None
+            or cached[0] != iterations
+            or cached[1] != n
+        ):
+            widths = np.array(
+                [self.window_width(t, iterations, n) for t in range(1, iterations + 1)],
+                dtype=np.int64,
+            )
+            self._spec_cache = (iterations, n, 0, widths)
+        else:
+            widths = cached[3]
+        # the spec must reference the *current* cursor array (begin() may
+        # have reallocated it for a new batch shape)
+        return SelectionSpec(
+            kind=KIND_CYCLIC_WINDOW,
+            uses_rng=False,
+            widths=widths,
+            cursor=self._cursor,
+        )

@@ -34,7 +34,11 @@ def greedy_descent(
 
     ``max_iters`` is a safety cap (greedy always terminates on integer
     models because every flip strictly decreases the energy, but float
-    models could cycle through ties).  ``on_flip(idx, active)`` is invoked
-    after each lockstep flip so callers can track bests / budgets.
+    models could cycle through ties).  Hitting the cap with rows still
+    descending emits a :class:`~repro.backends.base.GreedyTruncationWarning`
+    — rows cut short are *not* local minima; use the backend's
+    ``run_greedy_phase`` for per-row truncation flags.  ``on_flip(idx,
+    active)`` is invoked after each lockstep flip so callers can track
+    bests / budgets.
     """
     return state.backend.greedy_descent(state, max_iters, on_flip)

@@ -8,12 +8,19 @@ a decreasing function from ≈maxΔ down to minΔ.  A threshold ``d`` is drawn
 uniformly from ``[minΔ, D(t)]`` and a bit is chosen uniformly at random among
 ``{i : Δ_i ≤ d}`` (never empty since ``d ≥ minΔ``).  High-Δ bits thus become
 less likely over time — simulated-annealing-like behaviour.
+
+Draw scheme (DESIGN.md §6): the threshold is a per-row scalar decision, so
+it consumes one lane per row (``rng.row_random()``, the block's "thread 0"
+lane); the candidate choice consumes the full ``(B, n)`` lane matrix as
+integer keys.  Since Δ is integral, ``Δ ≤ d`` is evaluated as the integer
+compare ``Δ ≤ ⌊d⌋`` — bit-identical, no ``(B, n)`` float cast.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.spec import KIND_MAXMIN_THRESHOLD, SelectionSpec
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm
 from repro.core.rng import XorShift64Star
@@ -26,6 +33,14 @@ class MaxMinSearch(MainSearch):
     """Batched MaxMin selection."""
 
     enum = MainAlgorithm.MAXMIN
+
+    def __init__(self) -> None:
+        self._spec_cache: tuple[int, SelectionSpec] | None = None
+
+    @staticmethod
+    def annealing_fraction(t: int, total: int) -> float:
+        """The cubic schedule ``((T−t)/T)³``, shared by select and lower."""
+        return ((total - t) / total) ** 3
 
     def select(
         self,
@@ -51,17 +66,31 @@ class MaxMinSearch(MainSearch):
             usable = None
             dmin = delta.min(axis=1).astype(np.float64)
             dmax = delta.max(axis=1).astype(np.float64)
-        frac = ((total - t) / total) ** 3
+        frac = self.annealing_fraction(t, total)
         ceiling = (1.0 - frac) * dmin + frac * dmax
-        u = rng.random()  # (B, n) lanes; column 0 supplies the row draws
-        d = dmin + u[:, 0] * (ceiling - dmin)
-        mask = delta <= d[:, None]
+        u = rng.row_random()  # one draw per row: the block's thread-0 lane
+        d = dmin + u * (ceiling - dmin)
+        # Δ is integral, so Δ ≤ d ⟺ Δ ≤ ⌊d⌋ — integer compare, no cast
+        thr = np.floor(d).astype(np.int64)
+        mask = delta <= thr[:, None]
         if usable is not None:
             mask &= usable
-        idx, has = random_choice_from_mask(mask, rng.random())
+        idx, has = random_choice_from_mask(mask, rng.next_keys())
         if not has.all():
             # numeric ties can empty the mask (d slightly below minΔ after
             # float rounding); fall back to the row minimum
             missing = ~has
             idx[missing] = np.argmin(delta[missing], axis=1)
         return idx
+
+    def lower(self, state: BatchDeltaState, iterations: int) -> SelectionSpec:
+        cached = self._spec_cache
+        if cached is not None and cached[0] == iterations:
+            return cached[1]
+        schedule = np.array(
+            [self.annealing_fraction(t, iterations) for t in range(1, iterations + 1)],
+            dtype=np.float64,
+        )
+        spec = SelectionSpec(kind=KIND_MAXMIN_THRESHOLD, schedule=schedule)
+        self._spec_cache = (iterations, spec)
+        return spec

@@ -11,12 +11,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.spec import KIND_POSITIVE_MIN, SelectionSpec
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm
 from repro.core.rng import XorShift64Star
 from repro.search.base import INT_SENTINEL, MainSearch, random_choice_from_mask
 
 __all__ = ["PositiveMinSearch"]
+
+_SPEC = SelectionSpec(kind=KIND_POSITIVE_MIN)
 
 
 class PositiveMinSearch(MainSearch):
@@ -41,8 +44,11 @@ class PositiveMinSearch(MainSearch):
             non_tabu = mask & ~tabu_mask
             keep = non_tabu.any(axis=1)
             mask[keep] = non_tabu[keep]  # fall back to tabu bits only if forced
-        idx, has = random_choice_from_mask(mask, rng.random())
+        idx, has = random_choice_from_mask(mask, rng.next_keys())
         if not has.all():  # pragma: no cover - mask is never empty by design
             missing = ~has
             idx[missing] = np.argmin(delta[missing], axis=1)
         return idx
+
+    def lower(self, state: BatchDeltaState, iterations: int) -> SelectionSpec:
+        return _SPEC

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.spec import KIND_RANDOM_CANDIDATE_MIN, SelectionSpec
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm
-from repro.core.rng import XorShift64Star
+from repro.core.rng import XorShift64Star, bernoulli_threshold
 from repro.search.base import MainSearch, masked_argmin
 
 __all__ = ["RandomMinSearch"]
@@ -32,6 +33,7 @@ class RandomMinSearch(MainSearch):
         if c < 1:
             raise ValueError(f"candidate floor c must be >= 1, got {c}")
         self.c = c
+        self._spec_cache: tuple[int, int, SelectionSpec] | None = None
 
     def probability(self, t: int, total: int, n: int) -> float:
         """p(t) = max((t/T)³, c/n), clamped to (0, 1]."""
@@ -53,3 +55,21 @@ class RandomMinSearch(MainSearch):
         # masked_argmin provides directly
         idx, _ = masked_argmin(state.delta, mask)
         return idx
+
+    def lower(self, state: BatchDeltaState, iterations: int) -> SelectionSpec:
+        n = state.n
+        cached = self._spec_cache
+        if cached is not None and cached[0] == iterations and cached[1] == n:
+            return cached[2]
+        # the integer key thresholds equivalent to ``random() < p(t)``
+        # (see repro.core.rng.bernoulli_threshold)
+        thresholds = np.array(
+            [
+                bernoulli_threshold(self.probability(t, iterations, n))
+                for t in range(1, iterations + 1)
+            ],
+            dtype=np.int64,
+        )
+        spec = SelectionSpec(kind=KIND_RANDOM_CANDIDATE_MIN, thresholds=thresholds)
+        self._spec_cache = (iterations, n, spec)
+        return spec

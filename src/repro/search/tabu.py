@@ -4,6 +4,14 @@ A bit flipped at iteration ``τ`` is *tabu* for the next ``period``
 iterations, i.e. while ``clock − τ ≤ period``.  The tracker stores one
 stamp per (row, bit) and produces the boolean mask consulted by the main
 search algorithms (TwoNeighbor and the greedy/straight phases ignore it).
+
+The stamp array is **device-owned state**: fused phase kernels write
+stamps directly (``stamps[r, i] = clock + t`` for the row-local iteration
+``t``) and the host advances the clock once per phase by the lockstep
+iteration count (:meth:`TabuTracker.advance`) — bit-identical to the
+stepwise per-flip :meth:`record`, because within any phase a row's k-th
+flip always lands on lockstep iteration k.  :meth:`mask` writes into one
+reused buffer instead of allocating a fresh ``(B, n)`` array per flip.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ __all__ = ["TabuTracker"]
 class TabuTracker:
     """Per-(row, bit) flip stamps with a fixed tabu tenure."""
 
-    __slots__ = ("period", "clock", "_stamp")
+    __slots__ = ("period", "clock", "_stamp", "_mask_buf")
 
     def __init__(self, batch: int, n: int, period: int) -> None:
         if period < 0:
@@ -25,17 +33,33 @@ class TabuTracker:
         self.clock = 0
         # "never flipped" sits far enough in the past to never be tabu
         self._stamp = np.full((batch, n), -(period + 1), dtype=np.int64)
+        self._mask_buf: np.ndarray | None = None
 
     @property
     def enabled(self) -> bool:
         """False when the tenure is zero (tracker is a no-op)."""
         return self.period > 0
 
+    @property
+    def stamps(self) -> np.ndarray:
+        """The raw ``(B, n)`` int64 stamp array (device-side state)."""
+        return self._stamp
+
     def mask(self) -> np.ndarray | None:
-        """Boolean ``(B, n)``: True where flipping is currently forbidden."""
+        """Boolean ``(B, n)``: True where flipping is currently forbidden.
+
+        Written into one lazily allocated buffer reused across calls —
+        callers must not hold the result across iterations (none do; the
+        selection rules derive fresh candidate masks from it).
+        """
         if not self.enabled:
             return None
-        return (self.clock - self._stamp) <= self.period
+        buf = self._mask_buf
+        if buf is None:
+            buf = self._mask_buf = np.empty(self._stamp.shape, dtype=bool)
+        # clock − stamp ≤ period  ⟺  stamp ≥ clock − period (int64 exact)
+        np.greater_equal(self._stamp, self.clock - self.period, out=buf)
+        return buf
 
     def record(self, idx: np.ndarray, active: np.ndarray | None = None) -> None:
         """Stamp the flips of this iteration and advance the clock."""
@@ -48,6 +72,15 @@ class TabuTracker:
                 cols = np.asarray(idx)[rows]
             self._stamp[rows, cols] = self.clock
         self.clock += 1
+
+    def advance(self, iterations: int) -> None:
+        """Advance the clock by a whole phase's lockstep iteration count.
+
+        Fused phase kernels stamp row-locally (``clock + t``) while they
+        run; this is the single host-side clock update replacing the
+        per-flip :meth:`record` advancement.
+        """
+        self.clock += int(iterations)
 
     def reset(self) -> None:
         """Forget all stamps (used between batch searches)."""
@@ -65,4 +98,5 @@ class TabuTracker:
         view.period = self.period
         view.clock = 0
         view._stamp = self._stamp[:batch]
+        view._mask_buf = None
         return view

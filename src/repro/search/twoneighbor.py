@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.spec import KIND_FIXED_SEQUENCE, SelectionSpec
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm
 from repro.core.rng import XorShift64Star
@@ -64,3 +65,13 @@ class TwoNeighborSearch(MainSearch):
             self.begin(state, total)
         bit = int(self._seq[(t - 1) % self._seq.shape[0]])
         return np.full(state.batch, bit, dtype=np.int64)
+
+    def lower(self, state: BatchDeltaState, iterations: int) -> SelectionSpec:
+        if self._seq is None or self._seq.shape[0] != 2 * state.n - 1:
+            self.begin(state, iterations)
+        return SelectionSpec(
+            kind=KIND_FIXED_SEQUENCE,
+            supports_tabu=False,
+            uses_rng=False,
+            sequence=np.asarray(self._seq, dtype=np.int64),
+        )

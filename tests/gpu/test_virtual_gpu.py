@@ -166,10 +166,11 @@ class TestDeviceBufferCache:
             + [MainAlgorithm.RANDOMMIN]
         )
         gpu.launch(make_batch(algs=algs, seed=1))
-        for state, tabu in gpu._views.values():
+        for state, tabu, tracker in gpu._views.values():
             assert np.shares_memory(state.x, gpu._state.x)
             assert np.shares_memory(state.delta, gpu._state.delta)
             assert np.shares_memory(tabu._stamp, gpu._tabu._stamp)
+            assert np.shares_memory(tracker.best_x, gpu._tracker.best_x)
             assert state.kernel is gpu._state.kernel
 
     def test_full_size_buffers_not_reallocated(self):
