@@ -22,6 +22,7 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.search`    — the 5 main search algorithms + greedy/straight/tabu
 * :mod:`repro.ga`        — solution pools, genetic operations, adaptive selection
 * :mod:`repro.gpu`       — the virtual-GPU lockstep execution substrate
+* :mod:`repro.engine`    — barrier-free async execution over device workers
 * :mod:`repro.solver`    — the DABS solver and the ABS baseline
 * :mod:`repro.problems`  — MaxCut/QAP/QASP/TSP reductions and generators
 * :mod:`repro.topology`  — Pegasus and Chimera annealer graphs

@@ -1,0 +1,231 @@
+"""The asynchronous per-device execution engine: no global round barrier.
+
+The paper's defining systems idea is that each GPU runs *asynchronously*:
+its host thread fetches parents from the shared pool, launches a bulk
+search, and folds solutions back at the device's own pace — one slow
+device never stalls the fleet.  :class:`AsyncEngine` is that event loop
+for the virtual GPUs.  It owns no solver policy; a *driver* (implemented
+by the solver, see :class:`EngineDriver` for the contract) supplies
+batches and absorbs completions, while the engine does slot accounting,
+submission, completion-order merging, and draining over a
+:mod:`~repro.engine.workers` worker group.
+
+Two schedules:
+
+* **free-running** (``driver.virtual_time == False``) — the throughput
+  path.  Every device keeps up to ``depth`` launches in flight; each
+  completion is collected the moment it arrives (pool insertion
+  as-of-arrival) and immediately back-fills that device's slot with a
+  batch generated from the pools *as they are now*.  No barrier exists
+  anywhere; completion order (and therefore pool content) depends on
+  device timing.
+* **virtual time** (``driver.virtual_time == True``) — the determinism
+  path.  Completions are merged in ``(launch_seq, device_id)`` order and
+  the host-side schedule (generation draw order, pool snapshots,
+  insertion order, restart points) replays the round scheduler exactly,
+  so results are bit-identical to the sequential scheduler while launches
+  still run concurrently on the workers.  When the run is purely
+  launch-budgeted (``driver.can_pipeline``), a device's next launch is
+  submitted the moment its previous one completes — ahead of slower
+  devices — which pipelines rounds without breaking the replay.
+
+The engine is context-managed: ``close()`` (or leaving the ``with`` block,
+including via an exception) closes the worker group, joining every worker
+thread/process.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.packet import PacketBatch
+from repro.engine.workers import LaunchCompletion
+
+__all__ = ["AsyncEngine", "EngineDriver"]
+
+#: seconds between liveness/time-limit checks while waiting on completions
+_POLL_INTERVAL = 0.02
+
+
+class EngineDriver(Protocol):
+    """What a solver must provide to run on the engine.
+
+    The driver owns all solver policy — generation RNG streams, pool
+    insertion, best/history tracking, termination and restart decisions —
+    and must be touched only from the engine's caller thread (the engine
+    never calls it concurrently).
+    """
+
+    #: True → deterministic virtual-time replay; False → free-running
+    virtual_time: bool
+    #: True when the virtual-time run can pipeline round ``r+1`` launches
+    #: behind round ``r`` (no reactive limit can cancel work in flight)
+    can_pipeline: bool
+
+    # -- free-running hooks ------------------------------------------------
+    def next_batch(self, device_id: int) -> PacketBatch | None:
+        """A fresh batch for *device_id* (as-of-now pools), or None when
+        that device's launch budget is exhausted / the run is stopping."""
+
+    def collect(self, completion: LaunchCompletion) -> str:
+        """Absorb one completion; returns "continue", "stop" or "restart"."""
+
+    def idle(self) -> str:
+        """Called while waiting on completions; "stop" ends submission."""
+
+    def halt(self) -> None:
+        """The engine stopped submitting; remaining completions drain."""
+
+    # -- virtual-time hooks ------------------------------------------------
+    def generate_round(self) -> list[PacketBatch]:
+        """One batch per device from the shared host RNG (round order)."""
+
+    def record_round(self, batches: list[PacketBatch]) -> None:
+        """Round submitted — record strategy counters."""
+
+    def wants_round(self, round_index: int) -> bool:
+        """True while the launch budget allows *round_index*."""
+
+    def collect_ordered(self, completion: LaunchCompletion) -> None:
+        """Absorb one completion (engine guarantees (seq, device) order)."""
+
+    def finish_round(self, round_index: int) -> str:
+        """All of round *round_index* collected; returns "continue",
+        "stop" or "restart" (driver already reinitialized the pools)."""
+
+
+class AsyncEngine:
+    """Completion-driven execution of one solve over a worker group."""
+
+    def __init__(self, group, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.group = group
+        self.depth = depth
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Close the worker group (joins all workers).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.group.close()
+
+    def __enter__(self) -> "AsyncEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- entry point -------------------------------------------------------
+    def run(self, driver: EngineDriver) -> None:
+        """Drive one solve to completion (all submitted launches drained)."""
+        if driver.virtual_time:
+            self._run_virtual_time(driver)
+        else:
+            self._run_free(driver)
+
+    # -- free-running schedule ---------------------------------------------
+    def _run_free(self, driver: EngineDriver) -> None:
+        group = self.group
+        num_devices = group.num_devices
+        inflight = [0] * num_devices
+        seqs = [0] * num_devices
+        stopped = False
+
+        def refill(device_id: int) -> None:
+            while inflight[device_id] < self.depth:
+                batch = driver.next_batch(device_id)
+                if batch is None:
+                    return
+                seqs[device_id] += 1
+                group.submit(device_id, seqs[device_id], batch)
+                inflight[device_id] += 1
+
+        for device_id in range(num_devices):
+            refill(device_id)
+        while sum(inflight):
+            completion = group.next_completion(_POLL_INTERVAL)
+            if completion is None:
+                if not stopped and driver.idle() == "stop":
+                    stopped = True
+                    driver.halt()
+                continue
+            inflight[completion.device_id] -= 1
+            action = driver.collect(completion)
+            if stopped:
+                continue  # draining: absorb results, submit nothing
+            if action == "stop":
+                stopped = True
+                driver.halt()
+                continue
+            if action == "restart":
+                # queued behind each device's in-flight launches; results
+                # of pre-restart launches still land in the fresh pools
+                # (the restart is advisory in free-running mode)
+                for device_id in range(num_devices):
+                    group.reset_device(device_id)
+            refill(completion.device_id)
+
+    # -- virtual-time schedule ---------------------------------------------
+    def _run_virtual_time(self, driver: EngineDriver) -> None:
+        group = self.group
+        num_devices = group.num_devices
+        #: completions that outran the round being merged, keyed (dev, seq)
+        stash: dict[tuple[int, int], LaunchCompletion] = {}
+        submitted: set[tuple[int, int]] = set()
+        next_batches = driver.generate_round()
+        round_index = 0
+        while True:
+            round_index += 1
+            batches = next_batches
+            for device_id in range(num_devices):
+                if (device_id, round_index) not in submitted:
+                    group.submit(device_id, round_index, batches[device_id])
+                    submitted.add((device_id, round_index))
+            driver.record_round(batches)
+            want_next = driver.wants_round(round_index + 1)
+            if want_next:
+                # generated while round r is in flight — reads the pools
+                # as of round r−1, exactly like the double-buffered
+                # round scheduler
+                next_batches = driver.generate_round()
+            pipeline = want_next and driver.can_pipeline
+
+            def start_next(device_id: int) -> None:
+                if pipeline and (device_id, round_index + 1) not in submitted:
+                    group.submit(
+                        device_id, round_index + 1, next_batches[device_id]
+                    )
+                    submitted.add((device_id, round_index + 1))
+
+            results: dict[int, LaunchCompletion] = {}
+            for device_id in range(num_devices):
+                early = stash.pop((device_id, round_index), None)
+                if early is not None:
+                    results[device_id] = early
+                    start_next(device_id)
+            while len(results) < num_devices:
+                completion = group.next_completion(_POLL_INTERVAL)
+                if completion is None:
+                    continue
+                if completion.seq == round_index:
+                    results[completion.device_id] = completion
+                    start_next(completion.device_id)
+                else:
+                    stash[(completion.device_id, completion.seq)] = completion
+            # merge strictly in device order — the round scheduler's
+            # insertion order, which fixes pool content bit-exactly
+            for device_id in range(num_devices):
+                driver.collect_ordered(results[device_id])
+            verdict = driver.finish_round(round_index)
+            if verdict == "stop":
+                return
+            if verdict == "restart":
+                # nothing is in flight here (restarts disable pipelining),
+                # so the reset lands before the regenerated round
+                for device_id in range(num_devices):
+                    group.reset_device(device_id)
+                next_batches = driver.generate_round()
+            submitted = {key for key in submitted if key[1] > round_index}

@@ -1,0 +1,334 @@
+"""Device workers: one free-running execution lane per virtual GPU.
+
+The paper drives every physical GPU from its own host thread; a device
+fetches work, runs a bulk search, and returns solutions at its own pace
+(§III.C).  A *worker group* reproduces that seam for the virtual GPUs:
+
+* :class:`ThreadWorkerGroup` — one single-thread executor per device.
+  The per-device FIFO is what gives each device in-flight depth (a launch
+  can be queued behind the running one) while NumPy/numba kernels release
+  the GIL, so lanes genuinely overlap.
+* :class:`ProcessWorkerGroup` — one forked child process per device,
+  exchanging whole :class:`~repro.core.packet.PacketBatch` columns through
+  :class:`~repro.core.packet.SharedBatchSlab` shared-memory slots.  Only a
+  tiny ``(kind, seq, slot)`` tuple crosses the queue — no array is ever
+  pickled — so the engine sidesteps the GIL entirely for backends whose
+  kernels hold it (the numba JIT path).
+
+Both groups push :class:`LaunchCompletion` records onto one host-side
+completion stream; the engine consumes them with
+:meth:`~WorkerGroup.next_completion` in whatever order devices finish.
+Failures travel the same stream and surface as :class:`WorkerError` on the
+host, so a dead device can never strand the event loop.
+
+Lifecycle: groups are context managers and :meth:`~WorkerGroup.close` is
+idempotent; closing joins every thread/process (terminating stuck children)
+so a solve that raises mid-flight leaks nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.packet import PacketBatch, SharedBatchSlab
+
+__all__ = [
+    "LaunchCompletion",
+    "ProcessWorkerGroup",
+    "ThreadWorkerGroup",
+    "WorkerError",
+]
+
+#: thread-name / process-name prefix, asserted by the leak regression tests
+WORKER_NAME_PREFIX = "engine-vgpu"
+
+
+class WorkerError(RuntimeError):
+    """A device worker failed; carries the device id and its traceback."""
+
+    def __init__(self, device_id: int, detail: str) -> None:
+        super().__init__(f"device worker {device_id} failed:\n{detail}")
+        self.device_id = device_id
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class LaunchCompletion:
+    """One finished launch, as delivered to the host event loop."""
+
+    #: which virtual GPU produced it
+    device_id: int
+    #: per-device launch sequence number (1-based, FIFO per device)
+    seq: int
+    #: result batch (best vector/energy per lane, strategies passed through)
+    batch: PacketBatch
+    #: per-lane flip counts of the launch
+    flips: np.ndarray
+    #: greedy-cap truncated rows in this launch (delta, not cumulative)
+    truncations: int
+    #: 1 when this launch emitted a GreedyTruncationWarning, else 0
+    truncation_events: int
+
+
+class _Failure:
+    """Internal: an exception crossing the completion stream."""
+
+    __slots__ = ("device_id", "detail")
+
+    def __init__(self, device_id: int, detail: str) -> None:
+        self.device_id = device_id
+        self.detail = detail
+
+
+class ThreadWorkerGroup:
+    """One single-thread executor per device over the solver's own GPUs.
+
+    Device state (block solutions, RNG lanes, counters) stays in the
+    parent's :class:`~repro.gpu.virtual_gpu.VirtualGPU` objects, so it
+    persists across ``solve()`` calls exactly like the round scheduler.
+    """
+
+    def __init__(self, gpus) -> None:
+        self.gpus = list(gpus)
+        self._completions: queue.Queue = queue.Queue()
+        self._executors = [
+            ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix=f"{WORKER_NAME_PREFIX}{i}"
+            )
+            for i in range(len(self.gpus))
+        ]
+        self._closed = False
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.gpus)
+
+    def submit(self, device_id: int, seq: int, batch: PacketBatch) -> None:
+        """Queue one launch on *device_id*'s FIFO lane."""
+        self._executors[device_id].submit(self._run, device_id, seq, batch)
+
+    def reset_device(self, device_id: int) -> None:
+        """Queue a device reset behind that device's in-flight launches."""
+        self._executors[device_id].submit(self.gpus[device_id].reset)
+
+    def _run(self, device_id: int, seq: int, batch: PacketBatch) -> None:
+        try:
+            gpu = self.gpus[device_id]
+            trunc0 = gpu.greedy_truncations
+            events0 = gpu.truncation_events
+            result, flips = gpu.launch(batch)
+            self._completions.put(
+                LaunchCompletion(
+                    device_id,
+                    seq,
+                    result,
+                    flips,
+                    gpu.greedy_truncations - trunc0,
+                    gpu.truncation_events - events0,
+                )
+            )
+        except BaseException:
+            self._completions.put(_Failure(device_id, traceback.format_exc()))
+
+    def next_completion(self, timeout: float) -> LaunchCompletion | None:
+        """The next finished launch, in completion order; None on timeout."""
+        try:
+            item = self._completions.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        if isinstance(item, _Failure):
+            raise WorkerError(item.device_id, item.detail)
+        return item
+
+    def close(self) -> None:
+        """Join every worker thread; queued-but-unstarted launches are
+        dropped.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for executor in self._executors:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ThreadWorkerGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _device_worker_main(device_id, gpu, task_queue, result_queue, slabs):
+    """Child-process main loop: launch slots until told to stop.
+
+    Runs in a fork of the parent taken at group construction, so ``gpu``
+    (and the backend kernel cache inside it) arrives by memory inheritance
+    — nothing is pickled.  Batches arrive and results leave through the
+    fork-shared :class:`SharedBatchSlab` pages; the queues carry only
+    ``(kind, seq, slot)`` control tuples.
+    """
+    try:
+        while True:
+            message = task_queue.get()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "reset":
+                gpu.reset()
+                continue
+            _, seq, slot = message
+            slab = slabs[slot]
+            trunc0 = gpu.greedy_truncations
+            events0 = gpu.truncation_events
+            result, flips = gpu.launch(slab.batch())
+            slab.store_result(result, flips)
+            result_queue.put(
+                (
+                    "done",
+                    device_id,
+                    seq,
+                    slot,
+                    gpu.greedy_truncations - trunc0,
+                    gpu.truncation_events - events0,
+                )
+            )
+    except BaseException:
+        result_queue.put(("error", device_id, traceback.format_exc()))
+
+
+class _ProcessWorker:
+    """Host-side record of one device child: process, queue, slab slots."""
+
+    __slots__ = ("process", "task_queue", "slabs", "free_slots")
+
+    def __init__(self, process, task_queue, slabs) -> None:
+        self.process = process
+        self.task_queue = task_queue
+        self.slabs = slabs
+        self.free_slots = list(range(len(slabs)))
+
+
+class ProcessWorkerGroup:
+    """One forked child process per device over shared-memory batch slots.
+
+    Requires the ``fork`` start method (the slabs and the device state are
+    inherited, never pickled).  Device state lives in the children, so —
+    unlike the thread group — it does not persist into a later ``solve()``
+    call on the same solver; each group starts from the state captured at
+    the fork.
+    """
+
+    def __init__(self, gpus, depth: int = 2) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        gpus = list(gpus)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise WorkerError(
+                -1, "process workers need the fork start method (POSIX only)"
+            )
+        ctx = multiprocessing.get_context("fork")
+        self._result_queue = ctx.Queue()
+        self._workers: list[_ProcessWorker] = []
+        self._closed = False
+        try:
+            for device_id, gpu in enumerate(gpus):
+                slabs = [
+                    SharedBatchSlab(gpu.num_blocks, gpu.model.n)
+                    for _ in range(depth)
+                ]
+                task_queue = ctx.Queue()
+                process = ctx.Process(
+                    target=_device_worker_main,
+                    args=(device_id, gpu, task_queue, self._result_queue, slabs),
+                    name=f"{WORKER_NAME_PREFIX}{device_id}",
+                    daemon=True,
+                )
+                process.start()
+                self._workers.append(_ProcessWorker(process, task_queue, slabs))
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def num_devices(self) -> int:
+        return len(self._workers)
+
+    def submit(self, device_id: int, seq: int, batch: PacketBatch) -> None:
+        """Write *batch* into a free shared slot and wake the child."""
+        worker = self._workers[device_id]
+        if not worker.free_slots:
+            raise WorkerError(
+                device_id, "no free launch slot (in-flight depth exceeded)"
+            )
+        slot = worker.free_slots.pop()
+        worker.slabs[slot].store(batch)
+        worker.task_queue.put(("launch", seq, slot))
+
+    def reset_device(self, device_id: int) -> None:
+        """Queue a device reset behind that device's in-flight launches."""
+        self._workers[device_id].task_queue.put(("reset",))
+
+    def next_completion(self, timeout: float) -> LaunchCompletion | None:
+        """The next finished launch from any child; None on timeout.
+
+        Result columns are snapshotted out of the shared slot so the slot
+        can be reused by the very next submission.
+        """
+        try:
+            message = self._result_queue.get(timeout=timeout)
+        except queue.Empty:
+            self._check_alive()
+            return None
+        if message[0] == "error":
+            raise WorkerError(message[1], message[2])
+        _, device_id, seq, slot, truncations, events = message
+        worker = self._workers[device_id]
+        batch, flips = worker.slabs[slot].snapshot()
+        worker.free_slots.append(slot)
+        return LaunchCompletion(device_id, seq, batch, flips, truncations, events)
+
+    def _check_alive(self) -> None:
+        """Raise when a child died without posting an error message."""
+        for device_id, worker in enumerate(self._workers):
+            process = worker.process
+            if not process.is_alive() and process.exitcode not in (0, None):
+                raise WorkerError(
+                    device_id,
+                    f"device worker process died (exit code {process.exitcode})",
+                )
+
+    def close(self) -> None:
+        """Stop and reap every child process.  Idempotent.
+
+        Children get a stop sentinel and a grace period; ones still alive
+        (stuck kernels, queued work) are terminated — the anonymous-mmap
+        slabs free themselves when the last mapping drops.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(("stop",))
+            except (OSError, ValueError):  # queue already torn down
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        for worker in self._workers:
+            worker.task_queue.close()
+            worker.task_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+
+    def __enter__(self) -> "ProcessWorkerGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -14,7 +14,35 @@ import numpy as np
 from repro.core.packet import Packet
 from repro.ga.pool import SolutionPool
 
-__all__ = ["IslandRing"]
+__all__ = ["IslandRing", "StallTracker"]
+
+
+class StallTracker:
+    """Work-unit stall counter driving the §IV.B merged-ring restarts.
+
+    The restart trigger is "no global improvement for a while".  The round
+    scheduler measures "a while" in rounds (one unit per barrier); the
+    asynchronous engine has no rounds, so it measures in *device launches*
+    (one unit per completion, with the threshold scaled by the fleet size).
+    Both schedulers share this counter so the policy lives in one place.
+    """
+
+    __slots__ = ("threshold", "count")
+
+    def __init__(self, threshold: int | None) -> None:
+        if threshold is not None and threshold < 1:
+            raise ValueError("threshold must be >= 1 or None")
+        self.threshold = threshold
+        self.count = 0
+
+    def update(self, improved: bool, units: int = 1) -> bool:
+        """Record *units* of work; True when a restart is due."""
+        self.count = 0 if improved else self.count + units
+        return self.threshold is not None and self.count >= self.threshold
+
+    def reset(self) -> None:
+        """Clear the counter (called after a restart)."""
+        self.count = 0
 
 
 class IslandRing:

@@ -76,8 +76,15 @@ class VirtualGPU:
         # persistent per-(block, thread) RNG lane states
         self.rng_state = spawn_device_seeds(host_rng, (b, n))
         self.total_flips = 0
+        # completed launches on this device; the async engine keys
+        # launch-count-triggered policies (restarts, budgets) off this
+        # instead of a global round index
+        self.launch_count = 0
         # rows whose greedy polish ever hit the safety cap (float models)
         self.greedy_truncations = 0
+        # launches in which at least one row truncated — one per emitted
+        # GreedyTruncationWarning, aggregated into SolveResult stats
+        self.truncation_events = 0
         # the persistent full-size device buffers; lockstep groups run on
         # row-slice views of them (kernel may be shared across GPUs)
         self._state = BatchDeltaState(
@@ -126,6 +133,7 @@ class VirtualGPU:
         out_vectors = np.empty_like(batch.vectors)
         out_energies = np.empty(len(batch), dtype=np.int64)
         flips = np.zeros(len(batch), dtype=np.int64)
+        launch_truncations = 0
         for alg_enum, rows in batch.group_by_algorithm().items():
             algorithm = self.algorithms.get(alg_enum)
             if algorithm is None:
@@ -149,11 +157,15 @@ class VirtualGPU:
             out_vectors[rows] = tracker.best_x
             out_energies[rows] = tracker.best_energy
             flips[rows] = group_flips
-            self.greedy_truncations += int(tracker.greedy_truncated.sum())
+            launch_truncations += int(tracker.greedy_truncated.sum())
             # persist device state for the next launch
             self.block_x[rows] = state.x
             self.rng_state[rows] = lanes.state
+        self.greedy_truncations += launch_truncations
+        if launch_truncations:
+            self.truncation_events += 1
         self.total_flips += int(flips.sum())
+        self.launch_count += 1
         return (
             PacketBatch(out_vectors, out_energies, batch.algorithms, batch.operations),
             flips,

@@ -76,8 +76,9 @@ class ABSSolver(DABSSolver):
         # fixed strategy — nothing to adapt
         return MainAlgorithm.CYCLICMIN, GeneticOp.CROSSOVER
 
-    def _choose_strategies(self, pool: SolutionPool, count: int):
+    def _choose_strategies(self, pool: SolutionPool, count: int, rng=None):
         # columnar form of the fixed strategy: constant columns, no draws
+        # (rng accepted for engine parity with DABS but never consumed)
         return (
             np.full(count, int(MainAlgorithm.CYCLICMIN), dtype=np.uint8),
             np.full(count, int(GeneticOp.CROSSOVER), dtype=np.uint8),

@@ -1,32 +1,40 @@
 """The DABS solver (§V): multi-GPU orchestration of the diverse search.
 
 The host owns one solution pool per virtual GPU, arranged on the island
-ring (Fig. 2).  Every round it generates one packet per CUDA block — the
-genetic operation and main search algorithm chosen by the adaptive
-5 %/95 % rule — launches all GPUs, and folds the returned best solutions
-back into the pools.
+ring (Fig. 2).  It generates one packet per CUDA block — the genetic
+operation and main search algorithm chosen by the adaptive 5 %/95 % rule —
+launches the GPUs, and folds the returned best solutions back into the
+pools.
 
-The whole round path is columnar (DESIGN.md §5): strategy columns come
+The whole data plane is columnar (DESIGN.md §5): strategy columns come
 from one vectorized adaptive draw per batch, target vectors from one
 group-wise generator pass, and collection folds each result batch into
 its pool with one sort-merge — :class:`PacketBatch` is the only
 interchange type; per-:class:`Packet` objects appear only on scalar
 reference paths (``_generate_batch_scalar``, tests, examples).
 
-Parallel execution: the paper drives each GPU from its own OpenMP thread.
-``parallel="thread"`` reproduces that with a persistent thread pool (NumPy
-releases the GIL inside the batch-search kernels).  Rounds are
-double-buffered by a :class:`~repro.solver.scheduler.RoundScheduler`:
-round ``r+1``'s packets are generated on the host while round ``r``'s
-launches are in flight, in *both* modes — the identical logical schedule
-keeps sequential and threaded runs bit-exactly reproducible against each
-other (packet generation and pool insertion stay on the host thread in
-device order).
+Execution engines (``DABSConfig.engine``, DESIGN.md §7):
+
+* ``"round"`` (default) — the double-buffered round-synchronous loop:
+  all devices submit round *r*, round *r+1*'s packets are generated while
+  the launches fly, then all results are collected at the barrier.
+  ``parallel="thread"`` runs the launches on a persistent thread pool.
+* ``"async"`` — the paper's actual architecture: a free-running
+  :class:`~repro.engine.async_engine.AsyncEngine` with no global round.
+  Each device keeps ``inflight_per_device`` launches in flight;
+  completions are inserted into the pools the moment they arrive, and the
+  replacement batch is generated from the pools *as of arrival* using a
+  per-device RNG stream.  ``DABSConfig.virtual_time`` switches the engine
+  to a deterministic ``(launch_seq, device)`` merge that replays the
+  sequential round schedule bit-exactly (the parity tests assert this).
+* ``"async-process"`` — the same engine over one forked process per
+  device with shared-memory batch slots, sidestepping the GIL.
 
 The per-flip kernels below the solver are pluggable
 (:mod:`repro.backends`); ``DABSConfig.backend`` selects one by name, with
 ``None``/"auto" deferring to the ``REPRO_BACKEND`` environment variable
-and the coupling-density auto rule.
+and the coupling-density auto rule.  ``DABSConfig.engine`` resolves the
+same way through ``REPRO_ENGINE``.
 """
 
 from __future__ import annotations
@@ -48,8 +56,15 @@ from repro.core.packet import (
 )
 from repro.core.qubo import QUBOModel
 from repro.core.rng import host_generator
+from repro.engine import (
+    AsyncEngine,
+    ProcessWorkerGroup,
+    ThreadWorkerGroup,
+    resolve_engine_name,
+    validate_engine_name,
+)
 from repro.ga.adaptive import AdaptiveSelector, SelectionCounters
-from repro.ga.island import IslandRing
+from repro.ga.island import IslandRing, StallTracker
 from repro.ga.operations import OperationParams, TargetGenerator
 from repro.ga.pool import SolutionPool
 from repro.gpu.device import DeviceSpec
@@ -83,17 +98,30 @@ class DABSConfig:
     #: probabilities/sizes of the stochastic genetic operations
     operations: OperationParams = field(default_factory=OperationParams)
     #: restart all pools after this many rounds without global improvement
-    #: (§IV.B's merged-ring restart); None disables
+    #: (§IV.B's merged-ring restart; the async engines scale it to
+    #: ``num_gpus ×`` launches); None disables
     restart_after_stall: int | None = None
     #: restart when every pool's mean pairwise Hamming diversity falls below
     #: this fraction of n (§IV.B's "all solutions are relatives" collapse
     #: signal, measured rather than inferred from stalling); None disables
     restart_on_collapse: float | None = None
-    #: "sequential" round-robin or "thread" (one worker per GPU, as OpenMP)
+    #: "sequential" round-robin or "thread" (one worker per GPU, as OpenMP);
+    #: only meaningful for the "round" engine
     parallel: str = "sequential"
     #: compute backend name ("auto", "numpy-dense", "numpy-sparse", "numba");
     #: None defers to the REPRO_BACKEND env var, then the auto density rule
     backend: str | None = None
+    #: execution engine ("round", "async", "async-process"); None defers to
+    #: the REPRO_ENGINE env var, then "round"
+    engine: str | None = None
+    #: async engines only: merge completions in (launch_seq, device) order,
+    #: replaying the sequential round schedule bit-exactly instead of
+    #: free-running (the determinism/debug mode; throughput stays with
+    #: virtual_time=False)
+    virtual_time: bool = False
+    #: async engines only: launches each device keeps in flight (depth ≥ 2
+    #: keeps a device busy while the host folds its previous result)
+    inflight_per_device: int = 2
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -121,6 +149,265 @@ class DABSConfig:
                     f"unknown backend {self.backend!r} "
                     f"(known: auto, {', '.join(known)})"
                 )
+        if self.engine is not None:
+            validate_engine_name(self.engine)
+        if self.inflight_per_device < 1:
+            raise ValueError("inflight_per_device must be >= 1")
+
+
+class _RunState:
+    """Mutable best/stats accumulator shared by all execution engines.
+
+    :meth:`fold` performs collection of one result batch — pool insertion
+    plus global-best bookkeeping — in exactly the order the round loop
+    always did, so every engine produces identical records for identical
+    collection sequences.
+    """
+
+    __slots__ = (
+        "best_energy",
+        "best_vector",
+        "first_found",
+        "time_to_target",
+        "history",
+        "launches",
+        "flips",
+        "truncations",
+        "truncation_events",
+        "restarts",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.best_energy: int = VOID_ENERGY
+        self.best_vector = np.zeros(n, dtype=np.uint8)
+        self.first_found: tuple[MainAlgorithm, GeneticOp] | None = None
+        self.time_to_target: float | None = None
+        self.history: list[ImprovementEvent] = []
+        self.launches = 0
+        self.flips = 0
+        self.truncations = 0
+        self.truncation_events = 0
+        self.restarts = 0
+
+    def fold(
+        self,
+        batch: PacketBatch,
+        pool: SolutionPool,
+        round_index: int,
+        start: float,
+        limits: SolveLimits,
+    ) -> bool:
+        """Insert one result batch and update the global best.
+
+        Returns True when the batch improved the global best energy.
+        """
+        pool.insert_batch(
+            batch.vectors, batch.energies, batch.algorithms, batch.operations
+        )
+        winner = int(np.argmin(batch.energies))
+        energy = int(batch.energies[winner])
+        self.launches += 1
+        if energy >= self.best_energy:
+            return False
+        self.best_energy = energy
+        self.best_vector = batch.vectors[winner].copy()
+        algorithm = MainAlgorithm(int(batch.algorithms[winner]))
+        operation = GeneticOp(int(batch.operations[winner]))
+        self.first_found = (algorithm, operation)
+        now = time.perf_counter() - start
+        self.history.append(
+            ImprovementEvent(now, round_index, energy, algorithm, operation)
+        )
+        if self.time_to_target is None and limits.target_reached(energy):
+            self.time_to_target = now
+        return True
+
+
+class _AsyncDriver:
+    """Bridges :class:`~repro.engine.async_engine.AsyncEngine` hooks to one
+    DABS solve — all solver policy (generation streams, insertion,
+    termination, restarts) lives here; the engine only schedules."""
+
+    def __init__(self, solver: "DABSSolver", limits: SolveLimits, start: float):
+        self.solver = solver
+        self.limits = limits
+        self.start = start
+        cfg = solver.config
+        self.num_devices = cfg.num_gpus
+        self.virtual_time = cfg.virtual_time
+        self.state = _RunState(solver.model.n)
+        threshold = cfg.restart_after_stall
+        if threshold is not None and not self.virtual_time:
+            # free-running restarts are counted in launches, not rounds
+            threshold = threshold * cfg.num_gpus
+        self._stall = StallTracker(threshold)
+        self._submitted = [0] * cfg.num_gpus
+        self._completed = [0] * cfg.num_gpus
+        self._rounds = 0
+        self._round_improved = False
+        self._halted = False
+        if self.virtual_time:
+            self._device_rngs = None
+        else:
+            # one deterministic generation stream per device, derived from
+            # the host generator — a device's draws no longer depend on
+            # when its neighbours finish
+            self._device_rngs = [
+                host_generator(int(solver._host_rng.integers(2**63)))
+                for _ in range(cfg.num_gpus)
+            ]
+
+    # -- free-running hooks ------------------------------------------------
+    @property
+    def can_pipeline(self) -> bool:
+        """True when no reactive limit (target/time/restart) could cancel a
+        launch submitted ahead of the merge — the virtual-time engine then
+        pipelines round r+1 behind round r without breaking the replay."""
+        cfg = self.solver.config
+        return (
+            self.limits.target_energy is None
+            and self.limits.time_limit is None
+            and cfg.restart_after_stall is None
+            and cfg.restart_on_collapse is None
+        )
+
+    def next_batch(self, device_id: int) -> PacketBatch | None:
+        if self._halted:
+            return None
+        if self.limits.device_launch_budget(self._submitted[device_id]):
+            return None
+        if self.limits.out_of_launches(sum(self._submitted)):
+            return None
+        batch = self.solver._generate_batch(
+            device_id, rng=self._device_rngs[device_id]
+        )
+        self.solver.counters.record_batch(batch.algorithms, batch.operations)
+        self._submitted[device_id] += 1
+        return batch
+
+    def collect(self, completion) -> str:
+        solver = self.solver
+        state = self.state
+        self._completed[completion.device_id] += 1
+        self._absorb_stats(completion)
+        improved = state.fold(
+            completion.batch,
+            solver.pools[completion.device_id],
+            completion.seq,
+            self.start,
+            self.limits,
+        )
+        if self._halted:
+            # draining after a stop: in-flight results still land in the
+            # pools, but the run's policy (limits, restarts) is over
+            return "continue"
+        if self.limits.target_reached(state.best_energy):
+            return "stop"
+        if self.limits.out_of_time(time.perf_counter() - self.start):
+            return "stop"
+        if self.limits.out_of_launches(state.launches):
+            return "stop"
+        if self._restart_due(improved):
+            self._do_restart()
+            return "restart"
+        return "continue"
+
+    def idle(self) -> str:
+        if self.limits.out_of_time(time.perf_counter() - self.start):
+            return "stop"
+        return "continue"
+
+    def halt(self) -> None:
+        self._halted = True
+
+    # -- virtual-time hooks ------------------------------------------------
+    def generate_round(self) -> list[PacketBatch]:
+        return self.solver._generate_round()
+
+    def record_round(self, batches: list[PacketBatch]) -> None:
+        self.solver._record_counters(batches)
+
+    def wants_round(self, round_index: int) -> bool:
+        completed = round_index - 1
+        return not (
+            self.limits.out_of_rounds(completed)
+            or self.limits.out_of_launches(completed * self.num_devices)
+        )
+
+    def collect_ordered(self, completion) -> None:
+        self._completed[completion.device_id] += 1
+        self._absorb_stats(completion)
+        improved = self.state.fold(
+            completion.batch,
+            self.solver.pools[completion.device_id],
+            completion.seq,
+            self.start,
+            self.limits,
+        )
+        self._round_improved = self._round_improved or improved
+
+    def finish_round(self, round_index: int) -> str:
+        state = self.state
+        self._rounds = round_index
+        improved = self._round_improved
+        self._round_improved = False
+        elapsed = time.perf_counter() - self.start
+        if self.limits.target_reached(state.best_energy):
+            return "stop"
+        if (
+            self.limits.out_of_time(elapsed)
+            or self.limits.out_of_rounds(round_index)
+            or self.limits.out_of_launches(round_index * self.num_devices)
+        ):
+            return "stop"
+        if self._restart_due(improved):
+            self._do_restart()
+            return "restart"
+        return "continue"
+
+    # -- §IV.B restart policy (shared by both async schedules) -------------
+    def _restart_due(self, improved: bool) -> bool:
+        solver = self.solver
+        cfg = solver.config
+        stalled = self._stall.update(improved)
+        collapsed = cfg.restart_on_collapse is not None and solver.ring.collapsed(
+            cfg.restart_on_collapse * solver.model.n
+        )
+        return stalled or collapsed
+
+    def _do_restart(self) -> None:
+        self.solver.ring.reinitialize(self.solver._host_rng)
+        self._stall.reset()
+        self.state.restarts += 1
+
+    # -- result assembly ---------------------------------------------------
+    def _absorb_stats(self, completion) -> None:
+        state = self.state
+        state.flips += int(completion.flips.sum())
+        state.truncations += completion.truncations
+        state.truncation_events += completion.truncation_events
+
+    def result(self) -> SolveResult:
+        state = self.state
+        rounds = (
+            self._rounds if self.virtual_time else max(self._completed, default=0)
+        )
+        return SolveResult(
+            best_vector=state.best_vector,
+            best_energy=int(state.best_energy),
+            reached_target=self.limits.target_reached(state.best_energy),
+            time_to_target=state.time_to_target,
+            elapsed=time.perf_counter() - self.start,
+            rounds=rounds,
+            total_flips=state.flips,
+            counters=self.solver.counters,
+            first_found=state.first_found,
+            history=state.history,
+            restarts=state.restarts,
+            launches=state.launches,
+            greedy_truncations=state.truncations,
+            greedy_truncation_warnings=state.truncation_events,
+        )
 
 
 class DABSSolver:
@@ -170,7 +457,9 @@ class DABSSolver:
         self.generator = self._make_generator()
         self.counters = SelectionCounters()
         # one worker pool per solver, created lazily and reused by every
-        # solve() call; close() (or garbage collection) shuts it down
+        # round-engine solve() call; close() (or garbage collection) shuts
+        # it down.  The async engines instead build a context-managed
+        # worker group per solve and close it even when solve() raises.
         self._executor: ThreadPoolExecutor | None = None
         self._executor_finalizer = None
 
@@ -223,27 +512,34 @@ class DABSSolver:
         return alg, op
 
     def _choose_strategies(
-        self, pool: SolutionPool, count: int
+        self, pool: SolutionPool, count: int, rng: np.random.Generator | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Strategy columns for a whole batch in one draw; ABS overrides
-        this with constant columns."""
-        return self.selector.select_batch(pool, self._host_rng, count)
+        this with constant columns.  *rng* defaults to the shared host
+        generator; the free-running engine passes a per-device stream."""
+        rng = self._host_rng if rng is None else rng
+        return self.selector.select_batch(pool, rng, count)
 
     # -- packet generation -------------------------------------------------------
-    def _generate_batch(self, gpu_index: int) -> PacketBatch:
+    def _generate_batch(
+        self, gpu_index: int, rng: np.random.Generator | None = None
+    ) -> PacketBatch:
         """One columnar batch for GPU *gpu_index* — no Packet objects.
 
         Strategy columns come from one vectorized adaptive draw; target
         vectors from one group-wise generator pass (DESIGN.md §5 fixes the
-        RNG draw order).
+        RNG draw order).  *rng* defaults to the shared host generator
+        (round schedule); the free-running engine passes the device's own
+        stream and reads the pools as of arrival.
         """
+        rng = self._host_rng if rng is None else rng
         pool = self.pools[gpu_index]
         neighbor = self.ring.neighbor_of(gpu_index)
         algorithms, operations = self._choose_strategies(
-            pool, self.config.blocks_per_gpu
+            pool, self.config.blocks_per_gpu, rng
         )
         vectors = self.generator.generate_batch(
-            operations, pool, neighbor, self._host_rng
+            operations, pool, neighbor, rng
         )
         return PacketBatch.void(vectors, algorithms, operations)
 
@@ -282,21 +578,49 @@ class DABSSolver:
         target_energy: int | None = None,
         time_limit: float | None = None,
         max_rounds: int | None = None,
+        max_launches: int | None = None,
     ) -> SolveResult:
         """Run until a limit fires; see :class:`SolveLimits` for semantics."""
-        limits = SolveLimits(target_energy, time_limit, max_rounds)
+        limits = SolveLimits(target_energy, time_limit, max_rounds, max_launches)
+        engine = resolve_engine_name(self.config.engine)
+        if engine == "round":
+            return self._solve_rounds(limits)
+        return self._solve_async(limits, process=engine == "async-process")
+
+    def _solve_async(self, limits: SolveLimits, process: bool) -> SolveResult:
+        """One solve on the barrier-free engine (DESIGN.md §7).
+
+        The worker group and engine are per-solve and context-managed:
+        when anything below raises, every worker thread/process is joined
+        before the exception propagates.
+        """
+        cfg = self.config
+        driver = _AsyncDriver(self, limits, start=time.perf_counter())
+        if process:
+            group = ProcessWorkerGroup(self.gpus, depth=cfg.inflight_per_device)
+        else:
+            group = ThreadWorkerGroup(self.gpus)
+        with AsyncEngine(group, depth=cfg.inflight_per_device) as engine:
+            engine.run(driver)
+        return driver.result()
+
+    def _solve_rounds(self, limits: SolveLimits) -> SolveResult:
+        """The round-synchronous double-buffered loop (the "round" engine)."""
         cfg = self.config
         start = time.perf_counter()
-        best_energy = VOID_ENERGY
-        best_vector = np.zeros(self.model.n, dtype=np.uint8)
-        first_found: tuple[MainAlgorithm, GeneticOp] | None = None
-        time_to_target: float | None = None
-        history: list[ImprovementEvent] = []
+        state = _RunState(self.model.n)
         rounds = 0
-        flips_at_start = sum(g.total_flips for g in self.gpus)
-        stall_rounds = 0
-        restarts = 0
+        trunc_at_start = sum(g.greedy_truncations for g in self.gpus)
+        events_at_start = sum(g.truncation_events for g in self.gpus)
+        stall = StallTracker(cfg.restart_after_stall)
         scheduler = RoundScheduler(self.gpus, executor=self._ensure_executor())
+
+        def wants_more(completed_rounds: int) -> bool:
+            return not (
+                limits.out_of_rounds(completed_rounds)
+                or limits.out_of_launches(completed_rounds * cfg.num_gpus)
+            )
+
         # double-buffered rounds: while round r runs on the (virtual) devices,
         # round r+1's packets are generated here on the host — so generation
         # always reads the pools as of round r−1, identically in both modes
@@ -305,51 +629,25 @@ class DABSSolver:
             rounds += 1
             handle = scheduler.submit(next_batches)
             self._record_counters(next_batches)
-            if not limits.out_of_rounds(rounds):
+            if wants_more(rounds):
                 next_batches = self._generate_round()
             results = handle.wait()
             improved = False
             # collection is columnar: each result batch folds into its pool
             # with one sort-merge, and the round's improvement is read off
             # the energy column — no Packet objects are materialized
-            for gpu_index, (result_batch, _) in enumerate(results):
-                pool = self.pools[gpu_index]
-                pool.insert_batch(
-                    result_batch.vectors,
-                    result_batch.energies,
-                    result_batch.algorithms,
-                    result_batch.operations,
+            for gpu_index, (result_batch, flips) in enumerate(results):
+                state.flips += int(flips.sum())
+                improved |= state.fold(
+                    result_batch, self.pools[gpu_index], rounds, start, limits
                 )
-                winner = int(np.argmin(result_batch.energies))
-                energy = int(result_batch.energies[winner])
-                if energy < best_energy:
-                    improved = True
-                    best_energy = energy
-                    best_vector = result_batch.vectors[winner].copy()
-                    algorithm = MainAlgorithm(int(result_batch.algorithms[winner]))
-                    operation = GeneticOp(int(result_batch.operations[winner]))
-                    first_found = (algorithm, operation)
-                    now = time.perf_counter() - start
-                    history.append(
-                        ImprovementEvent(
-                            now, rounds, best_energy, algorithm, operation
-                        )
-                    )
-                    if time_to_target is None and limits.target_reached(
-                        best_energy
-                    ):
-                        time_to_target = now
             elapsed = time.perf_counter() - start
-            if limits.target_reached(best_energy):
+            if limits.target_reached(state.best_energy):
                 break
-            if limits.out_of_time(elapsed) or limits.out_of_rounds(rounds):
+            if limits.out_of_time(elapsed) or not wants_more(rounds):
                 break
             # §IV.B restart: merged pools cannot improve any more
-            stall_rounds = 0 if improved else stall_rounds + 1
-            stalled = (
-                cfg.restart_after_stall is not None
-                and stall_rounds >= cfg.restart_after_stall
-            )
+            stalled = stall.update(improved)
             collapsed = (
                 cfg.restart_on_collapse is not None
                 and self.ring.collapsed(cfg.restart_on_collapse * self.model.n)
@@ -358,23 +656,28 @@ class DABSSolver:
                 self.ring.reinitialize(self._host_rng)
                 for gpu in self.gpus:
                     gpu.reset()
-                stall_rounds = 0
-                restarts += 1
+                stall.reset()
+                state.restarts += 1
                 # the speculatively generated round still targets the
                 # collapsed pre-restart pools — discard it and regenerate
                 # from the reinitialized ones, as the restart intends
                 next_batches = self._generate_round()
         elapsed = time.perf_counter() - start
         return SolveResult(
-            best_vector=best_vector,
-            best_energy=int(best_energy),
-            reached_target=limits.target_reached(best_energy),
-            time_to_target=time_to_target,
+            best_vector=state.best_vector,
+            best_energy=int(state.best_energy),
+            reached_target=limits.target_reached(state.best_energy),
+            time_to_target=state.time_to_target,
             elapsed=elapsed,
             rounds=rounds,
-            total_flips=sum(g.total_flips for g in self.gpus) - flips_at_start,
+            total_flips=state.flips,
             counters=self.counters,
-            first_found=first_found,
-            history=history,
-            restarts=restarts,
+            first_found=state.first_found,
+            history=state.history,
+            restarts=state.restarts,
+            launches=state.launches,
+            greedy_truncations=sum(g.greedy_truncations for g in self.gpus)
+            - trunc_at_start,
+            greedy_truncation_warnings=sum(g.truncation_events for g in self.gpus)
+            - events_at_start,
         )

@@ -18,7 +18,8 @@ class ImprovementEvent:
 
     #: seconds since solve() started
     time: float
-    #: solver round in which the improvement arrived
+    #: solver round in which the improvement arrived (under the async
+    #: engines: the producing device's launch sequence number)
     round: int
     #: the improved energy
     energy: int
@@ -53,6 +54,15 @@ class SolveResult:
     history: list[ImprovementEvent] = field(default_factory=list)
     #: pool restarts performed (§IV.B stall/collapse recoveries)
     restarts: int = 0
+    #: total device launches collected (= rounds × num_gpus under the round
+    #: scheduler; the async engines count every completion individually)
+    launches: int = 0
+    #: greedy-polish rows that hit the safety cap, summed over all devices
+    #: (float-valued models only; always 0 on integer models)
+    greedy_truncations: int = 0
+    #: launches that emitted a GreedyTruncationWarning (one per launch with
+    #: at least one truncated row), summed over all devices
+    greedy_truncation_warnings: int = 0
 
     @property
     def flips_per_second(self) -> float:

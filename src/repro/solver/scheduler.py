@@ -1,11 +1,19 @@
 """Round scheduler: double-buffered execution of solver rounds.
 
+This is the execution layer of the ``"round"`` engine
+(``DABSConfig.engine``): a *synchronous* schedule with a global barrier
+per round.  The barrier-free alternative — the paper's actual
+architecture — lives in :mod:`repro.engine`; the round scheduler is kept
+both as the default (its schedule is the determinism reference that
+``virtual_time`` async runs replay bit-exactly) and as the baseline the
+async engine is benchmarked against (``benchmarks/bench_async_engine.py``).
+
 The paper's host drives every GPU from its own OpenMP thread and keeps
 generating work while kernels are in flight.  :class:`RoundScheduler`
-reproduces that structure for the virtual GPUs: the solver *submits* one
-round of packet batches (one per GPU), then generates the next round's
-packets on the host **while the launches run**, and only then waits for
-the results.
+reproduces half of that structure for the virtual GPUs: the solver
+*submits* one round of packet batches (one per GPU), then generates the
+next round's packets on the host **while the launches run**, and only
+then waits for the results.
 
 Both execution modes run the identical logical schedule —
 

@@ -1,0 +1,257 @@
+"""Virtual-time async parity and engine-selection tests.
+
+The acceptance property of the async engine: with ``virtual_time=True``
+the barrier-free engine merges completions in ``(launch_seq, device)``
+order and replays the sequential round scheduler *bit-exactly* — same
+pools, same energies, same host and device RNG states — for DABS and ABS
+on multiple virtual GPUs, with and without §IV.B restarts.  Free-running
+mode trades that determinism for throughput; here it is only checked for
+well-formedness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.qubo import brute_force
+from repro.engine import resolve_engine_name, validate_engine_name
+from repro.search.batch import BatchSearchConfig
+from repro.solver.abs_solver import ABSSolver
+from repro.solver.dabs import DABSConfig, DABSSolver
+from tests.conftest import random_qubo
+
+BASE = dict(
+    num_gpus=2,
+    blocks_per_gpu=4,
+    pool_capacity=10,
+    batch=BatchSearchConfig(batch_flip_factor=2.0),
+)
+
+
+def mt_state(solver):
+    state = solver._host_rng.bit_generator.state["state"]
+    return state["pos"], state["key"]
+
+
+def assert_parity(
+    model,
+    cfg_kwargs,
+    solve_kwargs,
+    cls=DABSSolver,
+    engine="async",
+    check_devices=True,
+):
+    """Run the round scheduler and the virtual-time async engine from the
+    same seed and assert the full observable state is bit-identical."""
+    # the reference is pinned to the round engine so a REPRO_ENGINE test
+    # matrix leg cannot redirect it
+    reference = cls(model, DABSConfig(**cfg_kwargs, engine="round"), seed=5)
+    ref_result = reference.solve(**solve_kwargs)
+    solver = cls(
+        model,
+        DABSConfig(**cfg_kwargs, engine=engine, virtual_time=True),
+        seed=5,
+    )
+    result = solver.solve(**solve_kwargs)
+    assert result.best_energy == ref_result.best_energy
+    assert np.array_equal(result.best_vector, ref_result.best_vector)
+    assert result.total_flips == ref_result.total_flips
+    assert result.rounds == ref_result.rounds
+    assert result.restarts == ref_result.restarts
+    assert result.launches == ref_result.rounds * cfg_kwargs["num_gpus"]
+    assert [(e.round, e.energy) for e in result.history] == [
+        (e.round, e.energy) for e in ref_result.history
+    ]
+    for ref_pool, pool in zip(reference.pools, solver.pools):
+        assert np.array_equal(ref_pool.vectors, pool.vectors)
+        assert np.array_equal(ref_pool.energies, pool.energies)
+        assert np.array_equal(ref_pool.algorithms, pool.algorithms)
+        assert np.array_equal(ref_pool.operations, pool.operations)
+    ref_pos, ref_key = mt_state(reference)
+    pos, key = mt_state(solver)
+    assert ref_pos == pos and np.array_equal(ref_key, key)
+    if check_devices:
+        # device-affine state: RNG lanes and persistent block solutions
+        for ref_gpu, gpu in zip(reference.gpus, solver.gpus):
+            assert np.array_equal(ref_gpu.rng_state, gpu.rng_state)
+            assert np.array_equal(ref_gpu.block_x, gpu.block_x)
+    return ref_result, result
+
+
+class TestVirtualTimeParityThreads:
+    def test_dabs_round_budget_pipelines(self):
+        """Pure launch-budget runs pipeline round r+1 behind round r —
+        and must still replay the barrier schedule exactly."""
+        assert_parity(random_qubo(16, seed=20), BASE, dict(max_rounds=8))
+
+    def test_dabs_with_stall_restarts(self):
+        cfg = dict(**BASE, restart_after_stall=2)
+        ref, res = assert_parity(
+            random_qubo(16, seed=20), cfg, dict(max_rounds=10)
+        )
+        assert res.restarts >= 1  # the restart path was actually exercised
+
+    def test_dabs_with_collapse_restarts(self):
+        cfg = dict(**BASE, restart_on_collapse=0.4)
+        assert_parity(random_qubo(16, seed=20), cfg, dict(max_rounds=10))
+
+    def test_dabs_target_energy(self):
+        model = random_qubo(16, seed=20)
+        _, opt = brute_force(model)
+        ref, res = assert_parity(
+            model, BASE, dict(target_energy=opt, max_rounds=60)
+        )
+        assert res.reached_target
+        assert res.time_to_target is not None
+
+    def test_dabs_launch_budget(self):
+        assert_parity(random_qubo(16, seed=20), BASE, dict(max_launches=10))
+
+    def test_dabs_three_devices_depth_three(self):
+        cfg = dict(
+            num_gpus=3,
+            blocks_per_gpu=4,
+            pool_capacity=8,
+            batch=BatchSearchConfig(batch_flip_factor=2.0),
+            inflight_per_device=3,
+        )
+        assert_parity(random_qubo(20, seed=3), cfg, dict(max_rounds=9))
+
+    def test_abs_round_budget(self):
+        assert_parity(
+            random_qubo(16, seed=20), BASE, dict(max_rounds=8), cls=ABSSolver
+        )
+
+
+class TestVirtualTimeParityProcesses:
+    """Same replay over forked process workers + shared-memory slabs.
+
+    Device state lives in the children, so only host-side observables
+    (result, pools, host RNG) are compared.
+    """
+
+    def test_dabs_round_budget(self):
+        assert_parity(
+            random_qubo(16, seed=20),
+            BASE,
+            dict(max_rounds=8),
+            engine="async-process",
+            check_devices=False,
+        )
+
+    def test_dabs_with_stall_restarts(self):
+        cfg = dict(**BASE, restart_after_stall=2)
+        assert_parity(
+            random_qubo(16, seed=20),
+            cfg,
+            dict(max_rounds=10),
+            engine="async-process",
+            check_devices=False,
+        )
+
+    def test_abs_round_budget(self):
+        assert_parity(
+            random_qubo(16, seed=20),
+            BASE,
+            dict(max_rounds=8),
+            cls=ABSSolver,
+            engine="async-process",
+            check_devices=False,
+        )
+
+
+class TestFreeRunning:
+    """Free-running mode gives up run-to-run determinism; assert shape."""
+
+    def test_result_is_well_formed(self):
+        model = random_qubo(16, seed=21)
+        cfg = DABSConfig(**BASE, engine="async")
+        solver = DABSSolver(model, cfg, seed=0)
+        result = solver.solve(max_rounds=6)
+        assert model.energy(result.best_vector) == result.best_energy
+        assert result.launches == 6 * BASE["num_gpus"]
+        assert result.rounds == 6  # per-device launch budget fully used
+        total = sum(result.counters.algorithms.values())
+        assert total == result.launches * BASE["blocks_per_gpu"]
+        for pool in solver.pools:
+            energies = pool.energies.tolist()
+            assert energies == sorted(energies)
+
+    def test_pools_receive_solutions(self):
+        model = random_qubo(12, seed=22)
+        solver = DABSSolver(model, DABSConfig(**BASE, engine="async"), seed=0)
+        solver.solve(max_rounds=3)
+        assert all(pool.has_real_solutions() for pool in solver.pools)
+
+    def test_history_monotone_and_attributed(self):
+        model = random_qubo(18, seed=23)
+        result = DABSSolver(
+            model, DABSConfig(**BASE, engine="async"), seed=0
+        ).solve(max_rounds=8)
+        energies = [event.energy for event in result.history]
+        assert energies == sorted(energies, reverse=True)
+        assert energies[-1] == result.best_energy
+
+    def test_finds_optimum(self):
+        model = random_qubo(14, seed=24)
+        _, opt = brute_force(model)
+        result = DABSSolver(
+            model, DABSConfig(**BASE, engine="async"), seed=0
+        ).solve(target_energy=opt, max_rounds=80)
+        assert result.best_energy == opt
+        assert result.reached_target
+
+    def test_restart_path_runs(self):
+        model = random_qubo(10, seed=25)
+        cfg = DABSConfig(
+            num_gpus=2,
+            blocks_per_gpu=2,
+            pool_capacity=4,
+            batch=BatchSearchConfig(batch_flip_factor=1.0),
+            restart_after_stall=2,
+            engine="async",
+        )
+        result = DABSSolver(model, cfg, seed=0).solve(max_rounds=14)
+        assert model.energy(result.best_vector) == result.best_energy
+
+
+class TestEngineSelection:
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            DABSConfig(engine="warp")
+
+    def test_config_rejects_bad_depth(self):
+        with pytest.raises(ValueError, match="inflight_per_device"):
+            DABSConfig(inflight_per_device=0)
+
+    def test_validate_and_resolve(self, monkeypatch):
+        validate_engine_name("async-process")
+        with pytest.raises(ValueError):
+            validate_engine_name("cuda")
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine_name(None) == "round"
+        assert resolve_engine_name("async") == "async"
+        monkeypatch.setenv("REPRO_ENGINE", "async")
+        assert resolve_engine_name(None) == "async"
+        assert resolve_engine_name("round") == "round"  # explicit wins
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine_name(None)
+
+    def test_env_engine_drives_solve(self, monkeypatch):
+        import repro.solver.dabs as dabs_mod
+
+        used = []
+        original = dabs_mod.AsyncEngine
+
+        class Spy(original):
+            def __init__(self, *args, **kwargs):
+                used.append("async")
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(dabs_mod, "AsyncEngine", Spy)
+        monkeypatch.setenv("REPRO_ENGINE", "async")
+        model = random_qubo(10, seed=26)
+        DABSSolver(model, DABSConfig(**BASE), seed=0).solve(max_rounds=2)
+        assert used  # the env var actually selected the async engine

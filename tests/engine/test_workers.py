@@ -1,0 +1,219 @@
+"""Tests for the device worker groups and the shared-memory batch slabs."""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.packet import PacketBatch, SharedBatchSlab
+from repro.core.rng import host_generator
+from repro.engine.workers import (
+    WORKER_NAME_PREFIX,
+    ProcessWorkerGroup,
+    ThreadWorkerGroup,
+    WorkerError,
+)
+from repro.gpu.device import DeviceSpec
+from repro.gpu.virtual_gpu import VirtualGPU
+from repro.search.batch import BatchSearchConfig
+from repro.core.packet import MainAlgorithm
+from tests.conftest import random_qubo
+
+B, N = 4, 12
+
+
+def make_gpu(seed: int = 3) -> VirtualGPU:
+    model = random_qubo(N, seed=seed)
+    return VirtualGPU(
+        model,
+        DeviceSpec(num_blocks=B, name="test"),
+        BatchSearchConfig(batch_flip_factor=2.0),
+        tuple(MainAlgorithm),
+        host_generator(seed),
+    )
+
+
+def make_batch(seed: int = 7) -> PacketBatch:
+    rng = np.random.default_rng(seed)
+    return PacketBatch.void(
+        rng.integers(0, 2, size=(B, N), dtype=np.uint8),
+        rng.integers(0, 5, size=B, dtype=np.uint8),
+        rng.integers(0, 8, size=B, dtype=np.uint8),
+    )
+
+
+def collect_all(group, count, timeout=30.0):
+    out = []
+    while len(out) < count:
+        comp = group.next_completion(timeout)
+        assert comp is not None, "worker timed out"
+        out.append(comp)
+    return out
+
+
+class TestSharedBatchSlab:
+    def test_store_and_view_roundtrip(self):
+        slab = SharedBatchSlab(B, N)
+        batch = make_batch()
+        slab.store(batch)
+        view = slab.batch()
+        assert np.array_equal(view.vectors, batch.vectors)
+        assert np.array_equal(view.energies, batch.energies)
+        assert np.array_equal(view.algorithms, batch.algorithms)
+        assert np.array_equal(view.operations, batch.operations)
+
+    def test_view_is_zero_copy(self):
+        """The PacketBatch aliases the shared pages — a write through the
+        view must land in the slab (that is the whole point)."""
+        slab = SharedBatchSlab(B, N)
+        slab.store(make_batch())
+        view = slab.batch()
+        view.vectors[0, 0] ^= 1
+        assert slab.vectors[0, 0] == view.vectors[0, 0]
+
+    def test_snapshot_is_a_copy(self):
+        slab = SharedBatchSlab(B, N)
+        slab.store(make_batch())
+        slab.flips[:] = 5
+        batch, flips = slab.snapshot()
+        slab.vectors[:] = 0
+        slab.flips[:] = 0
+        assert batch.vectors.any()
+        assert (flips == 5).all()
+
+    def test_shape_mismatch_rejected(self):
+        slab = SharedBatchSlab(B, N)
+        with pytest.raises(ValueError, match="slab is"):
+            slab.store(
+                PacketBatch.void(
+                    np.zeros((B, N + 1), dtype=np.uint8),
+                    np.zeros(B, dtype=np.uint8),
+                    np.zeros(B, dtype=np.uint8),
+                )
+            )
+
+    def test_visible_across_fork(self):
+        """A forked child's writes must be visible to the parent."""
+        slab = SharedBatchSlab(B, N)
+        slab.vectors[:] = 0
+        ctx = multiprocessing.get_context("fork")
+
+        def child():
+            slab.vectors[:] = 9
+            slab.energies[:] = -42
+
+        proc = ctx.Process(target=child)
+        proc.start()
+        proc.join(timeout=10)
+        assert proc.exitcode == 0
+        assert (slab.vectors == 9).all()
+        assert (slab.energies == -42).all()
+
+
+class TestThreadWorkerGroup:
+    def test_launch_matches_direct_execution(self):
+        direct = make_gpu()
+        threaded = make_gpu()
+        batch = make_batch()
+        expect, expect_flips = direct.launch(batch)
+        with ThreadWorkerGroup([threaded]) as group:
+            group.submit(0, 1, batch)
+            comp = collect_all(group, 1)[0]
+        assert comp.device_id == 0 and comp.seq == 1
+        assert np.array_equal(comp.batch.vectors, expect.vectors)
+        assert np.array_equal(comp.batch.energies, expect.energies)
+        assert np.array_equal(comp.flips, expect_flips)
+
+    def test_per_device_fifo_depth(self):
+        """Two queued launches on one device run in submission order."""
+        gpu = make_gpu()
+        with ThreadWorkerGroup([gpu]) as group:
+            group.submit(0, 1, make_batch(seed=1))
+            group.submit(0, 2, make_batch(seed=2))
+            comps = collect_all(group, 2)
+        assert [c.seq for c in comps] == [1, 2]
+        assert gpu.launch_count == 2
+
+    def test_worker_error_propagates(self):
+        gpu = make_gpu()
+        gpu.launch = lambda batch: (_ for _ in ()).throw(RuntimeError("boom"))
+        with ThreadWorkerGroup([gpu]) as group:
+            group.submit(0, 1, make_batch())
+            with pytest.raises(WorkerError, match="boom"):
+                collect_all(group, 1)
+
+    def test_close_joins_threads_and_is_idempotent(self):
+        group = ThreadWorkerGroup([make_gpu(), make_gpu(seed=4)])
+        group.submit(0, 1, make_batch())
+        collect_all(group, 1)
+        group.close()
+        group.close()
+        leftovers = [
+            t.name
+            for t in threading.enumerate()
+            if t.name.startswith(WORKER_NAME_PREFIX)
+        ]
+        assert leftovers == []
+
+
+class TestProcessWorkerGroup:
+    def test_launch_matches_direct_execution(self):
+        """The forked child inherits identical device state, so its launch
+        must be bit-identical to running the same GPU in-process."""
+        direct = make_gpu()
+        forked = make_gpu()  # identical construction → identical state
+        batch = make_batch()
+        with ProcessWorkerGroup([forked], depth=2) as group:
+            group.submit(0, 1, batch)
+            comp = collect_all(group, 1)[0]
+        expect, expect_flips = direct.launch(batch)
+        assert np.array_equal(comp.batch.vectors, expect.vectors)
+        assert np.array_equal(comp.batch.energies, expect.energies)
+        assert np.array_equal(comp.flips, expect_flips)
+
+    def test_slot_reuse_across_many_launches(self):
+        gpu = make_gpu()
+        with ProcessWorkerGroup([gpu], depth=2) as group:
+            for seq in (1, 2):
+                group.submit(0, seq, make_batch(seed=seq))
+            got = collect_all(group, 2)
+            # both slots came back on collection — reusable immediately
+            for seq in (3, 4):
+                group.submit(0, seq, make_batch(seed=seq))
+            got += collect_all(group, 2)
+        assert sorted(c.seq for c in got) == [1, 2, 3, 4]
+
+    def test_depth_overflow_rejected(self):
+        with ProcessWorkerGroup([make_gpu()], depth=1) as group:
+            group.submit(0, 1, make_batch())
+            with pytest.raises(WorkerError, match="free launch slot"):
+                group.submit(0, 2, make_batch())
+            collect_all(group, 1)
+
+    def test_worker_error_propagates(self):
+        gpu = make_gpu()
+        bad = PacketBatch.void(
+            np.zeros((B, N + 1), dtype=np.uint8),
+            np.zeros(B, dtype=np.uint8),
+            np.zeros(B, dtype=np.uint8),
+        )
+        with ProcessWorkerGroup([gpu], depth=2) as group:
+            # slab store rejects the shape on the host side already
+            with pytest.raises((WorkerError, ValueError)):
+                group.submit(0, 1, bad)
+                collect_all(group, 1)
+
+    def test_close_reaps_children_and_is_idempotent(self):
+        group = ProcessWorkerGroup([make_gpu(), make_gpu(seed=4)], depth=2)
+        group.submit(0, 1, make_batch())
+        collect_all(group, 1)
+        group.close()
+        group.close()
+        assert not [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith(WORKER_NAME_PREFIX)
+        ]

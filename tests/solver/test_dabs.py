@@ -12,11 +12,15 @@ from repro.solver.dabs import DABSConfig, DABSSolver
 from repro.solver.termination import SolveLimits
 from tests.conftest import random_qubo
 
+# virtual_time is a no-op under the default round engine; it keeps the
+# cross-run determinism assertions below valid when a REPRO_ENGINE test
+# matrix leg routes the suite through the async engine
 SMALL_CFG = DABSConfig(
     num_gpus=2,
     blocks_per_gpu=4,
     pool_capacity=10,
     batch=BatchSearchConfig(batch_flip_factor=2.0),
+    virtual_time=True,
 )
 
 
@@ -135,6 +139,7 @@ class TestDABSSolver:
             pool_capacity=10,
             batch=BatchSearchConfig(batch_flip_factor=2.0),
             parallel="thread",
+            virtual_time=True,
         )
         thr = DABSSolver(model, thr_cfg, seed=3).solve(max_rounds=3)
         assert seq.best_energy == thr.best_energy

@@ -15,11 +15,14 @@ from repro.solver.dabs import DABSConfig, DABSSolver
 from repro.solver.scheduler import RoundHandle, RoundScheduler
 from tests.conftest import random_qubo
 
+# these tests exercise the round scheduler specifically, so the engine is
+# pinned — a REPRO_ENGINE=async test matrix leg must not redirect them
 CFG = DABSConfig(
     num_gpus=2,
     blocks_per_gpu=4,
     pool_capacity=10,
     batch=BatchSearchConfig(batch_flip_factor=2.0),
+    engine="round",
 )
 
 
