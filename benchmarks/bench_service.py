@@ -1,0 +1,268 @@
+"""Service benchmark: multi-tenant multiplexing vs sequential solve().
+
+The paper's deployment model is a *service*: clients submit QUBO
+instances, a CPU-side controller keeps the GPU fleet saturated.  The
+throughput argument is the multi-start-as-throughput framing: a job's
+useful device count is bounded by its instance (a small problem gains
+nothing from more pools/devices — the paper sizes pools per GPU), so one
+``solve()`` at a time leaves most of a shared fleet idle, while the
+service packs many jobs' launches onto the same lanes.
+
+The workload is a mixed bag of small and large instances, each with an
+instance-sized device request (small → 1 device, large → 2).  As in
+``bench_async_engine``, per-launch device latency is emulated with
+GIL-releasing sleeps, so slow kernels genuinely overlap and the measured
+effect is scheduling, not an artifact of serialization.  Both modes run
+the *same* solvers with the same seeds and budgets:
+
+* **sequential** — one ``solve()`` after another, each on its own
+  instance-sized devices (``engine="async"``, the solver's fastest
+  single-tenant mode);
+* **service** — all jobs submitted up front to one
+  :class:`~repro.service.SolveService` over a fleet with as many lanes as
+  the sequential runs ever used at once, results awaited together.
+
+Aggregate throughput = total collected device launches / wall-clock of
+the whole workload.  Run as a report generator (writes
+``results/bench_service.md``)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+or as the CI smoke gate (short budget, asserts service ≥ 1.2× sequential
+on the smoke workload)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO))
+if not any(Path(p).name == "src" for p in sys.path):
+    sys.path.insert(0, str(_REPO / "src"))  # uninstalled checkout fallback
+
+from benchmarks._util import save_report
+from repro.search.batch import BatchSearchConfig
+from repro.service import SolveService
+from repro.solver.dabs import DABSConfig, DABSSolver
+from tests.conftest import random_qubo
+
+SEED = 0
+#: committed reference ratio from the full run (see results/)
+SMOKE_MIN_SPEEDUP = 1.2
+FULL_MIN_SPEEDUP = 1.5
+
+
+class LaggyGPU:
+    """Proxy device adding fixed kernel latency to every launch
+    (``time.sleep`` releases the GIL, like a long-running kernel)."""
+
+    def __init__(self, gpu, delay: float) -> None:
+        self._gpu = gpu
+        self._delay = delay
+
+    def launch(self, batch):
+        time.sleep(self._delay)
+        return self._gpu.launch(batch)
+
+    def reset(self) -> None:
+        self._gpu.reset()
+
+    def __getattr__(self, name):
+        return getattr(self._gpu, name)
+
+
+def make_jobs(spec: list[dict]):
+    """Fresh solvers for one mode run (same seeds in both modes)."""
+    jobs = []
+    for i, item in enumerate(spec):
+        model = random_qubo(item["n"], seed=100 + i)
+        cfg = DABSConfig(
+            num_gpus=item["devices"],
+            blocks_per_gpu=item["blocks"],
+            pool_capacity=20,
+            batch=BatchSearchConfig(batch_flip_factor=1.0),
+            engine="async",
+        )
+        solver = DABSSolver(model, cfg, seed=SEED + i)
+        solver.gpus = [LaggyGPU(gpu, item["delay"]) for gpu in solver.gpus]
+        jobs.append((solver, item))
+    return jobs
+
+
+def run_sequential(spec: list[dict]) -> dict:
+    """One solve() after another — the single-tenant baseline.
+
+    Solver construction/preparation happens outside the timed window in
+    both modes: the benchmark measures scheduling, and the service's
+    ProblemCache makes preparation a one-time cost anyway.
+    """
+    jobs = make_jobs(spec)
+    start = time.perf_counter()
+    launches = 0
+    best = []
+    for solver, item in jobs:
+        result = solver.solve(max_rounds=item["rounds"])
+        launches += result.launches
+        best.append(result.best_energy)
+    elapsed = time.perf_counter() - start
+    return {
+        "mode": "sequential",
+        "launches": launches,
+        "elapsed": elapsed,
+        "lps": launches / elapsed,
+        "best": best,
+    }
+
+
+def run_service(spec: list[dict], devices: int) -> dict:
+    """All jobs multiplexed over one shared fleet."""
+    jobs = make_jobs(spec)
+    with SolveService(devices=devices) as service:
+        start = time.perf_counter()
+        handles = [
+            service.submit_solver(solver, max_rounds=item["rounds"])
+            for solver, item in jobs
+        ]
+        launches = 0
+        best = []
+        for handle in handles:
+            result = handle.result()
+            launches += result.launches
+            best.append(result.best_energy)
+        elapsed = time.perf_counter() - start
+    return {
+        "mode": "service",
+        "launches": launches,
+        "elapsed": elapsed,
+        "lps": launches / elapsed,
+        "best": best,
+    }
+
+
+def run_workload(name: str, spec: list[dict], devices: int, repeats: int = 1):
+    seq = max(
+        (run_sequential(spec) for _ in range(repeats)),
+        key=lambda row: row["lps"],
+    )
+    svc = max(
+        (run_service(spec, devices) for _ in range(repeats)),
+        key=lambda row: row["lps"],
+    )
+    return {
+        "name": name,
+        "spec": spec,
+        "devices": devices,
+        "rows": [seq, svc],
+        "speedup": svc["lps"] / seq["lps"],
+    }
+
+
+#: the committed mixed workload: 4 small single-device tenants + 2 large
+#: two-device tenants on a 4-lane fleet
+FULL_SPEC = [
+    {"n": 24, "devices": 1, "blocks": 4, "rounds": 24, "delay": 0.020},
+    {"n": 24, "devices": 1, "blocks": 4, "rounds": 24, "delay": 0.020},
+    {"n": 32, "devices": 1, "blocks": 4, "rounds": 20, "delay": 0.020},
+    {"n": 32, "devices": 1, "blocks": 4, "rounds": 20, "delay": 0.020},
+    {"n": 96, "devices": 2, "blocks": 4, "rounds": 16, "delay": 0.040},
+    {"n": 96, "devices": 2, "blocks": 4, "rounds": 16, "delay": 0.040},
+]
+FULL_DEVICES = 4
+
+SMOKE_SPEC = [
+    {"n": 16, "devices": 1, "blocks": 2, "rounds": 16, "delay": 0.015},
+    {"n": 16, "devices": 1, "blocks": 2, "rounds": 16, "delay": 0.015},
+    {"n": 48, "devices": 2, "blocks": 4, "rounds": 12, "delay": 0.030},
+]
+SMOKE_DEVICES = 4
+
+
+def describe(spec: list[dict]) -> str:
+    return ", ".join(
+        f"n={item['n']}×{item['devices']}dev×{item['rounds']}r"
+        f"@{item['delay'] * 1000:.0f}ms"
+        for item in spec
+    )
+
+
+def render(workload: dict) -> str:
+    seq, svc = workload["rows"]
+    lines = [
+        "# Service throughput: multi-tenant multiplexing vs sequential solve()",
+        "",
+        "Mixed workload of small and large instances, each requesting an "
+        "instance-sized device count; per-launch device latency emulated "
+        "with GIL-releasing sleeps (same technique as "
+        "`bench_async_engine`).  Both modes run identical solvers, seeds "
+        "and per-job launch budgets; `launches/s` counts collected device "
+        "launches per second of whole-workload wall time.",
+        "",
+        f"Workload `{workload['name']}` on a {workload['devices']}-lane "
+        f"fleet: {describe(workload['spec'])}",
+        "",
+        "| mode | launches | elapsed | launches/s | speedup |",
+        "|---|---|---|---|---|",
+    ]
+    for row in (seq, svc):
+        speedup = (
+            f"**{workload['speedup']:.2f}x**" if row is svc else "1.00x"
+        )
+        lines.append(
+            f"| {row['mode']} | {row['launches']} | {row['elapsed']:.2f}s "
+            f"| {row['lps']:,.0f} | {speedup} |"
+        )
+    lines += [
+        "",
+        "Sequential pays one job's makespan after another while most "
+        "lanes sit idle (a 1-device tenant occupies 1 of "
+        f"{workload['devices']} lanes); the service packs all jobs' "
+        "launches onto the shared lanes, so the fleet time approaches "
+        "`total device work / lanes`.  The speedup floor asserted in CI "
+        f"is {SMOKE_MIN_SPEEDUP}x on the smoke workload; the committed "
+        f"full-workload target is ≥{FULL_MIN_SPEEDUP}x.",
+    ]
+    return "\n".join(lines)
+
+
+def run_full() -> None:
+    workload = run_workload("mixed-full", FULL_SPEC, FULL_DEVICES, repeats=3)
+    report = render(workload)
+    path = save_report(report, "bench_service")
+    print(report)
+    print(f"\nwrote {path}")
+    assert workload["speedup"] >= FULL_MIN_SPEEDUP, (
+        f"service no faster than sequential on the mixed workload: "
+        f"{workload['speedup']:.2f}x < {FULL_MIN_SPEEDUP}x"
+    )
+
+
+def run_smoke() -> None:
+    """CI gate: the service must beat sequential solve() on the smoke
+    workload (small fleet, short budgets)."""
+    workload = run_workload("mixed-smoke", SMOKE_SPEC, SMOKE_DEVICES)
+    seq, svc = workload["rows"]
+    print(
+        f"sequential: {seq['launches']} launches in {seq['elapsed']:.2f}s "
+        f"({seq['lps']:,.0f} launches/s)"
+    )
+    print(
+        f"service   : {svc['launches']} launches in {svc['elapsed']:.2f}s "
+        f"({svc['lps']:,.0f} launches/s, {workload['speedup']:.2f}x)"
+    )
+    assert workload["speedup"] >= SMOKE_MIN_SPEEDUP, (
+        f"service no faster than sequential solve() on the smoke "
+        f"workload: {workload['speedup']:.2f}x < {SMOKE_MIN_SPEEDUP}x"
+    )
+    print("bench smoke OK")
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        run_smoke()
+    else:
+        run_full()

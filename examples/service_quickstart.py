@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Serving quickstart: many QUBO instances multiplexed over one fleet.
+
+Stands a :class:`SolveService` up, submits a mixed batch of jobs with
+different priorities and device shares, streams incumbent updates as the
+pools improve, cancels one job mid-flight, and shows the prepared-problem
+cache reuse on a repeat submission.
+
+Run:  python examples/service_quickstart.py
+"""
+
+import numpy as np
+
+from repro import DABSConfig, QUBOModel, SolveService
+
+
+def random_model(n: int, seed: int) -> QUBOModel:
+    rng = np.random.default_rng(seed)
+    return QUBOModel(
+        np.triu(rng.integers(-8, 9, size=(n, n))), name=f"tenant-{seed}"
+    )
+
+
+def main() -> None:
+    config = DABSConfig(num_gpus=2, blocks_per_gpu=4, pool_capacity=10)
+
+    # One long-lived service owns the fleet; every client submits jobs.
+    with SolveService(devices=4, default_config=config) as service:
+        # A high-priority job with live incumbent streaming.
+        urgent_model = random_model(48, seed=1)
+        urgent = service.submit(
+            urgent_model,
+            max_rounds=30,
+            priority=5,
+            seed=0,
+            on_improvement=lambda u: print(
+                f"  [stream] {u.job_id}: energy {u.energy} "
+                f"at {u.elapsed * 1000:.0f}ms"
+            ),
+        )
+
+        # Background tenants: a double-share job and two small ones.
+        background = [
+            service.submit(random_model(32, seed=2), max_rounds=30, share=2.0),
+            service.submit(random_model(16, seed=3), max_rounds=30, devices=1),
+            service.submit(random_model(16, seed=4), max_rounds=200, devices=1),
+        ]
+
+        # Cancel the long-running tail job once the urgent one is done.
+        result = urgent.result()
+        print(f"urgent job: {result.summary()}")
+        background[-1].cancel()
+
+        for handle in background:
+            handle.wait()
+            print(f"{handle.job_id}: {handle.status.value}")
+
+        # Repeat submission of the same instance: preparation is cached.
+        repeat = service.submit(urgent_model, max_rounds=5, seed=9)
+        repeat.result()
+        cache = service.stats()["cache"]
+        print(
+            f"cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"({cache['entries']} resident)"
+        )
+
+
+if __name__ == "__main__":
+    main()

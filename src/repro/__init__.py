@@ -24,6 +24,7 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.gpu`       — the virtual-GPU lockstep execution substrate
 * :mod:`repro.engine`    — barrier-free async execution over device workers
 * :mod:`repro.solver`    — the DABS solver and the ABS baseline
+* :mod:`repro.service`   — multi-tenant solve service over one shared fleet
 * :mod:`repro.problems`  — MaxCut/QAP/QASP/TSP reductions and generators
 * :mod:`repro.topology`  — Pegasus and Chimera annealer graphs
 * :mod:`repro.baselines` — SA, tabu, SBM, exact B&B, hybrid, annealer sim
@@ -53,6 +54,7 @@ from repro.core import (
     sparse_ising_to_qubo,
 )
 from repro.search.batch import BatchSearchConfig
+from repro.service import JobHandle, JobStatus, ProblemCache, SolveService
 from repro.solver import ABSSolver, DABSConfig, DABSSolver, SolveResult
 
 __version__ = "1.0.0"
@@ -67,11 +69,15 @@ __all__ = [
     "DeltaState",
     "GeneticOp",
     "IsingModel",
+    "JobHandle",
+    "JobStatus",
     "MainAlgorithm",
     "Packet",
     "PacketBatch",
+    "ProblemCache",
     "QUBOModel",
     "SolveResult",
+    "SolveService",
     "SparseQUBOModel",
     "__version__",
     "available_backends",

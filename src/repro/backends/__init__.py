@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 import warnings
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse as sp
@@ -52,6 +53,7 @@ __all__ = [
     "GreedyTruncationWarning",
     "INT_SENTINEL",
     "NumbaBackend",
+    "PreparedProblem",
     "SelectionSpec",
     "NumpyDenseBackend",
     "NumpySparseBackend",
@@ -60,6 +62,7 @@ __all__ = [
     "backend_names",
     "get_backend",
     "masked_argmin",
+    "prepare_problem",
     "register_backend",
     "resolve_backend",
     "validate_backend_name",
@@ -195,6 +198,66 @@ def resolve_backend(spec, model) -> ComputeBackend:
         )
         return _REGISTRY[fallback]
     return backend
+
+
+@dataclass(frozen=True)
+class PreparedProblem:
+    """A backend-resident, ready-to-launch representation of one model.
+
+    The handle bundles the resolved backend with its per-model kernel
+    cache (coupling views, ELL padding, JIT handles — whatever
+    :meth:`ComputeBackend.prepare` built), which is the expensive,
+    read-only part of standing a problem up on a device.  Solvers accept
+    one via ``DABSSolver(prepared=...)`` and skip preparation entirely;
+    the service's content-addressed :class:`~repro.service.ProblemCache`
+    stores these keyed by the Q-matrix hash so repeat submissions of the
+    same instance reuse the resident matrices.
+
+    The kernel cache is immutable after :meth:`~ComputeBackend.prepare`
+    (the backend contract), so one handle is safely shared by any number
+    of concurrent solvers and worker threads.
+    """
+
+    #: the model this handle was prepared from
+    model: object
+    #: the resolved (available) backend singleton
+    backend: ComputeBackend
+    #: the backend's per-model kernel cache (``prepare()``'s result)
+    kernel: object
+
+    def matches(self, model) -> bool:
+        """True when the handle's kernels evaluate exactly *model*.
+
+        Identity is the fast path; otherwise the canonical coupling and
+        linear views are compared by content, so a handle prepared from
+        an equivalent model object (e.g. a cache hit) is accepted while
+        a same-size different instance is rejected.
+        """
+        mine = self.model
+        if mine is model:
+            return True
+        if mine.n != model.n:
+            return False
+        if not np.array_equal(
+            np.asarray(mine.linear), np.asarray(model.linear)
+        ):
+            return False
+        a, b = mine.couplings, model.couplings
+        if sp.issparse(a) or sp.issparse(b):
+            if not (sp.issparse(a) and sp.issparse(b)):
+                return False
+            return (a != b).nnz == 0
+        return np.array_equal(a, b)
+
+
+def prepare_problem(model, backend=None) -> PreparedProblem:
+    """Resolve *backend* against *model* and build its kernel cache once.
+
+    *backend* accepts everything :func:`resolve_backend` does (instance,
+    name, ``"auto"``, ``None`` → env var → auto rule).
+    """
+    resolved = resolve_backend(backend, model)
+    return PreparedProblem(model, resolved, resolved.prepare(model))
 
 
 register_backend(NumpyDenseBackend)

@@ -9,10 +9,16 @@ Usage::
                            [--backend auto|numpy-dense|numpy-sparse|numba]
                            [--engine round|async|async-process]
 
+    python -m repro serve [--gpus G] [--blocks B] [--max-queue Q] ...
+
 The file format is inferred from the extension by default (``.qubo``,
 ``.dat`` for QAPLIB, anything else is tried as Gset).  MaxCut/QAP files are
 reduced to QUBO with the paper's constructions; QAP results are decoded
 back to an assignment.
+
+``repro serve`` starts the long-lived multi-tenant solve service instead:
+JSON-lines requests on stdin, streamed JSON events on stdout (see
+:mod:`repro.service.serve` for the wire protocol).
 """
 
 from __future__ import annotations
@@ -30,8 +36,8 @@ from repro.baselines.sbm import SBMConfig, sbm_solve_qubo
 from repro.baselines.simulated_annealing import SAConfig, simulated_annealing
 from repro.baselines.tabu_search import TabuSearchConfig, tabu_search
 from repro.core.qubo import QUBOModel
-from repro.io.formats import read_gset, read_qaplib, read_qubo
-from repro.problems.maxcut import cut_value, maxcut_to_qubo
+from repro.io.formats import load_instance
+from repro.problems.maxcut import cut_value
 from repro.problems.qap import decode_assignment
 from repro.search.batch import BatchSearchConfig
 from repro.solver.abs_solver import ABSSolver
@@ -46,8 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Solve a QUBO/MaxCut/QAP benchmark file with DABS "
         "or one of the bundled baselines.",
+        epilog='Run "repro serve --help" for the multi-tenant solve '
+        "service (JSON-lines over stdin/stdout).",
     )
-    parser.add_argument("file", help="instance file")
+    parser.add_argument("file", help='instance file, or "serve"')
     parser.add_argument(
         "--format",
         choices=("auto", "qubo", "gset", "qaplib"),
@@ -91,23 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _load(args) -> tuple[QUBOModel, dict]:
     """Read the instance; returns (model, context for decoding)."""
-    fmt = args.format
-    if fmt == "auto":
-        lower = args.file.lower()
-        if lower.endswith(".qubo"):
-            fmt = "qubo"
-        elif lower.endswith(".dat"):
-            fmt = "qaplib"
-        else:
-            fmt = "gset"
-    if fmt == "qubo":
-        return read_qubo(args.file), {}
-    if fmt == "qaplib":
-        inst = read_qaplib(args.file)
-        model, penalty = inst.to_qubo()
-        return model, {"qap": inst, "penalty": penalty}
-    adjacency = read_gset(args.file)
-    return maxcut_to_qubo(adjacency), {"adjacency": adjacency}
+    return load_instance(args.file, args.format)
 
 
 def _solve(model: QUBOModel, args) -> tuple[np.ndarray, int, str]:
@@ -160,6 +152,12 @@ def _solve(model: QUBOModel, args) -> tuple[np.ndarray, int, str]:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:  # pragma: no cover - process entry
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.service import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         model, context = _load(args)

@@ -24,8 +24,9 @@ from __future__ import annotations
 
 import os
 
-from repro.engine.async_engine import AsyncEngine, EngineDriver
+from repro.engine.async_engine import AsyncEngine, EngineDriver, VirtualTimeReplay
 from repro.engine.workers import (
+    FleetWorkerGroup,
     LaunchCompletion,
     ProcessWorkerGroup,
     ThreadWorkerGroup,
@@ -36,9 +37,11 @@ __all__ = [
     "AsyncEngine",
     "ENGINE_ENV_VAR",
     "EngineDriver",
+    "FleetWorkerGroup",
     "LaunchCompletion",
     "ProcessWorkerGroup",
     "ThreadWorkerGroup",
+    "VirtualTimeReplay",
     "WorkerError",
     "engine_names",
     "resolve_engine_name",

@@ -41,7 +41,7 @@ from typing import Protocol
 from repro.core.packet import PacketBatch
 from repro.engine.workers import LaunchCompletion
 
-__all__ = ["AsyncEngine", "EngineDriver"]
+__all__ = ["AsyncEngine", "EngineDriver", "VirtualTimeReplay"]
 
 #: seconds between liveness/time-limit checks while waiting on completions
 _POLL_INTERVAL = 0.02
@@ -92,6 +92,119 @@ class EngineDriver(Protocol):
     def finish_round(self, round_index: int) -> str:
         """All of round *round_index* collected; returns "continue",
         "stop" or "restart" (driver already reinitialized the pools)."""
+
+
+class VirtualTimeReplay:
+    """The virtual-time schedule as an event-driven state machine.
+
+    One canonical implementation of the determinism path: generate round
+    *r+1* while *r* flies, merge completions in ``(launch_seq, device)``
+    order, collect device-ordered, pipeline pure launch budgets, and
+    sequence §IV.B restarts before the regenerated round.  The engine's
+    blocking loop drives it directly; the multi-tenant service
+    (DESIGN.md §8) advances the same machine one completion at a time
+    between other tenants' work — which is why a virtual-time service
+    job is bit-exact with a direct solve.
+
+    Protocol: the owner drains :attr:`pending` via :meth:`take_pending`
+    (submitting each ``(seq, batch)`` on the device's FIFO lane), feeds
+    every arriving completion to :meth:`on_completion`, and — *before*
+    submitting newly pending launches — queues device resets whenever
+    :meth:`take_reset_request` reports a restart.  :attr:`stopped` means
+    no further launches will be produced.
+    """
+
+    def __init__(self, driver: EngineDriver) -> None:
+        self.driver = driver
+        self.num_devices = driver.num_devices
+        self.round = 0
+        self.stopped = False
+        #: device → (seq, batch) ready for its lane
+        self.pending: dict[int, tuple[int, PacketBatch]] = {}
+        self._results: dict[int, LaunchCompletion] = {}
+        self._stash: dict[tuple[int, int], LaunchCompletion] = {}
+        self._submitted: set[tuple[int, int]] = set()
+        self._reset_due = False
+        self._next_batches = driver.generate_round()
+        self._begin_round()
+
+    def _begin_round(self) -> None:
+        self.round += 1
+        batches = self._next_batches
+        for device_id in range(self.num_devices):
+            if (device_id, self.round) not in self._submitted:
+                self.pending[device_id] = (self.round, batches[device_id])
+        self.driver.record_round(batches)
+        want_next = self.driver.wants_round(self.round + 1)
+        if want_next:
+            # generated while round r is in flight — reads the pools as of
+            # round r−1, exactly like the double-buffered round scheduler
+            self._next_batches = self.driver.generate_round()
+        else:
+            self._next_batches = None
+        self._pipeline = want_next and self.driver.can_pipeline
+        for device_id in range(self.num_devices):
+            early = self._stash.pop((device_id, self.round), None)
+            if early is not None:
+                self._land(early)
+
+    def take_pending(self, device_id: int) -> tuple[int, PacketBatch] | None:
+        """Hand the device's ready launch to its lane (marks submitted)."""
+        entry = self.pending.pop(device_id, None)
+        if entry is not None:
+            self._submitted.add((device_id, entry[0]))
+        return entry
+
+    def halt(self) -> None:
+        """Stop the replay (cancellation): pending launches are dropped
+        and any in-flight completions will be discarded by the caller."""
+        self.stopped = True
+        self.pending.clear()
+
+    def take_reset_request(self) -> bool:
+        """True once per §IV.B restart; the caller must queue device
+        resets on the lanes before the regenerated round goes out."""
+        due = self._reset_due
+        self._reset_due = False
+        return due
+
+    def on_completion(self, completion: LaunchCompletion) -> None:
+        if completion.seq == self.round:
+            self._land(completion)
+        else:
+            self._stash[(completion.device_id, completion.seq)] = completion
+
+    def _land(self, completion: LaunchCompletion) -> None:
+        self._results[completion.device_id] = completion
+        if self._pipeline:
+            device_id = completion.device_id
+            if (device_id, self.round + 1) not in self._submitted:
+                self.pending[device_id] = (
+                    self.round + 1,
+                    self._next_batches[device_id],
+                )
+        if len(self._results) == self.num_devices:
+            self._finish_round()
+
+    def _finish_round(self) -> None:
+        # merge strictly in device order — the round scheduler's insertion
+        # order, which fixes pool content bit-exactly
+        for device_id in range(self.num_devices):
+            self.driver.collect_ordered(self._results[device_id])
+        self._results = {}
+        verdict = self.driver.finish_round(self.round)
+        self._submitted = {
+            key for key in self._submitted if key[1] > self.round
+        }
+        if verdict == "stop":
+            self.halt()
+            return
+        if verdict == "restart":
+            # nothing is in flight here (restarts disable pipelining), so
+            # the caller's queued resets land before the regenerated round
+            self._reset_due = True
+            self._next_batches = self.driver.generate_round()
+        self._begin_round()
 
 
 class AsyncEngine:
@@ -170,62 +283,28 @@ class AsyncEngine:
 
     # -- virtual-time schedule ---------------------------------------------
     def _run_virtual_time(self, driver: EngineDriver) -> None:
+        """Drive the shared :class:`VirtualTimeReplay` state machine with
+        blocking waits — the single-tenant owner of the replay protocol
+        (the multi-tenant service is the other one)."""
         group = self.group
-        num_devices = group.num_devices
-        #: completions that outran the round being merged, keyed (dev, seq)
-        stash: dict[tuple[int, int], LaunchCompletion] = {}
-        submitted: set[tuple[int, int]] = set()
-        next_batches = driver.generate_round()
-        round_index = 0
+        replay = VirtualTimeReplay(driver)
+        inflight = 0
         while True:
-            round_index += 1
-            batches = next_batches
-            for device_id in range(num_devices):
-                if (device_id, round_index) not in submitted:
-                    group.submit(device_id, round_index, batches[device_id])
-                    submitted.add((device_id, round_index))
-            driver.record_round(batches)
-            want_next = driver.wants_round(round_index + 1)
-            if want_next:
-                # generated while round r is in flight — reads the pools
-                # as of round r−1, exactly like the double-buffered
-                # round scheduler
-                next_batches = driver.generate_round()
-            pipeline = want_next and driver.can_pipeline
-
-            def start_next(device_id: int) -> None:
-                if pipeline and (device_id, round_index + 1) not in submitted:
-                    group.submit(
-                        device_id, round_index + 1, next_batches[device_id]
-                    )
-                    submitted.add((device_id, round_index + 1))
-
-            results: dict[int, LaunchCompletion] = {}
-            for device_id in range(num_devices):
-                early = stash.pop((device_id, round_index), None)
-                if early is not None:
-                    results[device_id] = early
-                    start_next(device_id)
-            while len(results) < num_devices:
-                completion = group.next_completion(_POLL_INTERVAL)
-                if completion is None:
-                    continue
-                if completion.seq == round_index:
-                    results[completion.device_id] = completion
-                    start_next(completion.device_id)
-                else:
-                    stash[(completion.device_id, completion.seq)] = completion
-            # merge strictly in device order — the round scheduler's
-            # insertion order, which fixes pool content bit-exactly
-            for device_id in range(num_devices):
-                driver.collect_ordered(results[device_id])
-            verdict = driver.finish_round(round_index)
-            if verdict == "stop":
-                return
-            if verdict == "restart":
-                # nothing is in flight here (restarts disable pipelining),
-                # so the reset lands before the regenerated round
-                for device_id in range(num_devices):
+            if replay.take_reset_request():
+                # resets queue behind in-flight launches and ahead of the
+                # regenerated round submitted below
+                for device_id in range(group.num_devices):
                     group.reset_device(device_id)
-                next_batches = driver.generate_round()
-            submitted = {key for key in submitted if key[1] > round_index}
+            for device_id in range(group.num_devices):
+                entry = replay.take_pending(device_id)
+                if entry is not None:
+                    group.submit(device_id, entry[0], entry[1])
+                    inflight += 1
+            if replay.stopped and inflight == 0:
+                return
+            completion = group.next_completion(_POLL_INTERVAL)
+            if completion is None:
+                continue
+            inflight -= 1
+            if not replay.stopped:
+                replay.on_completion(completion)

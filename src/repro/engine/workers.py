@@ -4,10 +4,17 @@ The paper drives every physical GPU from its own host thread; a device
 fetches work, runs a bulk search, and returns solutions at its own pace
 (§III.C).  A *worker group* reproduces that seam for the virtual GPUs:
 
-* :class:`ThreadWorkerGroup` — one single-thread executor per device.
-  The per-device FIFO is what gives each device in-flight depth (a launch
-  can be queued behind the running one) while NumPy/numba kernels release
-  the GIL, so lanes genuinely overlap.
+* :class:`FleetWorkerGroup` — one single-thread executor per *lane*, not
+  bound to any solver's devices: each submission names the virtual GPU to
+  run, and completions carry an opaque ``tag`` routed back to the caller.
+  This is the multi-tenant seam (DESIGN.md §8): a
+  :class:`~repro.service.SolveService` owns one fleet and multiplexes many
+  jobs' launches over it, with the tag identifying the owning job.
+* :class:`ThreadWorkerGroup` — a fleet bound to one solver's GPU list
+  (lane *i* always runs ``gpus[i]``), the single-tenant configuration the
+  async engine drives.  The per-device FIFO is what gives each device
+  in-flight depth (a launch can be queued behind the running one) while
+  NumPy/numba kernels release the GIL, so lanes genuinely overlap.
 * :class:`ProcessWorkerGroup` — one forked child process per device,
   exchanging whole :class:`~repro.core.packet.PacketBatch` columns through
   :class:`~repro.core.packet.SharedBatchSlab` shared-memory slots.  Only a
@@ -39,6 +46,7 @@ import numpy as np
 from repro.core.packet import PacketBatch, SharedBatchSlab
 
 __all__ = [
+    "FleetWorkerGroup",
     "LaunchCompletion",
     "ProcessWorkerGroup",
     "ThreadWorkerGroup",
@@ -50,12 +58,18 @@ WORKER_NAME_PREFIX = "engine-vgpu"
 
 
 class WorkerError(RuntimeError):
-    """A device worker failed; carries the device id and its traceback."""
+    """A device worker failed; carries the device id and its traceback.
 
-    def __init__(self, device_id: int, detail: str) -> None:
+    ``tag`` is the opaque submission tag of the failed launch (None for
+    untagged single-tenant groups) — the service uses it to fail only the
+    owning job instead of the whole fleet.
+    """
+
+    def __init__(self, device_id: int, detail: str, tag: object = None) -> None:
         super().__init__(f"device worker {device_id} failed:\n{detail}")
         self.device_id = device_id
         self.detail = detail
+        self.tag = tag
 
 
 @dataclass(frozen=True)
@@ -74,52 +88,85 @@ class LaunchCompletion:
     truncations: int
     #: 1 when this launch emitted a GreedyTruncationWarning, else 0
     truncation_events: int
+    #: opaque submission tag (the service's job routing key); None for
+    #: single-tenant groups
+    tag: object = None
 
 
 class _Failure:
     """Internal: an exception crossing the completion stream."""
 
-    __slots__ = ("device_id", "detail")
+    __slots__ = ("device_id", "detail", "tag")
 
-    def __init__(self, device_id: int, detail: str) -> None:
+    def __init__(self, device_id: int, detail: str, tag: object = None) -> None:
         self.device_id = device_id
         self.detail = detail
+        self.tag = tag
 
 
-class ThreadWorkerGroup:
-    """One single-thread executor per device over the solver's own GPUs.
+class FleetWorkerGroup:
+    """One single-thread executor per lane, shared by any number of tenants.
 
-    Device state (block solutions, RNG lanes, counters) stays in the
-    parent's :class:`~repro.gpu.virtual_gpu.VirtualGPU` objects, so it
-    persists across ``solve()`` calls exactly like the round scheduler.
+    A lane is an execution slot of the (virtual) machine, not a device of
+    one solver: every submission names the :class:`VirtualGPU` to run, so
+    launches of different jobs — each with its own device-resident state —
+    interleave on the same lane at launch granularity.  The per-lane FIFO
+    still serializes everything submitted to one lane, which is what lets
+    a job pin its per-device state to a lane and keep depth > 1 launches
+    in flight without locking.
     """
 
-    def __init__(self, gpus) -> None:
-        self.gpus = list(gpus)
+    def __init__(self, num_lanes: int) -> None:
+        if num_lanes < 1:
+            raise ValueError("num_lanes must be >= 1")
         self._completions: queue.Queue = queue.Queue()
         self._executors = [
             ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix=f"{WORKER_NAME_PREFIX}{i}"
             )
-            for i in range(len(self.gpus))
+            for i in range(num_lanes)
         ]
         self._closed = False
 
     @property
-    def num_devices(self) -> int:
-        return len(self.gpus)
+    def num_lanes(self) -> int:
+        return len(self._executors)
 
-    def submit(self, device_id: int, seq: int, batch: PacketBatch) -> None:
-        """Queue one launch on *device_id*'s FIFO lane."""
-        self._executors[device_id].submit(self._run, device_id, seq, batch)
+    def submit_launch(
+        self,
+        lane: int,
+        device_id: int,
+        seq: int,
+        gpu,
+        batch: PacketBatch,
+        tag: object = None,
+    ) -> None:
+        """Queue ``gpu.launch(batch)`` on *lane*'s FIFO.
 
-    def reset_device(self, device_id: int) -> None:
-        """Queue a device reset behind that device's in-flight launches."""
-        self._executors[device_id].submit(self.gpus[device_id].reset)
+        *device_id* and *seq* are the submitter's coordinates (a job's
+        device index and per-device launch sequence) and are echoed back
+        on the completion along with *tag*.
+        """
+        self._executors[lane].submit(self._run, device_id, seq, gpu, batch, tag)
 
-    def _run(self, device_id: int, seq: int, batch: PacketBatch) -> None:
+    def run_on(self, lane: int, fn, tag: object = None) -> None:
+        """Queue an arbitrary callable (e.g. a device reset) behind the
+        lane's in-flight launches.
+
+        Exceptions are routed onto the completion stream as
+        :class:`WorkerError` (with *tag*) just like launch failures —
+        never swallowed by the unchecked future.
+        """
+        self._executors[lane].submit(self._run_guarded, lane, fn, tag)
+
+    def _run_guarded(self, lane: int, fn, tag) -> None:
         try:
-            gpu = self.gpus[device_id]
+            fn()
+        except BaseException:
+            self._completions.put(_Failure(lane, traceback.format_exc(), tag))
+
+    def _run(self, device_id: int, seq: int, gpu, batch: PacketBatch, tag) -> None:
+        try:
             trunc0 = gpu.greedy_truncations
             events0 = gpu.truncation_events
             result, flips = gpu.launch(batch)
@@ -131,19 +178,27 @@ class ThreadWorkerGroup:
                     flips,
                     gpu.greedy_truncations - trunc0,
                     gpu.truncation_events - events0,
+                    tag,
                 )
             )
         except BaseException:
-            self._completions.put(_Failure(device_id, traceback.format_exc()))
+            self._completions.put(
+                _Failure(device_id, traceback.format_exc(), tag)
+            )
 
     def next_completion(self, timeout: float) -> LaunchCompletion | None:
-        """The next finished launch, in completion order; None on timeout."""
+        """The next finished launch, in completion order; None on timeout.
+
+        A failed launch surfaces as :class:`WorkerError` carrying the
+        submission tag, so a multi-tenant caller can fail one job without
+        tearing the fleet down.
+        """
         try:
             item = self._completions.get(timeout=timeout)
         except queue.Empty:
             return None
         if isinstance(item, _Failure):
-            raise WorkerError(item.device_id, item.detail)
+            raise WorkerError(item.device_id, item.detail, item.tag)
         return item
 
     def close(self) -> None:
@@ -155,11 +210,38 @@ class ThreadWorkerGroup:
         for executor in self._executors:
             executor.shutdown(wait=True, cancel_futures=True)
 
-    def __enter__(self) -> "ThreadWorkerGroup":
+    def __enter__(self) -> "FleetWorkerGroup":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class ThreadWorkerGroup(FleetWorkerGroup):
+    """A fleet bound to one solver's GPU list (lane *i* runs ``gpus[i]``).
+
+    Device state (block solutions, RNG lanes, counters) stays in the
+    parent's :class:`~repro.gpu.virtual_gpu.VirtualGPU` objects, so it
+    persists across ``solve()`` calls exactly like the round scheduler.
+    """
+
+    def __init__(self, gpus) -> None:
+        self.gpus = list(gpus)
+        super().__init__(len(self.gpus))
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.gpus)
+
+    def submit(self, device_id: int, seq: int, batch: PacketBatch) -> None:
+        """Queue one launch on *device_id*'s FIFO lane."""
+        self.submit_launch(
+            device_id, device_id, seq, self.gpus[device_id], batch
+        )
+
+    def reset_device(self, device_id: int) -> None:
+        """Queue a device reset behind that device's in-flight launches."""
+        self.run_on(device_id, self.gpus[device_id].reset)
 
 
 def _device_worker_main(device_id, gpu, task_queue, result_queue, slabs):

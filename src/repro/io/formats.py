@@ -24,6 +24,7 @@ from repro.core.qubo import QUBOModel
 from repro.problems.qap import QAPInstance
 
 __all__ = [
+    "load_instance",
     "read_gset",
     "read_qaplib",
     "read_qubo",
@@ -31,6 +32,38 @@ __all__ = [
     "write_qaplib",
     "write_qubo",
 ]
+
+
+def load_instance(path, fmt: str = "auto") -> tuple[QUBOModel, dict]:
+    """Load any supported benchmark file as a QUBO model.
+
+    The one place the extension-based auto-detection rule lives (the
+    solve CLI and ``repro serve`` both dispatch through it): ``.qubo`` is
+    the coordinate format, ``.dat`` QAPLIB, anything else is tried as a
+    Gset graph.  MaxCut/QAP inputs are reduced to QUBO with the paper's
+    constructions; the returned context dict carries what a caller needs
+    to decode results (``adjacency``, or ``qap`` + ``penalty``).
+    """
+    from repro.problems.maxcut import maxcut_to_qubo
+
+    if fmt == "auto":
+        lower = str(path).lower()
+        if lower.endswith(".qubo"):
+            fmt = "qubo"
+        elif lower.endswith(".dat"):
+            fmt = "qaplib"
+        else:
+            fmt = "gset"
+    if fmt == "qubo":
+        return read_qubo(path), {}
+    if fmt == "qaplib":
+        inst = read_qaplib(path)
+        model, penalty = inst.to_qubo()
+        return model, {"qap": inst, "penalty": penalty}
+    if fmt != "gset":
+        raise ValueError(f"unknown format {fmt!r} (auto/qubo/qaplib/gset)")
+    adjacency = read_gset(path)
+    return maxcut_to_qubo(adjacency), {"adjacency": adjacency}
 
 
 def _tokens(path) -> list[str]:

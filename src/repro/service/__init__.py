@@ -1,0 +1,54 @@
+"""Multi-tenant solve service: many QUBO instances over one device fleet.
+
+The paper's framework is a *service* — a CPU-side controller that keeps a
+GPU fleet saturated while clients submit instances.  This package is that
+layer (DESIGN.md §8):
+
+* :class:`SolveService` — the long-lived scheduler: a priority job queue
+  with per-job device-share fairness, admission control/backpressure,
+  cancellation, and streaming incumbent updates.
+* :class:`ProblemCache` — content-addressed (Q-matrix hash → prepared
+  backend representation) reuse across repeat submissions.
+* :class:`JobHandle` / :class:`JobStatus` / :class:`IncumbentUpdate` —
+  the client surface.
+* :func:`solve` — one-shot convenience (one job on a throwaway service);
+  :meth:`DABSSolver.solve(service=…) <repro.solver.dabs.DABSSolver.solve>`
+  is the equivalent wrapper for a pre-built solver.
+* :func:`serve_main` — the ``repro serve`` JSON-lines front-end.
+"""
+
+from repro.service.cache import CacheStats, ProblemCache, problem_key
+from repro.service.job import (
+    IncumbentUpdate,
+    JobCancelledError,
+    JobHandle,
+    JobStatus,
+)
+from repro.service.service import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveService,
+    solve,
+)
+
+__all__ = [
+    "CacheStats",
+    "IncumbentUpdate",
+    "JobCancelledError",
+    "JobHandle",
+    "JobStatus",
+    "ProblemCache",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "SolveService",
+    "problem_key",
+    "serve_main",
+    "solve",
+]
+
+
+def serve_main(argv=None, stdin=None, stdout=None) -> int:
+    """Entry point of ``repro serve`` (lazy import to keep this light)."""
+    from repro.service.serve import serve_main as _serve_main
+
+    return _serve_main(argv, stdin=stdin, stdout=stdout)

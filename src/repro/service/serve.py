@@ -1,0 +1,324 @@
+"""``repro serve`` — a JSON-lines front-end over :class:`SolveService`.
+
+The wire protocol is one JSON object per line on stdin, one JSON event
+per line on stdout — the simplest transport that composes with sockets,
+pipes and process supervisors alike (``nc``, ``socat`` or an inetd-style
+wrapper turn it into TCP unchanged).
+
+Requests (``op`` selects the verb)::
+
+    {"op": "submit", "id": "my-job", "file": "g22.txt",
+     "rounds": 50, "target": -1234, "priority": 1, "share": 2.0}
+    {"op": "submit", "id": "inline", "n": 4,
+     "terms": [[0, 0, -3], [0, 1, 2], [1, 1, -3]], "launches": 40}
+    {"op": "cancel", "id": "my-job"}
+    {"op": "stats"}
+    {"op": "drain"}      # block until every accepted job is terminal
+    {"op": "shutdown"}   # drain + exit (EOF does the same)
+
+Events (all carry ``"event"``): ``accepted``, ``incumbent`` (streamed as
+the job's pools improve), ``done`` (with the final energy, vector and
+summary), ``cancelled``, ``failed``, ``stats``, ``error``.  Events of
+different jobs interleave; ``id`` attributes them.
+
+Instances arrive either as a benchmark file (``file`` + optional
+``format`` — same auto-detection as the solve CLI) or inline as
+``n`` + ``terms`` triples ``[i, j, w]`` (``i == j`` are linear terms).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+
+from repro.backends import backend_names
+from repro.core.qubo import QUBOModel
+from repro.io.formats import load_instance
+from repro.service.cache import ProblemCache
+from repro.service.job import JobStatus
+from repro.service.service import (
+    ServiceOverloadedError,
+    SolveService,
+)
+from repro.solver.abs_solver import ABSSolver
+from repro.solver.dabs import DABSConfig, DABSSolver
+
+__all__ = ["build_serve_parser", "serve_main"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run a long-lived multi-tenant solve service reading "
+        "JSON-lines requests from stdin and streaming JSON events to "
+        "stdout.",
+    )
+    parser.add_argument(
+        "--gpus", type=int, default=2, help="fleet lanes (virtual GPUs)"
+    )
+    parser.add_argument(
+        "--blocks", type=int, default=8, help="blocks per device per job"
+    )
+    parser.add_argument(
+        "--pool", type=int, default=20, help="pool capacity per job device"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto",) + backend_names(),
+        default=None,
+        help="compute backend for all jobs (default: env var, then auto)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="service RNG seed")
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission control: max outstanding jobs before submit errors",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=32,
+        help="prepared-problem cache entries",
+    )
+    return parser
+
+
+def _load_model(request: dict) -> QUBOModel:
+    """Materialize the request's instance (file or inline terms)."""
+    if "file" in request:
+        model, _ = load_instance(request["file"], request.get("format", "auto"))
+        return model
+    if "terms" in request:
+        n = int(request["n"])
+        terms = {}
+        for i, j, w in request["terms"]:
+            key = (int(i), int(j))
+            terms[key] = terms.get(key, 0) + w
+        return QUBOModel.from_dict(n, terms, name=str(request.get("name", "")))
+    raise ValueError('submit needs "file" or "n"+"terms"')
+
+
+def _limit_kwargs(request: dict) -> dict:
+    kwargs = {}
+    if "target" in request:
+        kwargs["target_energy"] = int(request["target"])
+    if "time_limit" in request:
+        kwargs["time_limit"] = float(request["time_limit"])
+    if "rounds" in request:
+        kwargs["max_rounds"] = int(request["rounds"])
+    if "launches" in request:
+        kwargs["max_launches"] = int(request["launches"])
+    if not kwargs:
+        kwargs["max_rounds"] = 20
+    return kwargs
+
+
+class _Session:
+    """One serve session: tracks client ids and emits completion events.
+
+    Bookkeeping is bounded: a job's handle and watcher thread are dropped
+    the moment its terminal event is emitted (the stream is the record),
+    so a long-lived serve process does not grow with total jobs served —
+    and a client id becomes reusable once its job has finished.
+    """
+
+    def __init__(self, service: SolveService, out) -> None:
+        self.service = service
+        self.out = out
+        self._emit_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._submissions = 0
+        self._handles: dict[str, object] = {}
+        self._watchers: list[threading.Thread] = []
+
+    def emit(self, payload: dict) -> None:
+        with self._emit_lock:
+            try:
+                print(json.dumps(payload), file=self.out, flush=True)
+            except BrokenPipeError:
+                # the client hung up; keep draining jobs quietly — the
+                # stdin EOF that follows ends the session cleanly
+                pass
+
+    # -- request handlers --------------------------------------------------
+    def handle(self, request: dict) -> bool:
+        """Dispatch one request; returns False when the session should end."""
+        op = request.get("op")
+        if op == "submit":
+            self._submit(request)
+        elif op == "cancel":
+            self._cancel(request)
+        elif op == "stats":
+            self.emit({"event": "stats", **self.service.stats()})
+        elif op == "drain":
+            self.drain()
+            self.emit({"event": "drained"})
+        elif op == "shutdown":
+            return False
+        else:
+            self.emit({"event": "error", "error": f"unknown op {op!r}"})
+        return True
+
+    def _submit(self, request: dict) -> None:
+        with self._state_lock:
+            self._submissions += 1
+            client_id = str(request.get("id") or f"req-{self._submissions}")
+            duplicate = client_id in self._handles
+        if duplicate:
+            self.emit(
+                {
+                    "event": "error",
+                    "id": client_id,
+                    "error": "duplicate job id (still running)",
+                }
+            )
+            return
+        try:
+            model = _load_model(request)
+            solver_cls = ABSSolver if request.get("solver") == "abs" else DABSSolver
+            handle = self.service.submit(
+                model,
+                solver_cls=solver_cls,
+                seed=request.get("seed"),
+                devices=request.get("devices"),
+                priority=int(request.get("priority", 0)),
+                share=float(request.get("share", 1.0)),
+                block=False,
+                **_limit_kwargs(request),
+            )
+        except (OSError, ValueError, KeyError, ServiceOverloadedError) as exc:
+            self.emit({"event": "error", "id": client_id, "error": str(exc)})
+            return
+        watcher = threading.Thread(
+            target=self._watch, args=(client_id, handle), daemon=True
+        )
+        with self._state_lock:
+            self._handles[client_id] = handle
+            self._watchers.append(watcher)
+        self.emit(
+            {
+                "event": "accepted",
+                "id": client_id,
+                "job": handle.job_id,
+                "n": model.n,
+            }
+        )
+        watcher.start()
+
+    def _watch(self, client_id: str, handle) -> None:
+        try:
+            # the watcher — not the service's scheduler thread — consumes
+            # the incumbent stream and writes stdout, so a slow or stalled
+            # client pipe can never stall scheduling for other tenants
+            for update in handle.incumbents():
+                self.emit(
+                    {
+                        "event": "incumbent",
+                        "id": client_id,
+                        "energy": update.energy,
+                        "elapsed": round(update.elapsed, 6),
+                    }
+                )
+            status = handle.status
+            if status is JobStatus.DONE:
+                result = handle.result()
+                self.emit(
+                    {
+                        "event": "done",
+                        "id": client_id,
+                        "energy": int(result.best_energy),
+                        "vector": "".join(map(str, result.best_vector.tolist())),
+                        "launches": result.launches,
+                        "elapsed": round(result.elapsed, 6),
+                        "summary": result.summary(),
+                    }
+                )
+            elif status is JobStatus.CANCELLED:
+                self.emit({"event": "cancelled", "id": client_id})
+            else:
+                try:
+                    handle.result()
+                    detail = "unknown failure"  # pragma: no cover
+                except Exception as exc:
+                    detail = str(exc)
+                self.emit({"event": "failed", "id": client_id, "error": detail})
+        finally:
+            # terminal event emitted: drop the bookkeeping so the session
+            # stays bounded and the client id becomes reusable
+            with self._state_lock:
+                self._handles.pop(client_id, None)
+                try:
+                    self._watchers.remove(threading.current_thread())
+                except ValueError:  # pragma: no cover - drain raced us
+                    pass
+
+    def _cancel(self, request: dict) -> None:
+        client_id = str(request.get("id", ""))
+        with self._state_lock:
+            handle = self._handles.get(client_id)
+        if handle is None:
+            self.emit(
+                {
+                    "event": "error",
+                    "id": client_id,
+                    "error": "unknown job id",
+                }
+            )
+            return
+        handle.cancel()
+
+    def drain(self) -> None:
+        with self._state_lock:
+            handles = list(self._handles.values())
+            watchers = list(self._watchers)
+        for handle in handles:
+            handle.wait()
+        for watcher in watchers:
+            watcher.join()
+
+
+def serve_main(argv=None, stdin=None, stdout=None) -> int:
+    """Run the serve loop until shutdown/EOF; returns an exit code."""
+    args = build_serve_parser().parse_args(argv)
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    config = DABSConfig(
+        num_gpus=args.gpus,
+        blocks_per_gpu=args.blocks,
+        pool_capacity=args.pool,
+        backend=args.backend,
+    )
+    service = SolveService(
+        devices=args.gpus,
+        default_config=config,
+        max_queue=args.max_queue,
+        cache=ProblemCache(capacity=args.cache_capacity),
+        seed=args.seed,
+    )
+    session = _Session(service, stdout)
+    session.emit(
+        {
+            "event": "ready",
+            "devices": args.gpus,
+            "blocks": args.blocks,
+            "max_queue": args.max_queue,
+        }
+    )
+    with service:
+        for line in stdin:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                session.emit({"event": "error", "error": f"bad JSON: {exc}"})
+                continue
+            if not session.handle(request):
+                break
+        session.drain()
+    session.emit({"event": "bye"})
+    return 0

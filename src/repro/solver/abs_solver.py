@@ -60,6 +60,7 @@ class ABSSolver(DABSSolver):
         model: QUBOModel,
         config: DABSConfig | None = None,
         seed: int | None = None,
+        prepared=None,
     ) -> None:
         base = config or DABSConfig()
         abs_config = replace(
@@ -67,7 +68,7 @@ class ABSSolver(DABSSolver):
             algorithm_set=(MainAlgorithm.CYCLICMIN,),
             operation_set=(GeneticOp.CROSSOVER,),
         )
-        super().__init__(model, abs_config, seed)
+        super().__init__(model, abs_config, seed, prepared=prepared)
 
     def _make_generator(self) -> TargetGenerator:
         return MutateCrossoverGenerator(self.model.n, self.config.operations)

@@ -258,6 +258,17 @@ class _AsyncDriver:
             ]
 
     # -- free-running hooks ------------------------------------------------
+    def can_submit(self, device_id: int) -> bool:
+        """True while device *device_id* may be handed another batch —
+        the budget checks of :meth:`next_batch` without the generation
+        side effects (the service scheduler peeks before committing a
+        fleet lane to this job)."""
+        return not (
+            self._halted
+            or self.limits.device_launch_budget(self._submitted[device_id])
+            or self.limits.out_of_launches(sum(self._submitted))
+        )
+
     @property
     def can_pipeline(self) -> bool:
         """True when no reactive limit (target/time/restart) could cancel a
@@ -272,11 +283,7 @@ class _AsyncDriver:
         )
 
     def next_batch(self, device_id: int) -> PacketBatch | None:
-        if self._halted:
-            return None
-        if self.limits.device_launch_budget(self._submitted[device_id]):
-            return None
-        if self.limits.out_of_launches(sum(self._submitted)):
+        if not self.can_submit(device_id):
             return None
         batch = self.solver._generate_batch(
             device_id, rng=self._device_rngs[device_id]
@@ -418,6 +425,7 @@ class DABSSolver:
         model: QUBOModel,
         config: DABSConfig | None = None,
         seed: int | None = None,
+        prepared=None,
     ) -> None:
         self.model = model
         self.config = config or DABSConfig()
@@ -436,9 +444,22 @@ class DABSSolver:
         ]
         self.ring = IslandRing(self.pools)
         # resolve the backend and build its per-model kernel cache once;
-        # every virtual GPU shares the read-only cache
-        backend = resolve_backend(cfg.backend, model)
-        kernel = backend.prepare(model)
+        # every virtual GPU shares the read-only cache.  A PreparedProblem
+        # handle (repro.backends.prepare_problem / the service's
+        # ProblemCache) skips preparation entirely: the backend-resident
+        # matrices are reused across solvers of the same instance.
+        if prepared is not None:
+            if not prepared.matches(model):
+                raise ValueError(
+                    f"prepared handle is for model "
+                    f"{prepared.model.name!r} ({prepared.model.n} vars), "
+                    f"not {model.name!r} ({model.n} vars)"
+                )
+            backend = prepared.backend
+            kernel = prepared.kernel
+        else:
+            backend = resolve_backend(cfg.backend, model)
+            kernel = backend.prepare(model)
         self.gpus = [
             VirtualGPU(
                 model,
@@ -579,8 +600,28 @@ class DABSSolver:
         time_limit: float | None = None,
         max_rounds: int | None = None,
         max_launches: int | None = None,
+        service=None,
     ) -> SolveResult:
-        """Run until a limit fires; see :class:`SolveLimits` for semantics."""
+        """Run until a limit fires; see :class:`SolveLimits` for semantics.
+
+        With *service* (a :class:`~repro.service.SolveService`), the call
+        becomes a one-job convenience wrapper over the shared fleet: the
+        solver — pools, RNG state, per-device buffers — is submitted as
+        one job, scheduled alongside whatever else the service is running,
+        and the blocked-on result is returned.  ``config.engine`` is
+        ignored on that path (the service owns scheduling);
+        ``config.virtual_time`` still selects the deterministic replay,
+        which is bit-exact with a direct ``solve()``.
+        """
+        if service is not None:
+            handle = service.submit_solver(
+                self,
+                target_energy=target_energy,
+                time_limit=time_limit,
+                max_rounds=max_rounds,
+                max_launches=max_launches,
+            )
+            return handle.result()
         limits = SolveLimits(target_energy, time_limit, max_rounds, max_launches)
         engine = resolve_engine_name(self.config.engine)
         if engine == "round":
