@@ -25,6 +25,7 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.engine`    — barrier-free async execution over device workers
 * :mod:`repro.solver`    — the DABS solver and the ABS baseline
 * :mod:`repro.service`   — multi-tenant solve service over one shared fleet
+* :mod:`repro.federation` — process-per-island sharding with elite migration
 * :mod:`repro.problems`  — MaxCut/QAP/QASP/TSP reductions and generators
 * :mod:`repro.topology`  — Pegasus and Chimera annealer graphs
 * :mod:`repro.baselines` — SA, tabu, SBM, exact B&B, hybrid, annealer sim
@@ -53,6 +54,7 @@ from repro.core import (
     qubo_to_ising,
     sparse_ising_to_qubo,
 )
+from repro.federation import Federation, FederationHandle
 from repro.search.batch import BatchSearchConfig
 from repro.service import JobHandle, JobStatus, ProblemCache, SolveService
 from repro.solver import ABSSolver, DABSConfig, DABSSolver, SolveResult
@@ -67,6 +69,8 @@ __all__ = [
     "DABSConfig",
     "DABSSolver",
     "DeltaState",
+    "Federation",
+    "FederationHandle",
     "GeneticOp",
     "IsingModel",
     "JobHandle",

@@ -8,8 +8,12 @@ Usage::
                            [--seed K] [--gpus G] [--blocks B]
                            [--backend auto|numpy-dense|numpy-sparse|numba]
                            [--engine round|async|async-process]
+                           [--islands N] [--topology ring|all]
+                           [--migration-period M] [--migration-k K]
+                           [--transport queue|slab|socket]
 
-    python -m repro serve [--gpus G] [--blocks B] [--max-queue Q] ...
+    python -m repro serve [--gpus G] [--blocks B] [--max-queue Q]
+                          [--islands N] ...
 
 The file format is inferred from the extension by default (``.qubo``,
 ``.dat`` for QAPLIB, anything else is tried as Gset).  MaxCut/QAP files are
@@ -94,6 +98,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-flip-factor", type=float, default=4.0, metavar="B",
         help="batch search flip factor b",
     )
+    parser.add_argument(
+        "--islands", type=int, default=1, metavar="N",
+        help="federation islands for dabs/abs: N > 1 shards the solve "
+        "over N processes (each a full fleet of --gpus devices) with "
+        "periodic elite migration; other solvers ignore it (default: 1, "
+        "solve in-process)",
+    )
+    parser.add_argument(
+        "--topology", choices=("ring", "all"), default="ring",
+        help="island migration topology (default: ring)",
+    )
+    parser.add_argument(
+        "--migration-period", type=int, default=16, metavar="M",
+        help="launches per island between elite migrations; 0 disables "
+        "migration (default: 16)",
+    )
+    parser.add_argument(
+        "--migration-k", type=int, default=4, metavar="K",
+        help="elites each island publishes per migration (default: 4)",
+    )
+    parser.add_argument(
+        "--transport", choices=("queue", "slab", "socket"), default="queue",
+        help="inter-island migration transport (default: queue)",
+    )
     return parser
 
 
@@ -114,7 +142,6 @@ def _solve(model: QUBOModel, args) -> tuple[np.ndarray, int, str]:
             engine=args.engine,
         )
         cls = DABSSolver if args.solver == "dabs" else ABSSolver
-        solver = cls(model, config, seed=args.seed)
         kwargs = {}
         if args.target is not None:
             kwargs["target_energy"] = args.target
@@ -124,6 +151,28 @@ def _solve(model: QUBOModel, args) -> tuple[np.ndarray, int, str]:
             kwargs["max_rounds"] = args.rounds
         if not kwargs:
             kwargs["max_rounds"] = 20
+        if args.islands > 1:
+            from repro.federation import Federation
+
+            period = args.migration_period if args.migration_period > 0 else None
+            with Federation(
+                args.islands,
+                topology=args.topology,
+                transport=args.transport,
+                migration_period=period,
+                migration_k=args.migration_k,
+                default_config=config,
+                seed=args.seed,
+            ) as federation:
+                result = federation.submit(
+                    model, solver_cls=cls, seed=args.seed, **kwargs
+                ).result()
+            detail = (
+                f"{result.summary()} "
+                f"[{args.islands} islands, {args.topology} topology]"
+            )
+            return result.best_vector, result.best_energy, detail
+        solver = cls(model, config, seed=args.seed)
         result = solver.solve(**kwargs)
         return result.best_vector, result.best_energy, result.summary()
     if args.solver == "sa":

@@ -1,0 +1,705 @@
+"""The federation controller: process-per-island sharding of a solve.
+
+:class:`Federation` is the client-facing twin of
+:class:`~repro.service.SolveService` one level up the scaling axis
+(DESIGN.md §9): instead of one scheduler thread over one in-process
+fleet, it owns N *island processes* — each a full ``SolveService`` with
+its own fleet, pools and GIL — connected in a migration topology.  A
+submitted job fans out as one shard per island (same model and config,
+per-island RNG streams via :func:`~repro.federation.worker.island_seed`,
+an even split of the aggregate launch budget), the islands exchange
+top-K elites every ``migration_period`` launches through the transport
+seam (:mod:`repro.federation.transport`), and the controller merges the
+island results into one :class:`~repro.solver.result.SolveResult`.
+
+Lifecycle: islands fork lazily on the first submit and live until
+:meth:`close` (spawn → serve many jobs → drain → shutdown); one reader
+thread per island streams its events (incumbents, epoch completions,
+failures) back into the controller.  Health is observed, not polled —
+an island process dying mid-job fails that job's federated handle with
+a :class:`FederationError` instead of hanging it.
+
+Limit semantics of a federated submit:
+
+* ``target_energy`` / ``time_limit`` — broadcast to every island; the
+  first island to reach the target triggers an early-stop ``halt`` of
+  the others.
+* ``max_launches`` — the *aggregate* budget, split evenly across
+  islands.
+* ``max_rounds`` — per island (one round = one launch per island
+  device), matching the per-fleet meaning it has everywhere else.
+
+A single-island federation skips migration entirely and is bit-exact
+with a direct ``SolveService`` solve of the same (model, config, seed) —
+pools, energies and device RNG lanes included — under ``virtual_time``
+(asserted by ``tests/federation/``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.packet import VOID_ENERGY
+from repro.federation.transport import TOPOLOGIES, TRANSPORTS, make_transport
+from repro.federation.worker import SOLVER_REGISTRY, island_main, island_seed
+from repro.ga.adaptive import SelectionCounters
+from repro.service.job import IncumbentUpdate, JobHandle, JobStatus
+from repro.service.service import ServiceClosedError, ServiceOverloadedError
+from repro.solver.dabs import DABSConfig
+from repro.solver.result import SolveResult
+from repro.solver.termination import SolveLimits
+
+__all__ = [
+    "Federation",
+    "FederationError",
+    "FederationHandle",
+    "PROCESS_NAME_PREFIX",
+    "solve",
+]
+
+#: island processes are named with this prefix (leak checks key on it)
+PROCESS_NAME_PREFIX = "repro-federation-island"
+
+#: seconds the controller waits for island stats / orderly process exit
+_STATS_TIMEOUT = 10.0
+_JOIN_TIMEOUT = 10.0
+
+
+class FederationError(RuntimeError):
+    """An island process failed or the platform cannot run a federation."""
+
+
+class FederationHandle(JobHandle):
+    """Client-side view of one federated job.
+
+    The :class:`~repro.service.JobHandle` surface (status, wait, cancel,
+    result, streamed incumbents) plus the per-island reports the merged
+    result was built from.
+    """
+
+    def __init__(self, job_id: str, federation: "Federation") -> None:
+        super().__init__(job_id, federation)
+        self._island_reports: list[dict] = []
+
+    def island_reports(self, timeout: float | None = None) -> list[dict]:
+        """Per-island shard reports, in island order, blocking until
+        terminal.  Each report carries the island's own best, launch and
+        migration counts — and its final pools / RNG lane states when the
+        job was submitted with ``collect_state=True``."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} still {self.status.value}")
+        return list(self._island_reports)
+
+
+class _FederatedJob:
+    """Controller-side state of one fan-out (guarded by Federation._lock)."""
+
+    __slots__ = (
+        "id",
+        "n",
+        "handle",
+        "statuses",
+        "reports",
+        "best_energy",
+        "cancel_requested",
+        "halted",
+        "error",
+        "on_improvement",
+        "started",
+    )
+
+    def __init__(self, job_id: str, n: int, handle: FederationHandle) -> None:
+        self.id = job_id
+        self.n = n
+        self.handle = handle
+        self.statuses: dict[int, str] = {}
+        self.reports: dict[int, dict | None] = {}
+        self.best_energy = int(VOID_ENERGY)
+        self.cancel_requested = False
+        self.halted = False
+        self.error: BaseException | None = None
+        self.on_improvement = None
+        self.started = time.perf_counter()
+
+
+def _split_budget(total: int | None, islands: int) -> list[int | None]:
+    """Even per-island shares of an aggregate launch budget."""
+    if total is None:
+        return [None] * islands
+    base, extra = divmod(total, islands)
+    return [base + (1 if i < extra else 0) for i in range(islands)]
+
+
+class Federation:
+    """N island processes behind one ``SolveService``-shaped front."""
+
+    def __init__(
+        self,
+        islands: int = 2,
+        *,
+        topology: str = "ring",
+        transport: str = "queue",
+        migration_period: int | None = 16,
+        migration_k: int = 4,
+        default_config: DABSConfig | None = None,
+        devices: int | None = None,
+        lane_depth: int = 2,
+        seed: int | None = None,
+        max_queue: int | None = None,
+        slab_vars: int = 4096,
+    ) -> None:
+        if islands < 1:
+            raise ValueError("islands must be >= 1")
+        if topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {topology!r} (known: {', '.join(TOPOLOGIES)})"
+            )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r} "
+                f"(known: {', '.join(TRANSPORTS)})"
+            )
+        if migration_period is not None and migration_period < 1:
+            raise ValueError("migration_period must be >= 1 or None")
+        if migration_k < 1:
+            raise ValueError("migration_k must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 or None")
+        self.num_islands = islands
+        self.topology = topology
+        self.transport_name = transport
+        self.migration_period = migration_period
+        self.migration_k = migration_k
+        self.devices = (
+            devices
+            if devices is not None
+            else (default_config.num_gpus if default_config else 2)
+        )
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
+        self.lane_depth = lane_depth
+        self.default_config = default_config or DABSConfig(
+            num_gpus=self.devices, blocks_per_gpu=8, pool_capacity=20
+        )
+        self.max_queue = max_queue
+        self.slab_vars = slab_vars
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._counter = itertools.count(1)
+        self._jobs: dict[str, _FederatedJob] = {}
+        self._stats_pending: dict[int, dict] = {}
+        self._stats_counter = itertools.count(1)
+        self._processes: list[mp.process.BaseProcess] = []
+        self._cmd_conns: list = []
+        self._cmd_locks: list[threading.Lock] = []
+        self._readers: list[threading.Thread] = []
+        self._transport = None
+        self._closing = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def _ensure_running_locked(self) -> None:
+        if self._processes:
+            return
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX
+            raise FederationError(
+                "federation islands need the fork start method "
+                "(POSIX only)"
+            ) from exc
+        if self.num_islands > 1:
+            self._transport = make_transport(
+                self.transport_name,
+                ctx,
+                self.num_islands,
+                self.topology,
+                migration_k=self.migration_k,
+                slab_vars=self.slab_vars,
+            )
+        base_seed = int(self._rng.integers(2**63))
+        for island in range(self.num_islands):
+            cmd_recv, cmd_send = ctx.Pipe(duplex=False)
+            evt_recv, evt_send = ctx.Pipe(duplex=False)
+            endpoint = (
+                self._transport.endpoint(island) if self._transport else None
+            )
+            options = {
+                "devices": self.devices,
+                "config": replace(self.default_config, num_gpus=self.devices),
+                "lane_depth": self.lane_depth,
+                "seed": island_seed(base_seed, island),
+            }
+            process = ctx.Process(
+                target=island_main,
+                args=(
+                    island,
+                    self.num_islands,
+                    self.topology,
+                    cmd_recv,
+                    evt_send,
+                    endpoint,
+                    options,
+                ),
+                name=f"{PROCESS_NAME_PREFIX}-{island}",
+                daemon=True,
+            )
+            process.start()
+            cmd_recv.close()
+            evt_send.close()
+            self._processes.append(process)
+            self._cmd_conns.append(cmd_send)
+            self._cmd_locks.append(threading.Lock())
+            reader = threading.Thread(
+                target=self._reader,
+                args=(island, evt_recv),
+                name=f"federation-reader-{island}",
+                daemon=True,
+            )
+            reader.start()
+            self._readers.append(reader)
+
+    def _send(self, island: int, message: tuple) -> None:
+        with self._cmd_locks[island]:
+            try:
+                self._cmd_conns[island].send(message)
+            except (BrokenPipeError, OSError):
+                pass  # the reader notices the dead island and fails jobs
+
+    def close(self, cancel: bool = False) -> None:
+        """Drain (default) or cancel outstanding jobs, then shut every
+        island process down.  Idempotent."""
+        with self._lock:
+            self._closing = True
+            outstanding = list(self._jobs.values())
+        if cancel:
+            for job in outstanding:
+                self._request_cancel(job.id)
+        for job in outstanding:
+            job.handle.wait()
+        for island in range(len(self._cmd_conns)):
+            self._send(island, ("stop",))
+        for process in self._processes:
+            process.join(_JOIN_TIMEOUT)
+            if process.is_alive():  # pragma: no cover - hung island
+                process.terminate()
+                process.join(1.0)
+        for conn in self._cmd_conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for reader in self._readers:
+            reader.join(_JOIN_TIMEOUT)
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        self._processes.clear()
+        self._cmd_conns.clear()
+        self._cmd_locks.clear()
+        self._readers.clear()
+        self._closed = True
+
+    def __enter__(self) -> "Federation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def healthy(self) -> bool:
+        """True when every spawned island process is alive (vacuously
+        true before the lazy spawn)."""
+        return all(p.is_alive() for p in self._processes)
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        model,
+        *,
+        config: DABSConfig | None = None,
+        seed: int | None = None,
+        solver_cls=None,
+        devices: int | None = None,
+        target_energy: int | None = None,
+        time_limit: float | None = None,
+        max_rounds: int | None = None,
+        max_launches: int | None = None,
+        priority: int = 0,
+        share: float = 1.0,
+        on_improvement=None,
+        block: bool = True,
+        timeout: float | None = None,
+        collect_state: bool = False,
+    ) -> FederationHandle:
+        """Fan one job out across every island; returns the merged handle.
+
+        *config* is the **per-island** solver configuration (its
+        ``num_gpus`` is each island's device count, clamped to the
+        island fleet); *seed* is the base of the per-island RNG streams.
+        *solver_cls* may be a registered class (``DABSSolver`` /
+        ``ABSSolver``) or its registry name — islands resolve solvers by
+        name, classes never cross the process boundary.
+        ``collect_state=True`` makes each island attach its final pools
+        and RNG lane states to its report (the bit-exactness probes).
+        """
+        SolveLimits(target_energy, time_limit, max_rounds, max_launches)
+        if share <= 0:
+            raise ValueError("share must be > 0")
+        solver_name = self._solver_name(solver_cls)
+        cfg = config or self.default_config
+        want = devices if devices is not None else cfg.num_gpus
+        if want < 1:
+            raise ValueError("devices must be >= 1")
+        cfg = replace(cfg, num_gpus=min(want, self.devices))
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                if self._closing:
+                    raise ServiceClosedError("federation is closed")
+                if self.max_queue is None or len(self._jobs) < self.max_queue:
+                    break
+                if not block:
+                    raise ServiceOverloadedError(
+                        f"job queue full ({self.max_queue} outstanding)"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServiceOverloadedError(
+                            f"job queue full ({self.max_queue} outstanding); "
+                            f"timed out after {timeout}s"
+                        )
+                self._space.wait(remaining)
+            if seed is None:
+                seed = int(self._rng.integers(2**63))
+            job_id = f"fed-{next(self._counter)}"
+            handle = FederationHandle(job_id, self)
+            job = _FederatedJob(job_id, model.n, handle)
+            job.on_improvement = on_improvement
+            self._jobs[job_id] = job
+            self._ensure_running_locked()
+        shares = _split_budget(max_launches, self.num_islands)
+        for island in range(self.num_islands):
+            payload = {
+                "model": model,
+                "config": cfg,
+                "seed": island_seed(seed, island),
+                "solver": solver_name,
+                "target_energy": target_energy,
+                "time_limit": time_limit,
+                "max_rounds": max_rounds,
+                "max_launches": shares[island],
+                "migration_period": self.migration_period,
+                "migration_k": self.migration_k,
+                "priority": priority,
+                "share": share,
+                "collect_state": collect_state,
+            }
+            self._send(island, ("solve", job_id, payload))
+        handle._mark_running()
+        return handle
+
+    @staticmethod
+    def _solver_name(solver_cls) -> str:
+        if solver_cls is None:
+            return "dabs"
+        if isinstance(solver_cls, str):
+            if solver_cls not in SOLVER_REGISTRY:
+                raise ValueError(
+                    f"unknown solver {solver_cls!r} "
+                    f"(known: {', '.join(SOLVER_REGISTRY)})"
+                )
+            return solver_cls
+        for name, cls in SOLVER_REGISTRY.items():
+            if cls is solver_cls:
+                return name
+        raise ValueError(
+            "federation islands resolve solvers by registry name; "
+            f"{solver_cls!r} is not in repro.federation.worker.SOLVER_REGISTRY"
+        )
+
+    def solve_many(self, requests) -> list[SolveResult]:
+        """Submit a batch of jobs and wait for all results, in order
+        (the :meth:`SolveService.solve_many` surface, federated)."""
+        handles = [
+            self.submit(request.pop("model"), **request)
+            for request in (dict(r) for r in requests)
+        ]
+        return [handle.result() for handle in handles]
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        """Federation-wide snapshot: controller state plus each island's
+        service stats (lanes, queues, cache and per-lane utilization)."""
+        with self._lock:
+            snapshot = {
+                "islands": self.num_islands,
+                "topology": self.topology,
+                "transport": self.transport_name,
+                "migration_period": self.migration_period,
+                "migration_k": self.migration_k,
+                "outstanding": len(self._jobs),
+                "running": bool(self._processes),
+                "healthy": all(p.is_alive() for p in self._processes),
+            }
+            if not self._processes:
+                snapshot["island_stats"] = []
+                return snapshot
+            request_id = next(self._stats_counter)
+            pending = {"event": threading.Event(), "payloads": {}}
+            self._stats_pending[request_id] = pending
+        for island in range(self.num_islands):
+            self._send(island, ("stats", request_id))
+        deadline = time.monotonic() + _STATS_TIMEOUT
+        while len(pending["payloads"]) < self.num_islands:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self.healthy():
+                break
+            pending["event"].wait(min(remaining, 0.05))
+            pending["event"].clear()
+        with self._lock:
+            self._stats_pending.pop(request_id, None)
+        island_stats = [
+            pending["payloads"].get(i) for i in range(self.num_islands)
+        ]
+        snapshot["island_stats"] = island_stats
+        snapshot["devices"] = sum(
+            s["devices"] for s in island_stats if s is not None
+        )
+        snapshot["lane_launches"] = [
+            lane
+            for s in island_stats
+            if s is not None
+            for lane in s["lane_launches"]
+        ]
+        return snapshot
+
+    # -- cancellation ------------------------------------------------------
+    def _request_cancel(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            job.cancel_requested = True
+        for island in range(self.num_islands):
+            self._send(island, ("cancel", job_id))
+
+    # -- island event plumbing ---------------------------------------------
+    def _reader(self, island: int, evt) -> None:
+        while True:
+            try:
+                event = evt.recv()
+            except (EOFError, OSError):
+                self._on_island_exit(island)
+                return
+            try:
+                self._dispatch(island, event)
+            except Exception:  # pragma: no cover - defensive: keep reading
+                pass
+
+    def _dispatch(self, island: int, event: tuple) -> None:
+        kind = event[0]
+        if kind == "up":
+            return
+        if kind == "stats":
+            _, request_id, payload = event
+            with self._lock:
+                pending = self._stats_pending.get(request_id)
+                if pending is not None:
+                    pending["payloads"][island] = payload
+                    pending["event"].set()
+            return
+        job_id = event[1]
+        if kind == "incumbent":
+            self._on_incumbent(island, event)
+            return
+        if kind == "target":
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or job.halted:
+                    return
+                job.halted = True
+            for other in range(self.num_islands):
+                if other != island:
+                    self._send(other, ("halt", job_id))
+            return
+        if kind in ("done", "cancelled", "failed"):
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None or island in job.statuses:
+                    return
+                job.statuses[island] = kind
+                if kind == "failed":
+                    detail = event[3]
+                    if job.error is None:
+                        job.error = FederationError(
+                            f"island {island}: {detail}"
+                        )
+                else:
+                    job.reports[island] = event[3]
+                complete = len(job.statuses) == self.num_islands
+                failed = kind == "failed"
+            if failed:
+                # free the healthy islands instead of letting them run
+                # a doomed job to completion
+                for other in range(self.num_islands):
+                    if other != island:
+                        self._send(other, ("cancel", job_id))
+            if complete:
+                self._finalize(job)
+
+    def _on_incumbent(self, island: int, event: tuple) -> None:
+        _, job_id, _, energy, vector, elapsed = event
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or energy >= job.best_energy:
+                return
+            job.best_energy = int(energy)
+            callback = job.on_improvement
+            handle = job.handle
+        update = IncumbentUpdate(
+            job_id=job_id,
+            energy=int(energy),
+            vector=np.asarray(vector, dtype=np.uint8),
+            elapsed=float(elapsed),
+        )
+        handle._push_incumbent(update)
+        if callback is not None:
+            try:
+                callback(update)
+            except Exception:  # client callback failures stay client-side
+                pass
+
+    def _on_island_exit(self, island: int) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            affected = [
+                job
+                for job in self._jobs.values()
+                if island not in job.statuses
+            ]
+            for job in affected:
+                job.statuses[island] = "failed"
+                if job.error is None:
+                    job.error = FederationError(
+                        f"island {island} exited unexpectedly"
+                    )
+            complete = [
+                job
+                for job in affected
+                if len(job.statuses) == self.num_islands
+            ]
+        for job in complete:
+            self._finalize(job)
+
+    # -- result merging ----------------------------------------------------
+    def _finalize(self, job: _FederatedJob) -> None:
+        with self._lock:
+            self._jobs.pop(job.id, None)
+            self._space.notify_all()
+            reports = [
+                job.reports.get(i)
+                for i in range(self.num_islands)
+                if job.reports.get(i) is not None
+            ]
+            job.handle._island_reports = reports
+            if job.error is not None and not job.cancel_requested:
+                status, result = JobStatus.FAILED, None
+            else:
+                started = any(r["launches"] > 0 for r in reports)
+                cancelled = job.cancel_requested or any(
+                    s == "cancelled" for s in job.statuses.values()
+                )
+                status = JobStatus.CANCELLED if cancelled else JobStatus.DONE
+                result = (
+                    self._merge(job, reports)
+                    if reports and (started or not cancelled)
+                    else None
+                )
+            job.handle._finalize(status, result, job.error)
+
+    def _merge(self, job: _FederatedJob, reports: list[dict]) -> SolveResult:
+        """One :class:`SolveResult` from the island shard reports.
+
+        Best solution: minimum energy, first island in id order on ties.
+        Launch/flip/restart totals are summed; ``rounds`` is the maximum
+        island round count (islands run concurrently, rounds are not
+        additive).  Histories are concatenated in island-local time order
+        — island clocks all start at shard start, so the merged history
+        is the federation's improvement trace to segment precision.
+        """
+        best_energy = int(VOID_ENERGY)
+        best_vector = np.zeros(job.n, dtype=np.uint8)
+        first_found = None
+        counters = SelectionCounters()
+        history = []
+        time_to_target = None
+        reached = False
+        for report in reports:
+            if report["best_energy"] < best_energy:
+                best_energy = report["best_energy"]
+                best_vector = np.asarray(report["best_vector"], dtype=np.uint8)
+                first_found = report["first_found"]
+            counters.merge(report["counters"])
+            history.extend(report["history"])
+            reached = reached or report["reached_target"]
+            if report["time_to_target"] is not None and (
+                time_to_target is None
+                or report["time_to_target"] < time_to_target
+            ):
+                time_to_target = report["time_to_target"]
+        history.sort(key=lambda event: event.time)
+        return SolveResult(
+            best_vector=best_vector,
+            best_energy=best_energy,
+            reached_target=reached,
+            time_to_target=time_to_target,
+            elapsed=time.perf_counter() - job.started,
+            rounds=max((r["rounds"] for r in reports), default=0),
+            total_flips=sum(r["flips"] for r in reports),
+            counters=counters,
+            first_found=first_found,
+            history=history,
+            restarts=sum(r["restarts"] for r in reports),
+            launches=sum(r["launches"] for r in reports),
+            greedy_truncations=sum(r["truncations"] for r in reports),
+            greedy_truncation_warnings=sum(
+                r["truncation_events"] for r in reports
+            ),
+        )
+
+
+def solve(
+    model,
+    islands: int = 2,
+    config: DABSConfig | None = None,
+    seed: int | None = None,
+    *,
+    topology: str = "ring",
+    transport: str = "queue",
+    migration_period: int | None = 16,
+    migration_k: int = 4,
+    **limits,
+) -> SolveResult:
+    """One-shot convenience: stand a federation up, run one job, tear
+    down.  A real deployment keeps one long-lived :class:`Federation`
+    and submits many jobs to it."""
+    with Federation(
+        islands,
+        topology=topology,
+        transport=transport,
+        migration_period=migration_period,
+        migration_k=migration_k,
+        default_config=config,
+        seed=seed,
+    ) as federation:
+        return federation.submit(model, config=config, seed=seed, **limits).result()

@@ -20,11 +20,22 @@ __all__ = ["IslandRing", "StallTracker"]
 class StallTracker:
     """Work-unit stall counter driving the §IV.B merged-ring restarts.
 
-    The restart trigger is "no global improvement for a while".  The round
-    scheduler measures "a while" in rounds (one unit per barrier); the
-    asynchronous engine has no rounds, so it measures in *device launches*
-    (one unit per completion, with the threshold scaled by the fleet size).
-    Both schedulers share this counter so the policy lives in one place.
+    The restart trigger is "no global improvement for a while".
+
+    **Units contract**: ``threshold`` and the ``units`` argument of
+    :meth:`update` are denominated in the *same* work unit, whatever the
+    caller's scheduler naturally counts — the round scheduler calls
+    ``update(improved)`` once per barrier (one unit = one round), while
+    the asynchronous engines have no rounds and call it once per device
+    *launch* completion.  A threshold configured in rounds
+    (``DABSConfig.restart_after_stall``) must therefore be converted to
+    the caller's unit before construction; :meth:`scaled` is that
+    conversion.  Mixing units — a round-denominated threshold counted
+    down in launches — makes restarts fire ``launches_per_round`` times
+    too early, which is exactly the miscalibration that appears when a
+    fleet is sharded across federation islands and each island counts
+    only its own launches.  Both schedulers share this counter so the
+    policy lives in one place.
     """
 
     __slots__ = ("threshold", "count")
@@ -35,8 +46,34 @@ class StallTracker:
         self.threshold = threshold
         self.count = 0
 
+    @classmethod
+    def scaled(
+        cls, threshold_rounds: int | None, launches_per_round: int
+    ) -> "StallTracker":
+        """A tracker whose round-denominated *threshold_rounds* is counted
+        in launch units.
+
+        *launches_per_round* is the number of launch completions that make
+        up one round **of the counting fleet** — i.e. the local
+        ``config.num_gpus`` of the solver doing the counting, not the
+        global device count of a larger deployment.  A federation island
+        running 2 of a formation's 8 devices passes ``2``: it sees 2
+        launches per one of *its* rounds, so "stalled for N rounds" means
+        ``2 × N`` of its launches.  Scaling by the global fleet size would
+        multiply the two miscalibrations (islands × devices) together and
+        make sharded fleets restart almost never.
+        """
+        if launches_per_round < 1:
+            raise ValueError("launches_per_round must be >= 1")
+        if threshold_rounds is None:
+            return cls(None)
+        return cls(threshold_rounds * launches_per_round)
+
     def update(self, improved: bool, units: int = 1) -> bool:
-        """Record *units* of work; True when a restart is due."""
+        """Record *units* of work; True when a restart is due.
+
+        *units* must be denominated in the unit the threshold was
+        constructed in (see the class docstring)."""
         self.count = 0 if improved else self.count + units
         return self.threshold is not None and self.count >= self.threshold
 

@@ -83,6 +83,37 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=32,
         help="prepared-problem cache entries",
     )
+    parser.add_argument(
+        "--islands",
+        type=int,
+        default=1,
+        help="serve a federation of N island processes (each a full "
+        "--gpus fleet) instead of one in-process service (default: 1)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=("ring", "all"),
+        default="ring",
+        help="island migration topology (federation mode only)",
+    )
+    parser.add_argument(
+        "--migration-period",
+        type=int,
+        default=16,
+        help="launches per island between elite migrations; 0 disables",
+    )
+    parser.add_argument(
+        "--migration-k",
+        type=int,
+        default=4,
+        help="elites each island publishes per migration",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("queue", "slab", "socket"),
+        default="queue",
+        help="inter-island migration transport (federation mode only)",
+    )
     return parser
 
 
@@ -125,7 +156,9 @@ class _Session:
     and a client id becomes reusable once its job has finished.
     """
 
-    def __init__(self, service: SolveService, out) -> None:
+    def __init__(self, service, out) -> None:
+        # service is a SolveService or a Federation — both expose the
+        # submit/stats/close surface this session drives
         self.service = service
         self.out = out
         self._emit_lock = threading.Lock()
@@ -291,22 +324,43 @@ def serve_main(argv=None, stdin=None, stdout=None) -> int:
         pool_capacity=args.pool,
         backend=args.backend,
     )
-    service = SolveService(
-        devices=args.gpus,
-        default_config=config,
-        max_queue=args.max_queue,
-        cache=ProblemCache(capacity=args.cache_capacity),
-        seed=args.seed,
-    )
+    if args.islands > 1:
+        # federation mode: N island processes behind the same protocol —
+        # Federation duck-types the submit/stats/close surface _Session
+        # drives, so the wire format is identical
+        from repro.federation import Federation
+
+        service = Federation(
+            args.islands,
+            topology=args.topology,
+            transport=args.transport,
+            migration_period=(
+                args.migration_period if args.migration_period > 0 else None
+            ),
+            migration_k=args.migration_k,
+            default_config=config,
+            max_queue=args.max_queue,
+            seed=args.seed,
+        )
+    else:
+        service = SolveService(
+            devices=args.gpus,
+            default_config=config,
+            max_queue=args.max_queue,
+            cache=ProblemCache(capacity=args.cache_capacity),
+            seed=args.seed,
+        )
     session = _Session(service, stdout)
-    session.emit(
-        {
-            "event": "ready",
-            "devices": args.gpus,
-            "blocks": args.blocks,
-            "max_queue": args.max_queue,
-        }
-    )
+    ready = {
+        "event": "ready",
+        "devices": args.gpus,
+        "blocks": args.blocks,
+        "max_queue": args.max_queue,
+    }
+    if args.islands > 1:
+        ready["islands"] = args.islands
+        ready["topology"] = args.topology
+    session.emit(ready)
     with service:
         for line in stdin:
             line = line.strip()

@@ -236,6 +236,11 @@ class SolveService:
         self._active: dict[str, _Job] = {}
         self._outstanding = 0
         self._lane_inflight = [0] * devices
+        #: cumulative launches submitted / completed per lane — the
+        #: utilization counters federation benchmarks attribute
+        #: throughput with (monotonic over the service lifetime)
+        self._lane_launches = [0] * devices
+        self._lane_completed = [0] * devices
         self._lane_population = [0] * devices
         #: per-lane affinity index: the (job, device) pairs resident on
         #: each lane (scheduler-thread writes; fixed between admission
@@ -439,7 +444,15 @@ class SolveService:
             }
 
     def stats(self) -> dict:
-        """Service-wide snapshot (lanes, queue depths, cache counters)."""
+        """Service-wide snapshot (lanes, queue depths, cache counters).
+
+        ``lane_launches`` / ``lane_completed`` are cumulative per-lane
+        utilization counters (launches submitted to and collected from
+        each lane over the service lifetime); ``lane_inflight`` is the
+        instantaneous depth.  Both are surfaced verbatim through the
+        ``repro serve`` ``stats`` event so federation benchmarks can
+        attribute aggregate throughput lane by lane.
+        """
         with self._lock:
             return {
                 "devices": self.num_devices,
@@ -447,6 +460,8 @@ class SolveService:
                 "active": len(self._active),
                 "outstanding": self._outstanding,
                 "lane_inflight": list(self._lane_inflight),
+                "lane_launches": list(self._lane_launches),
+                "lane_completed": list(self._lane_completed),
                 "cache": {
                     "entries": len(self.cache),
                     "hits": self.cache.stats.hits,
@@ -588,6 +603,7 @@ class SolveService:
                 job.weighted += 1.0 / job.share
                 with self._lock:
                     self._lane_inflight[lane] += 1
+                    self._lane_launches[lane] += 1
 
     def _on_completion(self, completion) -> None:
         job_id, device_id = completion.tag
@@ -597,6 +613,7 @@ class SolveService:
         lane = job.lanes[device_id]
         with self._lock:
             self._lane_inflight[lane] -= 1
+            self._lane_completed[lane] += 1
         job.inflight -= 1
         job.dev_inflight[device_id] -= 1
         job.completed += 1

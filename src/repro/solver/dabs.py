@@ -236,11 +236,17 @@ class _AsyncDriver:
         self.num_devices = cfg.num_gpus
         self.virtual_time = cfg.virtual_time
         self.state = _RunState(solver.model.n)
-        threshold = cfg.restart_after_stall
-        if threshold is not None and not self.virtual_time:
-            # free-running restarts are counted in launches, not rounds
-            threshold = threshold * cfg.num_gpus
-        self._stall = StallTracker(threshold)
+        if self.virtual_time:
+            # the replay counts whole rounds, the threshold's native unit
+            self._stall = StallTracker(cfg.restart_after_stall)
+        else:
+            # free-running restarts are counted in launches; scale the
+            # round-denominated threshold by THIS solver's device count
+            # (a federation island scales by its own shard, keeping the
+            # per-island restart cadence calibrated — see StallTracker)
+            self._stall = StallTracker.scaled(
+                cfg.restart_after_stall, cfg.num_gpus
+            )
         self._submitted = [0] * cfg.num_gpus
         self._completed = [0] * cfg.num_gpus
         self._rounds = 0

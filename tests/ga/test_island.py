@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.packet import GeneticOp, MainAlgorithm, Packet, VOID_ENERGY
-from repro.ga.island import IslandRing
+from repro.ga.island import IslandRing, StallTracker
 from repro.ga.pool import SolutionPool
 
 
@@ -64,3 +64,44 @@ class TestIslandRing:
         ring = make_ring(k=4)
         assert len(ring) == 4
         assert ring[3] is ring.pools[3]
+
+
+class TestStallTracker:
+    def test_counts_in_configured_units(self):
+        tracker = StallTracker(3)
+        assert not tracker.update(False)
+        assert not tracker.update(False)
+        assert tracker.update(False)
+
+    def test_improvement_resets(self):
+        tracker = StallTracker(2)
+        assert not tracker.update(False)
+        assert not tracker.update(True)
+        assert not tracker.update(False)
+        assert tracker.update(False)
+
+    def test_scaled_converts_rounds_to_launches(self):
+        """A threshold of 2 rounds on a 3-device fleet fires after 6
+        launch-denominated units, not 2 (the units contract)."""
+        tracker = StallTracker.scaled(2, launches_per_round=3)
+        assert tracker.threshold == 6
+        for _ in range(5):
+            assert not tracker.update(False)
+        assert tracker.update(False)
+
+    def test_scaled_identity_for_single_device(self):
+        assert StallTracker.scaled(4, launches_per_round=1).threshold == 4
+
+    def test_scaled_none_stays_disabled(self):
+        tracker = StallTracker.scaled(None, launches_per_round=8)
+        assert tracker.threshold is None
+        assert not tracker.update(False, units=10**6)
+
+    def test_scaled_rejects_bad_fleet_size(self):
+        with pytest.raises(ValueError, match="launches_per_round"):
+            StallTracker.scaled(2, launches_per_round=0)
+
+    def test_update_with_batched_units(self):
+        tracker = StallTracker(10)
+        assert not tracker.update(False, units=9)
+        assert tracker.update(False, units=1)

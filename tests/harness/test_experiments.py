@@ -148,3 +148,21 @@ class TestRunners:
         cache = report.data["cache"]
         assert cache["misses"] == 3
         assert cache["hits"] == 3 * (MICRO.dabs_trials - 1)
+
+    def test_federation_sweep_structure(self):
+        from dataclasses import replace
+
+        from repro.harness.experiments import run_federation_sweep
+
+        scale = replace(
+            MICRO, gset_n=24, islands=2, migration_period=2, migration_k=2
+        )
+        report = run_federation_sweep(scale, seed=0, launches=8)
+        assert "Federation sweep" in report.title
+        instances = [k for k in report.data if k != "elapsed"]
+        assert len(instances) == 3
+        for name in instances:
+            trials = report.data[name]
+            assert len(trials) == scale.dabs_trials
+            for result in trials:
+                assert result.launches == 8  # aggregate budget honoured

@@ -158,3 +158,37 @@ class TestServeRoundTrip:
         lines = [json.loads(line) for line in out.splitlines()]
         assert lines[0]["event"] == "ready"
         assert lines[-1]["event"] == "bye"
+
+
+class TestServeFederation:
+    def test_islands_flag_serves_a_federation(self):
+        """The same wire protocol over island processes: ready announces
+        the topology, jobs solve end to end, stats fan in per island."""
+        model = QUBOModel.from_dict(4, {(i, j): w for i, j, w in TERMS})
+        _, optimum = brute_force(model)
+        events = run_serve(
+            [
+                {"op": "submit", "id": "a", "n": 4, "terms": TERMS,
+                 "launches": 16, "seed": 0},
+                {"op": "drain"},
+                {"op": "stats"},
+                {"op": "shutdown"},
+            ],
+            argv=[
+                "--gpus", "1", "--blocks", "4",
+                "--islands", "2", "--migration-period", "4",
+            ],
+        )
+        assert events[0]["event"] == "ready"
+        assert events[0]["islands"] == 2
+        assert events[0]["topology"] == "ring"
+        done = events_of(events, "done")
+        assert len(done) == 1
+        assert done[0]["energy"] == optimum
+        assert done[0]["launches"] == 16
+        vector = np.array([int(c) for c in done[0]["vector"]], dtype=np.uint8)
+        assert model.energy(vector) == done[0]["energy"]
+        stats = events_of(events, "stats")
+        assert stats and stats[0]["islands"] == 2
+        assert len(stats[0]["island_stats"]) == 2
+        assert events[-1]["event"] == "bye"

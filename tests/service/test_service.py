@@ -124,6 +124,21 @@ class TestRoundTrip:
         assert stats["cache"]["misses"] == 1
         assert stats["cache"]["hits"] == 1
 
+    def test_stats_surface_per_lane_utilization(self):
+        """Cumulative per-lane launch counters: every submitted launch is
+        eventually collected, and the totals match the job's result."""
+        model = random_qubo(16, seed=4)
+        with SolveService(devices=2) as service:
+            result = service.submit(model, max_rounds=4, seed=0).result(
+                timeout=60
+            )
+            stats = service.stats()
+        assert len(stats["lane_launches"]) == 2
+        assert stats["lane_launches"] == stats["lane_completed"]
+        assert sum(stats["lane_launches"]) == result.launches
+        assert all(count > 0 for count in stats["lane_launches"])
+        assert stats["lane_inflight"] == [0, 0]
+
 
 class TestVirtualTimeParity:
     """The determinism contract: a virtual-time job is bit-exact with a

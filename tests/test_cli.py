@@ -43,6 +43,18 @@ class TestParser:
         args = build_parser().parse_args(["x.qubo"])
         assert args.engine is None  # defer to REPRO_ENGINE, then "round"
 
+    def test_federation_defaults(self):
+        args = build_parser().parse_args(["x.qubo"])
+        assert args.islands == 1  # in-process solve by default
+        assert args.topology == "ring"
+        assert args.migration_period == 16
+        assert args.migration_k == 4
+        assert args.transport == "queue"
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x", "--topology", "torus"])
+
 
 class TestMain:
     def test_solves_qubo_file(self, qubo_file, capsys):
@@ -52,6 +64,26 @@ class TestMain:
         assert rc == 0
         assert "energy" in out
         assert f"{model.n} variables" in out
+
+    def test_islands_flag_runs_a_federation(self, qubo_file, capsys):
+        path, model = qubo_file
+        rc = main(
+            [
+                str(path),
+                "--islands", "2",
+                "--migration-period", "4",
+                "--rounds", "4",
+                "--gpus", "1",
+                "--blocks", "4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 islands, ring topology" in out
+        energy = int(out.split("energy  : ")[1].splitlines()[0])
+        vector_line = out.split("vector  : ")[1].splitlines()[0]
+        vector = np.array([int(c) for c in vector_line], dtype=np.uint8)
+        assert model.energy(vector) == energy
 
     def test_backend_flag_is_bit_exact(self, qubo_file, capsys):
         path, _ = qubo_file
