@@ -1,11 +1,20 @@
 """Pluggable compute backends for the batch-search hot path.
 
 The registry maps names to :class:`~repro.backends.base.ComputeBackend`
-singletons.  Three implementations ship here:
+singletons.  Four implementations ship here:
 
 * ``numpy-dense`` — vectorized dense kernels (O(B·n) per flip),
 * ``numpy-sparse`` — CSR kernels (O(B·degree) per flip),
-* ``numba`` — optional JIT of the dense flip; cleanly absent without numba.
+* ``numba`` — optional JIT of the dense flip; cleanly absent without numba,
+* ``cuda`` — real GPU phase kernels via ``numba.cuda`` (or the CUDA
+  simulator under ``NUMBA_ENABLE_CUDASIM=1``); cleanly absent without
+  numba or a device.
+
+The optional backends (``numba``, ``cuda``) are registered **lazily**: the
+names are always known, but their modules — and hence the optional
+packages they probe for — are only imported when a backend function first
+needs them, so a broken or missing dependency can never break
+``import repro``.
 
 Selection (first match wins):
 
@@ -21,11 +30,13 @@ Selection (first match wins):
 Requesting an unavailable backend by name falls back to the ``auto`` choice
 with a :class:`RuntimeWarning`; :func:`get_backend` instead raises
 :class:`~repro.backends.base.BackendUnavailableError` for callers that need
-the hard failure (e.g. the parity tests).
+the hard failure (e.g. the parity tests).  Both error paths name the
+requested backend and list the registered and currently-available ones.
 """
 
 from __future__ import annotations
 
+import importlib
 import os
 import warnings
 from dataclasses import dataclass
@@ -40,7 +51,6 @@ from repro.backends.base import (
     GreedyTruncationWarning,
     masked_argmin,
 )
-from repro.backends.numba_backend import NumbaBackend
 from repro.backends.spec import SelectionSpec
 from repro.backends.numpy_dense import NumpyDenseBackend
 from repro.backends.numpy_sparse import NumpySparseBackend
@@ -50,6 +60,7 @@ __all__ = [
     "AUTO_SPARSE_MIN_N",
     "BackendUnavailableError",
     "ComputeBackend",
+    "CudaBackend",
     "GreedyTruncationWarning",
     "INT_SENTINEL",
     "NumbaBackend",
@@ -78,6 +89,13 @@ _ENV_VAR = "REPRO_BACKEND"
 
 _REGISTRY: dict[str, ComputeBackend] = {}
 
+#: optional backends: name → (module, class); imported on first use so a
+#: missing optional dependency never breaks ``import repro``
+_LAZY_BACKENDS: dict[str, tuple[str, str]] = {
+    "numba": ("repro.backends.numba_backend", "NumbaBackend"),
+    "cuda": ("repro.backends.cuda", "CudaBackend"),
+}
+
 
 def register_backend(cls: type[ComputeBackend]) -> type[ComputeBackend]:
     """Register a backend class under ``cls.name`` (usable as a decorator).
@@ -91,15 +109,36 @@ def register_backend(cls: type[ComputeBackend]) -> type[ComputeBackend]:
     return cls
 
 
+def _lookup(name: str) -> ComputeBackend | None:
+    """The singleton for *name*, importing a lazy backend module if needed."""
+    backend = _REGISTRY.get(name)
+    if backend is not None:
+        return backend
+    lazy = _LAZY_BACKENDS.get(name)
+    if lazy is None:
+        return None
+    module, attr = lazy
+    register_backend(getattr(importlib.import_module(module), attr))
+    return _REGISTRY[name]
+
+
 def backend_names() -> tuple[str, ...]:
-    """All registered backend names, available or not."""
-    return tuple(sorted(_REGISTRY))
+    """All registered backend names, available or not (no imports)."""
+    return tuple(sorted(set(_REGISTRY) | set(_LAZY_BACKENDS)))
 
 
 def available_backends() -> tuple[str, ...]:
     """Names of the backends whose runtime dependencies are present."""
     return tuple(
-        name for name in sorted(_REGISTRY) if _REGISTRY[name].is_available()
+        name for name in backend_names() if _lookup(name).is_available()
+    )
+
+
+def _known_backends_detail() -> str:
+    """The parenthetical every unknown/unavailable error carries."""
+    return (
+        f"registered: {', '.join(backend_names())}; "
+        f"available: {', '.join(available_backends())}"
     )
 
 
@@ -110,22 +149,23 @@ def validate_backend_name(name: str) -> None:
     place the known-name policy lives; the CLI reuses it for eager
     ``REPRO_BACKEND`` validation.
     """
-    if name != "auto" and name not in _REGISTRY:
+    if name != "auto" and name not in backend_names():
         raise ValueError(
-            f"unknown backend {name!r} (registered: {', '.join(backend_names())})"
+            f"unknown backend {name!r} ({_known_backends_detail()})"
         )
 
 
 def get_backend(name: str) -> ComputeBackend:
     """Look up a backend by exact name; hard-fails when unavailable."""
-    backend = _REGISTRY.get(name)
+    backend = _lookup(name)
     if backend is None:
         raise ValueError(
-            f"unknown backend {name!r} (registered: {', '.join(backend_names())})"
+            f"unknown backend {name!r} ({_known_backends_detail()})"
         )
     if not backend.is_available():
         raise BackendUnavailableError(
-            f"backend {name!r} is unavailable: {backend.unavailable_reason()}"
+            f"backend {name!r} is unavailable: {backend.unavailable_reason()} "
+            f"({_known_backends_detail()})"
         )
     return backend
 
@@ -164,20 +204,20 @@ def resolve_backend(spec, model) -> ComputeBackend:
         name = env or "auto"
         from_env = bool(env)
     if name == "auto":
-        return _REGISTRY[auto_backend_name(model)]
-    backend = _REGISTRY.get(name)
+        return _lookup(auto_backend_name(model))
+    backend = _lookup(name)
     if backend is None:
         if from_env:
             fallback = auto_backend_name(model)
             warnings.warn(
-                f"{_ENV_VAR}={name!r} names an unknown backend (registered: "
-                f"{', '.join(backend_names())}); falling back to {fallback!r}",
+                f"{_ENV_VAR}={name!r} names an unknown backend "
+                f"({_known_backends_detail()}); falling back to {fallback!r}",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return _REGISTRY[fallback]
+            return _lookup(fallback)
         raise ValueError(
-            f"unknown backend {name!r} (registered: {', '.join(backend_names())})"
+            f"unknown backend {name!r} ({_known_backends_detail()})"
         )
     if not backend.is_available():
         fallback = auto_backend_name(model)
@@ -187,7 +227,7 @@ def resolve_backend(spec, model) -> ComputeBackend:
             RuntimeWarning,
             stacklevel=2,
         )
-        return _REGISTRY[fallback]
+        return _lookup(fallback)
     if from_env and not backend.supports(model):
         fallback = auto_backend_name(model)
         warnings.warn(
@@ -196,7 +236,7 @@ def resolve_backend(spec, model) -> ComputeBackend:
             RuntimeWarning,
             stacklevel=2,
         )
-        return _REGISTRY[fallback]
+        return _lookup(fallback)
     return backend
 
 
@@ -205,13 +245,15 @@ class PreparedProblem:
     """A backend-resident, ready-to-launch representation of one model.
 
     The handle bundles the resolved backend with its per-model kernel
-    cache (coupling views, ELL padding, JIT handles — whatever
+    cache (coupling views, ELL padding, JIT handles, device-resident
+    coupling tables for the ``cuda`` backend — whatever
     :meth:`ComputeBackend.prepare` built), which is the expensive,
     read-only part of standing a problem up on a device.  Solvers accept
     one via ``DABSSolver(prepared=...)`` and skip preparation entirely;
     the service's content-addressed :class:`~repro.service.ProblemCache`
     stores these keyed by the Q-matrix hash so repeat submissions of the
-    same instance reuse the resident matrices.
+    same instance reuse the resident matrices (for ``cuda``, a cache hit
+    skips the host→device coupling upload).
 
     The kernel cache is immutable after :meth:`~ComputeBackend.prepare`
     (the backend contract), so one handle is safely shared by any number
@@ -260,6 +302,18 @@ def prepare_problem(model, backend=None) -> PreparedProblem:
     return PreparedProblem(model, resolved, resolved.prepare(model))
 
 
+def __getattr__(name: str):
+    """Lazy re-exports of the optional backend classes (PEP 562)."""
+    if name == "NumbaBackend":
+        from repro.backends.numba_backend import NumbaBackend
+
+        return NumbaBackend
+    if name == "CudaBackend":
+        from repro.backends.cuda import CudaBackend
+
+        return CudaBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 register_backend(NumpyDenseBackend)
 register_backend(NumpySparseBackend)
-register_backend(NumbaBackend)

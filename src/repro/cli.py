@@ -6,7 +6,7 @@ Usage::
                            [--solver dabs|abs|sa|tabu|sbm|exact|mip]
                            [--time-limit S] [--rounds N] [--target E]
                            [--seed K] [--gpus G] [--blocks B]
-                           [--backend auto|numpy-dense|numpy-sparse|numba]
+                           [--backend auto|numpy-dense|numpy-sparse|numba|cuda]
                            [--engine round|async|async-process]
                            [--islands N] [--topology ring|all]
                            [--migration-period M] [--migration-k K]

@@ -125,6 +125,12 @@ class BatchDeltaState:
         The resolved :class:`~repro.backends.base.ComputeBackend`.
     kernel:
         The backend's per-model read-only kernel cache.
+    device:
+        Backend-owned device mirror of the state buffers (``None`` until a
+        device backend such as ``cuda`` first stages this state; host
+        backends never touch it).  Like the scratch buffers it follows the
+        state object's lifetime, so states cached across virtual-GPU
+        launches keep their device allocations.
 
     ``reset`` reuses the existing buffers, so a state cached across virtual
     GPU launches (see :class:`~repro.gpu.virtual_gpu.VirtualGPU`) incurs no
@@ -139,6 +145,7 @@ class BatchDeltaState:
         "x",
         "energy",
         "delta",
+        "device",
         "_rows",
         "_scratch",
     )
@@ -155,6 +162,7 @@ class BatchDeltaState:
         self.x = None
         self.energy = None
         self.delta = None
+        self.device = None
         self.backend.reset(self)
 
     def scratch(self, key: str, dtype) -> np.ndarray:
@@ -195,6 +203,7 @@ class BatchDeltaState:
         view.x = self.x[:batch]
         view.energy = self.energy[:batch]
         view.delta = self.delta[:batch]
+        view.device = None  # device mirrors are per-(object, shape)
         view._rows = self._rows[:batch]
         view._scratch = {}
         return view

@@ -252,6 +252,12 @@ def _device_worker_main(device_id, gpu, task_queue, result_queue, slabs):
     — nothing is pickled.  Batches arrive and results leave through the
     fork-shared :class:`SharedBatchSlab` pages; the queues carry only
     ``(kind, seq, slot)`` control tuples.
+
+    CUDA contexts do **not** survive a fork: the cuda backend pid-stamps
+    its device allocations and kernel handles and rebuilds them on first
+    use in the child (see :mod:`repro.backends.cuda`), so an inherited
+    ``gpu`` whose state was staged on a device in the parent re-uploads
+    in this process instead of touching the parent's context.
     """
     try:
         while True:

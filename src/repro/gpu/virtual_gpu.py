@@ -29,7 +29,10 @@ stays bounded at one ``(num_blocks, n)`` buffer set per GPU regardless of
 how the adaptive selector partitions the packets.  A launch resets the
 views in place from the persistent ``X`` rows, which is bit-identical to
 building fresh state but skips the per-launch allocation and CSR
-index-conversion churn.
+index-conversion churn.  Device backends ride the same lifetime: the cuda
+backend stows its per-state device mirror in the persistent state's
+``device`` slot (DESIGN.md §10), so the ``(B, n)`` device buffers are
+allocated once per virtual GPU and reused across launches too.
 """
 
 from __future__ import annotations

@@ -108,7 +108,8 @@ class DABSConfig:
     #: "sequential" round-robin or "thread" (one worker per GPU, as OpenMP);
     #: only meaningful for the "round" engine
     parallel: str = "sequential"
-    #: compute backend name ("auto", "numpy-dense", "numpy-sparse", "numba");
+    #: compute backend name ("auto", "numpy-dense", "numpy-sparse", "numba",
+    #: "cuda");
     #: None defers to the REPRO_BACKEND env var, then the auto density rule
     backend: str | None = None
     #: execution engine ("round", "async", "async-process"); None defers to

@@ -1,0 +1,196 @@
+"""A pure-Python ``numba.cuda`` emulator for testing the cuda backend.
+
+The real test target for :mod:`repro.backends.cuda` is numba's CUDA
+simulator (the CI ``cuda-sim`` job runs the parity suite under
+``NUMBA_ENABLE_CUDASIM=1``), but this box may not have numba at all.  This
+stub implements just enough of the ``numba.cuda`` surface the backend
+uses — ``jit``, ``to_device`` / ``device_array``, ``shared.array``,
+``syncthreads``, ``threadIdx`` / ``blockIdx``, ``is_available`` — to run
+the kernels as plain Python:
+
+* blocks execute sequentially;
+* the threads of a block are **real ``threading.Thread`` workers** with a
+  ``threading.Barrier`` behind ``syncthreads``, so the kernels' cooperative
+  structure (strided loops, shared-memory tree reductions, uniform-branch
+  barrier placement) is genuinely exercised, not just simulated
+  thread-by-thread;
+* shared arrays are allocated per (block, declaration order), so every
+  thread of a block sees the same buffer — matching CUDA semantics for
+  kernels that declare their shared memory unconditionally up front.
+
+Tests activate it by swapping the backend module's ``cuda`` global (see
+``tests/backends/test_cuda_backend.py``); nothing here touches global
+state, so other test modules never see a phantom cuda device.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = [
+    "device_array",
+    "is_available",
+    "jit",
+    "shared",
+    "syncthreads",
+    "threadIdx",
+    "blockIdx",
+    "to_device",
+]
+
+_TLS = threading.local()
+
+
+class FakeDeviceArray:
+    """Device-array stand-in: a numpy array with the transfer methods."""
+
+    __slots__ = ("_ary",)
+
+    def __init__(self, ary: np.ndarray) -> None:
+        self._ary = ary
+
+    @property
+    def shape(self):
+        return self._ary.shape
+
+    @property
+    def dtype(self):
+        return self._ary.dtype
+
+    def __getitem__(self, key):
+        return self._ary[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._ary[key] = value
+
+    def copy_to_device(self, src) -> None:
+        self._ary[...] = src._ary if isinstance(src, FakeDeviceArray) else src
+
+    def copy_to_host(self, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            return self._ary.copy()
+        out[...] = self._ary
+        return out
+
+
+def to_device(ary: np.ndarray) -> FakeDeviceArray:
+    return FakeDeviceArray(np.array(ary, copy=True))
+
+
+def device_array(shape, dtype) -> FakeDeviceArray:
+    return FakeDeviceArray(np.zeros(shape, dtype=dtype))
+
+
+def is_available() -> bool:
+    return True
+
+
+class _ThreadIdx:
+    @property
+    def x(self) -> int:
+        return _TLS.tid
+
+
+class _BlockIdx:
+    @property
+    def x(self) -> int:
+        return _TLS.block
+
+
+threadIdx = _ThreadIdx()
+blockIdx = _BlockIdx()
+
+
+def syncthreads() -> None:
+    _TLS.barrier.wait()
+
+
+class _Shared:
+    """``cuda.shared.array``: one buffer per (block, declaration order)."""
+
+    @staticmethod
+    def array(shape, dtype) -> np.ndarray:
+        idx = _TLS.alloc
+        _TLS.alloc += 1
+        with _TLS.lock:
+            arr = _TLS.store.get(idx)
+            if arr is None:
+                arr = _TLS.store[idx] = np.zeros(shape, dtype=dtype)
+        return arr
+
+
+shared = _Shared()
+
+
+def _run_block(fn, block: int, block_dim: int, args) -> None:
+    barrier = threading.Barrier(block_dim)
+    store: dict = {}
+    lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def worker(tid: int) -> None:
+        _TLS.tid = tid
+        _TLS.block = block
+        _TLS.barrier = barrier
+        _TLS.store = store
+        _TLS.lock = lock
+        _TLS.alloc = 0
+        try:
+            # xorshift64* scrambling relies on wrapping uint64 arithmetic;
+            # errstate is thread-local, so suppress per worker
+            with np.errstate(over="ignore"):
+                fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+            barrier.abort()  # release peers stuck in syncthreads
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,), daemon=True)
+        for tid in range(block_dim)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        for exc in errors:
+            if not isinstance(exc, threading.BrokenBarrierError):
+                raise exc
+        raise errors[0]
+
+
+class _StubKernel:
+    """``kernel[grid, block](*args)`` launcher running blocks in sequence."""
+
+    __slots__ = ("_fn",)
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+
+    def __getitem__(self, config):
+        grid, block = config
+
+        def launch(*args):
+            for b in range(int(grid)):
+                _run_block(self._fn, b, int(block), args)
+
+        return launch
+
+
+def jit(func_or_sig=None, device: bool = False, **kwargs):
+    """Accepts the bare, keyword and ``device=True`` decorator forms."""
+    if device:
+
+        def passthrough(fn):
+            return fn
+
+        return passthrough
+    if callable(func_or_sig):
+        return _StubKernel(func_or_sig)
+
+    def decorate(fn):
+        return _StubKernel(fn)
+
+    return decorate

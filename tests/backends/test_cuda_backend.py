@@ -1,0 +1,330 @@
+"""CUDA backend parity and wiring tests.
+
+Runs against whatever ``numba.cuda`` runtime is present — real hardware or
+the CUDA simulator (``NUMBA_ENABLE_CUDASIM=1``, the CI ``cuda-sim`` job) —
+and falls back to the pure-Python stub in ``tests/backends/cuda_stub.py``
+when neither is available, so the kernels' cooperative structure is
+exercised on every box.  The parity assertions are the backend contract:
+the fused cuda phases must reproduce the numpy stepwise trajectory
+bit-exactly, including the final RNG lane states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.backends.cuda as cuda_mod
+from repro.backends import (
+    BackendUnavailableError,
+    available_backends,
+    backend_names,
+    get_backend,
+    prepare_problem,
+    resolve_backend,
+)
+from repro.backends.base import GreedyTruncationWarning
+from repro.core.delta import BatchDeltaState
+from repro.core.rng import XorShift64Star, host_generator, spawn_device_seeds
+from repro.core.sparse import SparseQUBOModel
+from repro.search.batch import BatchSearchConfig, BestTracker, run_batch_search
+from repro.search.cyclicmin import CyclicMinSearch
+from repro.search.maxmin import MaxMinSearch
+from repro.search.positivemin import PositiveMinSearch
+from repro.search.randommin import RandomMinSearch
+from repro.search.tabu import TabuTracker
+from repro.search.twoneighbor import TwoNeighborSearch
+from tests.backends import cuda_stub
+from tests.conftest import random_qubo
+
+ALGORITHMS = [
+    MaxMinSearch,
+    CyclicMinSearch,
+    RandomMinSearch,
+    PositiveMinSearch,
+    TwoNeighborSearch,
+]
+
+N = 24
+BATCH = 5
+
+
+@pytest.fixture(scope="module", autouse=True)
+def cuda_runtime():
+    """Use the real ``numba.cuda`` when it can run (hardware or CUDASIM);
+    otherwise swap in the stub for this module only.  A small block width
+    keeps the threaded stub and the simulator fast while still exercising
+    the tree reductions."""
+    from repro.backends import _lookup
+
+    _lookup("cuda")  # materialize the lazy registration
+    mp = pytest.MonkeyPatch()
+    if not cuda_mod.CudaBackend.is_available():
+        mp.setattr(cuda_mod, "cuda", cuda_stub)
+        mp.setattr(cuda_mod, "_CUDA_IMPORT_ERROR", None)
+    mp.setenv(cuda_mod._TPB_ENV, "4")
+    cuda_mod._clear_kernel_cache()
+    yield
+    mp.undo()
+    cuda_mod._clear_kernel_cache()
+
+
+def dense_model():
+    return random_qubo(N, seed=3, density=0.4)
+
+
+def sparse_model():
+    return SparseQUBOModel.from_dense(dense_model())
+
+
+def run_search(model, algorithm_cls, backend, fused, tabu_period):
+    """One full batch search; returns every observable of the trajectory."""
+    config = BatchSearchConfig(batch_flip_factor=2.0, tabu_period=tabu_period)
+    state = BatchDeltaState(model, batch=BATCH, backend=backend)
+    host = np.random.default_rng(6)
+    state.reset(host.integers(0, 2, size=(BATCH, model.n), dtype=np.uint8))
+    lanes = XorShift64Star(spawn_device_seeds(host_generator(5), (BATCH, model.n)))
+    targets = host.integers(0, 2, size=(BATCH, model.n), dtype=np.uint8)
+    tracker, flips = run_batch_search(
+        state, targets, algorithm_cls(), lanes, config, fused=fused
+    )
+    return {
+        "x": state.x.copy(),
+        "energy": state.energy.copy(),
+        "flips": flips,
+        "best_x": tracker.best_x.copy(),
+        "best_energy": tracker.best_energy.copy(),
+        "greedy_truncated": tracker.greedy_truncated.copy(),
+        "lanes": lanes.state.copy(),
+    }
+
+
+def assert_same_trajectory(ref, got, label):
+    for key, expected in ref.items():
+        assert np.array_equal(got[key], expected), f"{key} diverged for {label}"
+
+
+@pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+@pytest.mark.parametrize("tabu_period", [0, 8])
+def test_cuda_fused_matches_numpy_stepwise(algorithm_cls, tabu_period):
+    """Full searches on the device kernels are bit-exact vs the reference."""
+    model = dense_model()
+    ref = run_search(model, algorithm_cls, "numpy-dense", False, tabu_period)
+    got = run_search(model, algorithm_cls, "cuda", True, tabu_period)
+    assert_same_trajectory(
+        ref, got, f"{algorithm_cls.__name__} (tabu_period={tabu_period})"
+    )
+
+
+@pytest.mark.parametrize("algorithm_cls", [MaxMinSearch, RandomMinSearch])
+def test_cuda_sparse_ell_matches_reference(algorithm_cls):
+    """The ELL coupling path on the device matches the CSR host reference."""
+    model = sparse_model()
+    ref = run_search(model, algorithm_cls, "numpy-sparse", False, 8)
+    got = run_search(model, algorithm_cls, "cuda", True, 8)
+    assert_same_trajectory(ref, got, f"{algorithm_cls.__name__} (sparse/ELL)")
+
+
+def test_cuda_sparse_csr_matches_reference(monkeypatch):
+    """Degree-skewed graphs (no ELL) use the CSR-range device path."""
+    import repro.backends.numpy_sparse as nps
+
+    monkeypatch.setattr(nps, "_ELL_MAX_BLOWUP", 0.0)
+    model = sparse_model()
+    ref = run_search(model, MaxMinSearch, "numpy-sparse", False, 8)
+    got = run_search(model, MaxMinSearch, "cuda", True, 8)
+    assert got["x"].shape == ref["x"].shape  # sanity: both actually ran
+    assert_same_trajectory(ref, got, "MaxMinSearch (sparse/CSR)")
+
+
+def test_cuda_wide_tabu_all_tabu_fallback():
+    """tabu_period ≥ n exercises the all-tabu full-fallback branch."""
+    model = dense_model()
+    ref = run_search(model, MaxMinSearch, "numpy-dense", False, N + 6)
+    got = run_search(model, MaxMinSearch, "cuda", True, N + 6)
+    assert_same_trajectory(ref, got, "MaxMinSearch (wide tabu)")
+
+
+def test_cuda_tpb_one_degenerate_block(monkeypatch):
+    """A one-thread block degenerates every reduction; still bit-exact."""
+    monkeypatch.setenv(cuda_mod._TPB_ENV, "1")
+    model = dense_model()
+    ref = run_search(model, MaxMinSearch, "numpy-dense", False, 8)
+    got = run_search(model, MaxMinSearch, "cuda", True, 8)
+    assert_same_trajectory(ref, got, "MaxMinSearch (tpb=1)")
+
+
+class TestLargeNRngParity:
+    """Integer-key RNG parity at large n (the int64-guard edge of PR 3):
+    keys stay 53-bit exact and every lane advances in canonical order even
+    when n is far beyond the block width (here 521 lanes over 4 threads,
+    with a non-divisible remainder)."""
+
+    N_LARGE = 521
+
+    def run_main(self, backend, algorithm_cls, iters=6):
+        n = self.N_LARGE
+        model = random_qubo(n, seed=11, density=0.05)
+        state = BatchDeltaState(model, batch=2, backend=backend)
+        host = np.random.default_rng(4)
+        state.reset(host.integers(0, 2, size=(2, n), dtype=np.uint8))
+        lanes = XorShift64Star(spawn_device_seeds(host_generator(9), (2, n)))
+        tabu = TabuTracker(2, n, 8)
+        tracker = BestTracker(state)
+        alg = algorithm_cls()
+        alg.begin(state, iters)
+        spec = alg.lower(state, iters)
+        flips = state.backend.run_main_phase(state, spec, iters, lanes, tabu, tracker)
+        return {
+            "x": state.x.copy(),
+            "energy": state.energy.copy(),
+            "delta": state.delta.copy(),
+            "flips": flips,
+            "stamps": tabu.stamps.copy(),
+            "best_x": tracker.best_x.copy(),
+            "best_energy": tracker.best_energy.copy(),
+            "lanes": lanes.state.copy(),
+        }
+
+    @pytest.mark.parametrize("algorithm_cls", [MaxMinSearch, RandomMinSearch])
+    def test_main_phase_parity(self, algorithm_cls):
+        ref = self.run_main("numpy-dense", algorithm_cls)
+        got = self.run_main("cuda", algorithm_cls)
+        assert_same_trajectory(ref, got, f"{algorithm_cls.__name__} (n=521)")
+
+
+class TestGreedyTruncation:
+    """`greedy_truncations` surface identically on the cuda path."""
+
+    def run_greedy(self, backend, max_iters):
+        model = dense_model()
+        state = BatchDeltaState(model, batch=3, backend=backend)
+        state.reset(np.ones((3, model.n), dtype=np.uint8))
+        tabu = TabuTracker(3, model.n, 8)
+        tracker = BestTracker(state)
+        flips, truncated = state.backend.run_greedy_phase(
+            state, tabu, tracker, max_iters=max_iters
+        )
+        return state, flips, truncated
+
+    def test_truncated_descent_warns_flags_and_matches(self):
+        with pytest.warns(GreedyTruncationWarning):
+            state, flips, truncated = self.run_greedy("cuda", 1)
+        with pytest.warns(GreedyTruncationWarning):
+            ref_state, ref_flips, ref_truncated = self.run_greedy("numpy-dense", 1)
+        assert truncated.any()
+        assert np.array_equal(truncated, ref_truncated)
+        assert np.array_equal(flips, ref_flips)
+        assert np.array_equal(state.x, ref_state.x)
+        assert np.array_equal(state.energy, ref_state.energy)
+        assert np.array_equal(truncated, ~state.is_local_minimum())
+
+    def test_converged_descent_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            state, flips, truncated = self.run_greedy("cuda", None)
+        assert not truncated.any()
+        assert np.all(state.is_local_minimum())
+
+
+class TestDeviceMemoryOwnership:
+    def test_device_mirror_persists_across_phases(self):
+        """Per-state device buffers are allocated once and re-staged."""
+        model = dense_model()
+        state = BatchDeltaState(model, batch=2, backend="cuda")
+        state.reset(np.ones((2, model.n), dtype=np.uint8))
+        tabu = TabuTracker(2, model.n, 8)
+        tracker = BestTracker(state)
+        state.backend.run_greedy_phase(state, tabu, tracker)
+        mirror = state.device
+        assert isinstance(mirror, cuda_mod._DeviceMirror)
+        state.reset(np.ones((2, model.n), dtype=np.uint8))
+        tracker.reset(state)
+        state.backend.run_greedy_phase(state, tabu, tracker)
+        assert state.device is mirror  # no reallocation churn
+
+    def test_prepared_problem_carries_device_tables(self):
+        """ProblemCache-style reuse: one upload, shared by many states."""
+        model = dense_model()
+        prep = prepare_problem(model, "cuda")
+        assert isinstance(prep.kernel, cuda_mod._CudaKernel)
+        s1 = BatchDeltaState(model, batch=2, backend=prep.backend, kernel=prep.kernel)
+        s2 = BatchDeltaState(model, batch=3, backend=prep.backend, kernel=prep.kernel)
+        assert s1.kernel is prep.kernel and s2.kernel is prep.kernel
+        # attribute forwarding keeps the stepwise host paths working
+        assert np.array_equal(prep.kernel.lin, np.asarray(model.linear))
+
+    def test_stepwise_host_path_delegates(self):
+        """Stepwise flips run on the host delegate, bit-exactly."""
+        model = dense_model()
+        ref = run_search(model, MaxMinSearch, "numpy-dense", False, 8)
+        got = run_search(model, MaxMinSearch, "cuda", False, 8)
+        assert_same_trajectory(ref, got, "MaxMinSearch (cuda stepwise)")
+
+
+class TestRegistryAndConfig:
+    def test_cuda_always_in_backend_names(self):
+        assert "cuda" in backend_names()
+
+    def test_cuda_available_under_runtime(self):
+        assert "cuda" in available_backends()
+        backend = get_backend("cuda")
+        assert isinstance(backend, cuda_mod.CudaBackend)
+
+    def test_unavailable_error_names_and_lists_backends(self, monkeypatch):
+        monkeypatch.setattr(cuda_mod, "cuda", None)
+        monkeypatch.setattr(
+            cuda_mod, "_CUDA_IMPORT_ERROR", "No module named 'numba'"
+        )
+        with pytest.raises(BackendUnavailableError) as excinfo:
+            get_backend("cuda")
+        message = str(excinfo.value)
+        assert "'cuda'" in message
+        assert "registered:" in message and "available:" in message
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = resolve_backend("cuda", dense_model())
+        assert backend.name == "numpy-dense"
+
+    def test_config_accepts_cuda(self):
+        from repro.solver.dabs import DABSConfig
+
+        DABSConfig(backend="cuda")  # validates regardless of availability
+
+    def test_tpb_env_validation(self, monkeypatch):
+        monkeypatch.setenv(cuda_mod._TPB_ENV, "3")
+        with pytest.raises(ValueError, match="power of two"):
+            cuda_mod._threads_per_block()
+        monkeypatch.setenv(cuda_mod._TPB_ENV, "2048")
+        with pytest.raises(ValueError, match="power of two"):
+            cuda_mod._threads_per_block()
+        monkeypatch.delenv(cuda_mod._TPB_ENV)
+        assert cuda_mod._threads_per_block() == cuda_mod._TPB_DEFAULT
+
+    def test_float_dense_model_rejected(self):
+        from repro.core.qubo import QUBOModel
+
+        mat = np.zeros((4, 4))
+        mat[0, 1] = 1.5
+        model = QUBOModel(mat, name="f")
+        backend = get_backend("cuda")
+        assert not backend.supports(model)
+        with pytest.raises(ValueError, match="integer couplings"):
+            backend.prepare(model)
+
+
+def test_solver_end_to_end_matches_numpy():
+    """DABSConfig(backend="cuda") solves bit-identically to numpy-dense."""
+    from repro.solver.dabs import DABSConfig, DABSSolver
+
+    model = random_qubo(12, seed=5, density=0.5)
+
+    def solve(backend):
+        config = DABSConfig(num_gpus=1, blocks_per_gpu=2, backend=backend)
+        return DABSSolver(model, config, seed=7).solve(max_rounds=1)
+
+    ref = solve("numpy-dense")
+    got = solve("cuda")
+    assert got.best_energy == ref.best_energy
+    assert np.array_equal(got.best_vector, ref.best_vector)

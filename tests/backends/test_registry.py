@@ -26,12 +26,43 @@ class TestRegistry:
         assert {"numpy-dense", "numpy-sparse"} <= set(backend_names())
         assert {"numpy-dense", "numpy-sparse"} <= set(available_backends())
 
-    def test_numba_registered_even_when_missing(self):
-        assert "numba" in backend_names()
+    def test_optional_backends_registered_even_when_missing(self):
+        """numba/cuda names are always known (lazily imported on use)."""
+        assert {"numba", "cuda"} <= set(backend_names())
 
     def test_get_backend_unknown_name(self):
         with pytest.raises(ValueError, match="unknown backend"):
-            get_backend("cuda")
+            get_backend("fpga")
+
+    def test_unknown_backend_error_lists_known_backends(self):
+        """Errors name the request and list registered + available names."""
+        with pytest.raises(ValueError, match="registered:.*available:"):
+            get_backend("fpga")
+        with pytest.raises(ValueError, match="'fpga'"):
+            get_backend("fpga")
+
+    def test_optional_backends_never_break_import(self):
+        """`import repro` must not import numba; the lazy registry defers
+        the optional modules until a backend function first needs them."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "sys.modules['numba'] = None  # poison: any import attempt fails\n"
+            "import repro\n"
+            "from repro.backends import backend_names\n"
+            "assert 'cuda' in backend_names()\n"
+            "print('ok')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ok"
 
     def test_get_backend_returns_singleton(self):
         assert get_backend("numpy-dense") is get_backend("numpy-dense")
@@ -149,6 +180,18 @@ class TestResolve:
             backend = resolve_backend("numba", model)
         assert backend.name == "numpy-dense"
 
+    def test_unavailable_cuda_falls_back_with_warning(self):
+        from repro.backends import CudaBackend
+
+        if CudaBackend.is_available():
+            pytest.skip("cuda runtime present — no fallback to exercise")
+        model = random_qubo(8, seed=0)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            backend = resolve_backend("cuda", model)
+        assert backend.name == "numpy-dense"
+        with pytest.raises(BackendUnavailableError, match="'cuda'"):
+            get_backend("cuda")
+
     def test_custom_backend_registration(self):
         class _Probe(ComputeBackend):
             name = "probe-test"
@@ -173,7 +216,7 @@ class TestResolve:
 
 class TestConfigValidation:
     def test_config_accepts_known_backends(self):
-        for name in ("auto", "numpy-dense", "numpy-sparse", "numba", None):
+        for name in ("auto", "numpy-dense", "numpy-sparse", "numba", "cuda", None):
             assert DABSConfig(backend=name).backend == name
 
     def test_config_rejects_unknown_backend(self):

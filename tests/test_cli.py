@@ -33,7 +33,14 @@ class TestParser:
 
     def test_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["x", "--backend", "cuda"])
+            build_parser().parse_args(["x", "--backend", "fpga"])
+
+    def test_accepts_optional_backends(self):
+        # registered even when the package is missing; availability is
+        # resolved (with fallback) at solve time, not at parse time
+        for name in ("numba", "cuda"):
+            args = build_parser().parse_args(["x", "--backend", name])
+            assert args.backend == name
 
     def test_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
