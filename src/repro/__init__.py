@@ -26,6 +26,7 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.solver`    — the DABS solver and the ABS baseline
 * :mod:`repro.service`   — multi-tenant solve service over one shared fleet
 * :mod:`repro.federation` — process-per-island sharding with elite migration
+* :mod:`repro.resilience` — retry policies, failure reports, chaos injection
 * :mod:`repro.problems`  — MaxCut/QAP/QASP/TSP reductions and generators
 * :mod:`repro.topology`  — Pegasus and Chimera annealer graphs
 * :mod:`repro.baselines` — SA, tabu, SBM, exact B&B, hybrid, annealer sim
@@ -55,6 +56,7 @@ from repro.core import (
     sparse_ising_to_qubo,
 )
 from repro.federation import Federation, FederationHandle
+from repro.resilience import FailureReport, RetryPolicy
 from repro.search.batch import BatchSearchConfig
 from repro.service import JobHandle, JobStatus, ProblemCache, SolveService
 from repro.solver import ABSSolver, DABSConfig, DABSSolver, SolveResult
@@ -69,6 +71,7 @@ __all__ = [
     "DABSConfig",
     "DABSSolver",
     "DeltaState",
+    "FailureReport",
     "Federation",
     "FederationHandle",
     "GeneticOp",
@@ -80,6 +83,7 @@ __all__ = [
     "PacketBatch",
     "ProblemCache",
     "QUBOModel",
+    "RetryPolicy",
     "SolveResult",
     "SolveService",
     "SparseQUBOModel",

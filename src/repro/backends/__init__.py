@@ -46,6 +46,7 @@ from scipy import sparse as sp
 
 from repro.backends.base import (
     INT_SENTINEL,
+    BackendFallbackWarning,
     BackendUnavailableError,
     ComputeBackend,
     GreedyTruncationWarning,
@@ -58,6 +59,7 @@ from repro.backends.numpy_sparse import NumpySparseBackend
 __all__ = [
     "AUTO_SPARSE_DENSITY",
     "AUTO_SPARSE_MIN_N",
+    "BackendFallbackWarning",
     "BackendUnavailableError",
     "ComputeBackend",
     "CudaBackend",
@@ -71,6 +73,7 @@ __all__ = [
     "auto_backend_name",
     "available_backends",
     "backend_names",
+    "fallback_backend",
     "get_backend",
     "masked_argmin",
     "prepare_problem",
@@ -238,6 +241,34 @@ def resolve_backend(spec, model) -> ComputeBackend:
         )
         return _lookup(fallback)
     return backend
+
+
+def fallback_backend(current, model) -> ComputeBackend | None:
+    """The backend a failing *current* backend degrades to, or None.
+
+    Candidates, in order: the ``auto`` choice for *model*, then
+    ``numpy-dense``, then ``numpy-sparse`` — skipping *current* itself, so
+    a failing ``numpy-dense`` can still degrade to the CSR kernels.  Only
+    available backends that can represent *model* exactly qualify; the
+    NumPy pair has no runtime dependencies, so in practice a fallback
+    always exists unless *current* is the only representation (a sparse
+    model on ``numpy-sparse``).
+    """
+    current_name = getattr(current, "name", None)
+    candidates = [
+        auto_backend_name(model),
+        NumpyDenseBackend.name,
+        NumpySparseBackend.name,
+    ]
+    for name in candidates:
+        if name == current_name:
+            continue
+        backend = _lookup(name)
+        if backend is None or backend is current:
+            continue
+        if backend.is_available() and backend.supports(model):
+            return backend
+    return None
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,17 @@ class BackendUnavailableError(RuntimeError):
     """Raised when a requested backend's runtime dependency is missing."""
 
 
+class BackendFallbackWarning(RuntimeWarning):
+    """A backend failed at prepare or mid-launch and the solve degraded to
+    the next available backend instead of crashing (DESIGN.md §11).
+
+    The result is still valid — every backend computes the same search —
+    but the failing launch was re-run on the replacement kernels, so a
+    ``virtual_time`` replay is no longer guaranteed bit-exact against a
+    fault-free run on the original backend.
+    """
+
+
 def greedy_iteration_cap(n: int) -> int:
     """Default greedy-descent safety cap (``16·n + 64``).
 

@@ -42,6 +42,7 @@ from repro.baselines.tabu_search import TabuSearchConfig, tabu_search
 from repro.core.qubo import QUBOModel
 from repro.io.formats import load_instance
 from repro.problems.maxcut import cut_value
+from repro.resilience import chaos
 from repro.problems.qap import decode_assignment
 from repro.search.batch import BatchSearchConfig
 from repro.solver.abs_solver import ABSSolver
@@ -227,6 +228,11 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(f"error: {ENGINE_ENV_VAR}: {exc}", file=sys.stderr)
             return 2
+    try:
+        chaos.config_from_env(os.environ)
+    except ValueError as exc:
+        print(f"error: {chaos.ENV_SPEC}: {exc}", file=sys.stderr)
+        return 2
     print(f"instance: {model.name} ({model.n} variables, "
           f"{model.num_interactions} interactions)")
     vector, energy, detail = _solve(model, args)

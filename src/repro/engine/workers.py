@@ -18,9 +18,9 @@ fetches work, runs a bulk search, and returns solutions at its own pace
 * :class:`ProcessWorkerGroup` — one forked child process per device,
   exchanging whole :class:`~repro.core.packet.PacketBatch` columns through
   :class:`~repro.core.packet.SharedBatchSlab` shared-memory slots.  Only a
-  tiny ``(kind, seq, slot)`` tuple crosses the queue — no array is ever
-  pickled — so the engine sidesteps the GIL entirely for backends whose
-  kernels hold it (the numba JIT path).
+  tiny control tuple crosses the queue — no array is ever pickled — so the
+  engine sidesteps the GIL entirely for backends whose kernels hold it
+  (the numba JIT path).
 
 Both groups push :class:`LaunchCompletion` records onto one host-side
 completion stream; the engine consumes them with
@@ -28,22 +28,45 @@ completion stream; the engine consumes them with
 Failures travel the same stream and surface as :class:`WorkerError` on the
 host, so a dead device can never strand the event loop.
 
+Supervision (DESIGN.md §11): with a
+:class:`~repro.resilience.RetryPolicy` the groups become *supervised* —
+every launch is recorded as a ticketed ``(lane, device, seq, batch)``
+in-flight entry, and a fault (worker exception, dead child process, hung
+launch past ``launch_timeout``) re-issues the recorded launch on a fresh
+lane/child after capped exponential backoff instead of failing the solve.
+The re-issue replays the identical batch at the identical per-device
+sequence number, so ``virtual_time`` replay stays bit-exact whenever the
+fault pre-empted the launch (chaos injection, a killed worker) and
+free-running results stay valid in every case.  Once ``max_retries`` or
+the per-job ``failure_budget`` is exhausted, the fault surfaces as a
+:class:`WorkerError` carrying a structured
+:class:`~repro.resilience.FailureReport` — failing only the owning job.
+
 Lifecycle: groups are context managers and :meth:`~WorkerGroup.close` is
-idempotent; closing joins every thread/process (terminating stuck children)
-so a solve that raises mid-flight leaks nothing.
+idempotent; closing joins every thread/process, escalating from a stop
+sentinel through ``terminate()`` to ``kill()`` for stuck children, so a
+solve that raises mid-flight leaks nothing.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import os
 import queue
+import threading
+import time
 import traceback
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.packet import PacketBatch, SharedBatchSlab
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosError
+from repro.resilience.policy import FailureReport, RetryPolicy
 
 __all__ = [
     "FleetWorkerGroup",
@@ -56,20 +79,32 @@ __all__ = [
 #: thread-name / process-name prefix, asserted by the leak regression tests
 WORKER_NAME_PREFIX = "engine-vgpu"
 
+#: exit code a chaos ``worker_kill`` child death uses (tests assert it)
+CHAOS_EXIT_CODE = 17
+
 
 class WorkerError(RuntimeError):
     """A device worker failed; carries the device id and its traceback.
 
     ``tag`` is the opaque submission tag of the failed launch (None for
     untagged single-tenant groups) — the service uses it to fail only the
-    owning job instead of the whole fleet.
+    owning job instead of the whole fleet.  ``report`` is the structured
+    :class:`~repro.resilience.FailureReport` when a supervised group
+    exhausted its retry policy (None on unsupervised failures).
     """
 
-    def __init__(self, device_id: int, detail: str, tag: object = None) -> None:
+    def __init__(
+        self,
+        device_id: int,
+        detail: str,
+        tag: object = None,
+        report: FailureReport | None = None,
+    ) -> None:
         super().__init__(f"device worker {device_id} failed:\n{detail}")
         self.device_id = device_id
         self.detail = detail
         self.tag = tag
+        self.report = report
 
 
 @dataclass(frozen=True)
@@ -104,6 +139,48 @@ class _Failure:
         self.tag = tag
 
 
+class _LaunchRecord:
+    """Host-side record of one in-flight launch — everything needed to
+    re-issue it verbatim after a fault (same batch, same seq)."""
+
+    __slots__ = (
+        "lane",
+        "device_id",
+        "seq",
+        "gpu",
+        "batch",
+        "tag",
+        "slot",
+        "attempts",
+        "deadline",
+        "failures",
+    )
+
+    def __init__(self, lane, device_id, seq, gpu, batch, tag, slot=None):
+        self.lane = lane
+        self.device_id = device_id
+        self.seq = seq
+        self.gpu = gpu
+        self.batch = batch
+        self.tag = tag
+        self.slot = slot
+        self.attempts = 1
+        self.deadline = None
+        self.failures: list[str] = []
+
+
+def _fault_key(tag: object) -> object:
+    """The per-job failure-budget key of a submission tag.
+
+    Service tags are ``(job_id, device_id)`` tuples — the budget is per
+    job, not per device.  Untagged single-tenant submissions share one
+    ``None`` bucket (one solve per group there, so it is per-job too).
+    """
+    if isinstance(tag, tuple) and tag:
+        return tag[0]
+    return tag
+
+
 class FleetWorkerGroup:
     """One single-thread executor per lane, shared by any number of tenants.
 
@@ -114,19 +191,39 @@ class FleetWorkerGroup:
     still serializes everything submitted to one lane, which is what lets
     a job pin its per-device state to a lane and keep depth > 1 launches
     in flight without locking.
+
+    With *retry* the group is supervised: faults re-issue the recorded
+    launch (fresh lane thread if the old one is hung) instead of raising,
+    until the policy's budgets run out.
     """
 
-    def __init__(self, num_lanes: int) -> None:
+    def __init__(self, num_lanes: int, retry: RetryPolicy | None = None) -> None:
         if num_lanes < 1:
             raise ValueError("num_lanes must be >= 1")
+        self.retry = retry
         self._completions: queue.Queue = queue.Queue()
-        self._executors = [
-            ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix=f"{WORKER_NAME_PREFIX}{i}"
-            )
-            for i in range(num_lanes)
-        ]
+        self._executors = [self._make_executor(i) for i in range(num_lanes)]
         self._closed = False
+        self._tickets = itertools.count(1)
+        #: ticket -> in-flight record; a popped/absent ticket marks a
+        #: superseded launch whose late completion must be dropped
+        self._records: dict[int, _LaunchRecord] = {}
+        self._records_lock = threading.Lock()
+        self._timers: set[threading.Timer] = set()
+        #: faults absorbed per job key (budget accounting)
+        self._fault_counts: dict[object, int] = {}
+        #: re-issues performed per job key (result annotation)
+        self.retry_counts: dict[object, int] = {}
+        #: total launches re-issued after a fault
+        self.retries = 0
+        #: lane executors replaced after a hang
+        self.respawns = 0
+
+    @staticmethod
+    def _make_executor(lane: int) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"{WORKER_NAME_PREFIX}{lane}"
+        )
 
     @property
     def num_lanes(self) -> int:
@@ -147,7 +244,18 @@ class FleetWorkerGroup:
         device index and per-device launch sequence) and are echoed back
         on the completion along with *tag*.
         """
-        self._executors[lane].submit(self._run, device_id, seq, gpu, batch, tag)
+        record = _LaunchRecord(lane, device_id, seq, gpu, batch, tag)
+        self._submit_record(record)
+
+    def _submit_record(self, record: _LaunchRecord) -> None:
+        ticket = next(self._tickets)
+        with self._records_lock:
+            if self._closed:
+                return
+            if self.retry is not None and self.retry.launch_timeout is not None:
+                record.deadline = time.monotonic() + self.retry.launch_timeout
+            self._records[ticket] = record
+        self._executors[record.lane].submit(self._run, ticket)
 
     def run_on(self, lane: int, fn, tag: object = None) -> None:
         """Queue an arbitrary callable (e.g. a device reset) behind the
@@ -155,7 +263,8 @@ class FleetWorkerGroup:
 
         Exceptions are routed onto the completion stream as
         :class:`WorkerError` (with *tag*) just like launch failures —
-        never swallowed by the unchecked future.
+        never swallowed by the unchecked future.  Resets are not retried
+        (they are idempotent and re-queued by the owner on demand).
         """
         self._executors[lane].submit(self._run_guarded, lane, fn, tag)
 
@@ -165,50 +274,180 @@ class FleetWorkerGroup:
         except BaseException:
             self._completions.put(_Failure(lane, traceback.format_exc(), tag))
 
-    def _run(self, device_id: int, seq: int, gpu, batch: PacketBatch, tag) -> None:
+    def _run(self, ticket: int) -> None:
+        with self._records_lock:
+            record = self._records.get(ticket)
+        if record is None:  # superseded before it started
+            return
         try:
+            if chaos.fire("worker_kill", who=record.device_id):
+                raise ChaosError(
+                    f"chaos: worker lane killed (device {record.device_id})"
+                )
+            if chaos.fire("launch_exception", who=record.device_id):
+                raise ChaosError(
+                    f"chaos: injected launch exception "
+                    f"(device {record.device_id})"
+                )
+            gpu = record.gpu
             trunc0 = gpu.greedy_truncations
             events0 = gpu.truncation_events
-            result, flips = gpu.launch(batch)
+            result, flips = gpu.launch(record.batch)
             self._completions.put(
-                LaunchCompletion(
-                    device_id,
-                    seq,
-                    result,
-                    flips,
-                    gpu.greedy_truncations - trunc0,
-                    gpu.truncation_events - events0,
-                    tag,
+                (
+                    ticket,
+                    LaunchCompletion(
+                        record.device_id,
+                        record.seq,
+                        result,
+                        flips,
+                        gpu.greedy_truncations - trunc0,
+                        gpu.truncation_events - events0,
+                        record.tag,
+                    ),
                 )
             )
         except BaseException:
             self._completions.put(
-                _Failure(device_id, traceback.format_exc(), tag)
+                (
+                    ticket,
+                    _Failure(
+                        record.device_id, traceback.format_exc(), record.tag
+                    ),
+                )
             )
 
     def next_completion(self, timeout: float) -> LaunchCompletion | None:
-        """The next finished launch, in completion order; None on timeout.
+        """The next finished launch, in completion order; None on timeout
+        (or while a fault is being retried internally).
 
-        A failed launch surfaces as :class:`WorkerError` carrying the
-        submission tag, so a multi-tenant caller can fail one job without
-        tearing the fleet down.
+        A failed launch whose retry policy is exhausted surfaces as
+        :class:`WorkerError` carrying the submission tag and a
+        :class:`~repro.resilience.FailureReport`, so a multi-tenant
+        caller can fail one job without tearing the fleet down.
         """
+        self._check_deadlines()
         try:
             item = self._completions.get(timeout=timeout)
         except queue.Empty:
             return None
-        if isinstance(item, _Failure):
+        if isinstance(item, _Failure):  # a run_on (reset) failure
             raise WorkerError(item.device_id, item.detail, item.tag)
-        return item
+        ticket, payload = item
+        with self._records_lock:
+            record = self._records.pop(ticket, None)
+        if record is None:
+            return None  # superseded launch: result already re-issued
+        if isinstance(payload, _Failure):
+            return self._handle_fault(record, payload.detail, kind="launch")
+        return payload
 
-    def close(self) -> None:
-        """Join every worker thread; queued-but-unstarted launches are
-        dropped.  Idempotent."""
+    # -- supervision -------------------------------------------------------
+    def _handle_fault(
+        self, record: _LaunchRecord, detail: str, kind: str
+    ) -> None:
+        """Absorb one fault: re-issue after backoff, or raise when the
+        policy is exhausted.  Returns None (the caller polls again)."""
+        record.failures.append(detail)
+        key = _fault_key(record.tag)
+        with self._records_lock:
+            faults = self._fault_counts.get(key, 0) + 1
+            self._fault_counts[key] = faults
+        retry = self.retry
+        budget_left = retry is not None and (
+            retry.failure_budget is None or faults <= retry.failure_budget
+        )
+        if (
+            retry is None
+            or record.attempts > retry.max_retries
+            or not budget_left
+            or self._closed
+        ):
+            report = FailureReport(
+                kind=kind,
+                device_id=record.device_id,
+                attempts=record.attempts,
+                retries=record.attempts - 1,
+                fatal=True,
+                details=tuple(record.failures),
+            )
+            raise WorkerError(record.device_id, detail, record.tag, report)
+        record.attempts += 1
+        with self._records_lock:
+            self.retries += 1
+            self.retry_counts[key] = self.retry_counts.get(key, 0) + 1
+        delay = retry.delay(record.attempts - 1)
+        if delay <= 0:
+            self._submit_record(record)
+            return None
+        timer = threading.Timer(delay, self._resubmit, args=(record,))
+        timer.daemon = True
+        with self._records_lock:
+            if self._closed:
+                return None
+            self._timers.add(timer)
+        timer.start()
+        return None
+
+    def _resubmit(self, record: _LaunchRecord) -> None:
+        with self._records_lock:
+            self._timers = {t for t in self._timers if t.is_alive()}
+            if self._closed:
+                return
+        self._submit_record(record)
+
+    def _check_deadlines(self) -> None:
+        """Hang detection: supersede overdue launches, respawn their
+        lanes and re-issue — a stuck lane thread cannot be killed, but it
+        can be abandoned (its late completion drops by ticket)."""
+        retry = self.retry
+        if retry is None or retry.launch_timeout is None:
+            return
+        now = time.monotonic()
+        overdue: list[_LaunchRecord] = []
+        with self._records_lock:
+            for ticket, record in list(self._records.items()):
+                if record.deadline is not None and now > record.deadline:
+                    del self._records[ticket]
+                    overdue.append(record)
+        for record in overdue:
+            self._respawn_lane(record.lane)
+            self._handle_fault(
+                record,
+                f"launch exceeded deadline ({retry.launch_timeout}s) on "
+                f"lane {record.lane}",
+                kind="hang",
+            )
+
+    def _respawn_lane(self, lane: int) -> None:
+        """Abandon a (possibly hung) lane executor and stand up a fresh
+        one.  Queued-but-unstarted launches on the old executor are
+        cancelled; their records stay in flight and re-issue when their
+        own deadlines fire."""
+        old = self._executors[lane]
+        self._executors[lane] = self._make_executor(lane)
+        self.respawns += 1
+        old.shutdown(wait=False, cancel_futures=True)
+
+    def close(self, wait: bool = True) -> None:
+        """Join every worker thread; queued-but-unstarted launches and
+        pending retry timers are dropped.  Idempotent.
+
+        ``wait=False`` skips joining the lane threads — the escape hatch
+        a bounded service shutdown uses when a lane is known to be hung
+        inside a launch (the abandoned thread exits whenever its launch
+        finally returns; hard kills need process workers, DESIGN.md §11).
+        """
         if self._closed:
             return
         self._closed = True
+        with self._records_lock:
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
         for executor in self._executors:
-            executor.shutdown(wait=True, cancel_futures=True)
+            executor.shutdown(wait=wait, cancel_futures=True)
 
     def __enter__(self) -> "FleetWorkerGroup":
         return self
@@ -225,9 +464,9 @@ class ThreadWorkerGroup(FleetWorkerGroup):
     persists across ``solve()`` calls exactly like the round scheduler.
     """
 
-    def __init__(self, gpus) -> None:
+    def __init__(self, gpus, retry: RetryPolicy | None = None) -> None:
         self.gpus = list(gpus)
-        super().__init__(len(self.gpus))
+        super().__init__(len(self.gpus), retry=retry)
 
     @property
     def num_devices(self) -> int:
@@ -247,11 +486,12 @@ class ThreadWorkerGroup(FleetWorkerGroup):
 def _device_worker_main(device_id, gpu, task_queue, result_queue, slabs):
     """Child-process main loop: launch slots until told to stop.
 
-    Runs in a fork of the parent taken at group construction, so ``gpu``
-    (and the backend kernel cache inside it) arrives by memory inheritance
-    — nothing is pickled.  Batches arrive and results leave through the
-    fork-shared :class:`SharedBatchSlab` pages; the queues carry only
-    ``(kind, seq, slot)`` control tuples.
+    Runs in a fork of the parent taken at group construction (or at a
+    supervised respawn), so ``gpu`` (and the backend kernel cache inside
+    it) arrives by memory inheritance — nothing is pickled.  Batches
+    arrive and results leave through the fork-shared
+    :class:`SharedBatchSlab` pages; the queues carry only ``(kind,
+    ticket, slot)`` control tuples.
 
     CUDA contexts do **not** survive a fork: the cuda backend pid-stamps
     its device allocations and kernel handles and rebuilds them on first
@@ -268,7 +508,13 @@ def _device_worker_main(device_id, gpu, task_queue, result_queue, slabs):
             if kind == "reset":
                 gpu.reset()
                 continue
-            _, seq, slot = message
+            _, ticket, slot = message
+            if chaos.fire("worker_kill", who=device_id):
+                os._exit(CHAOS_EXIT_CODE)
+            if chaos.fire("launch_exception", who=device_id):
+                raise ChaosError(
+                    f"chaos: injected launch exception (device {device_id})"
+                )
             slab = slabs[slot]
             trunc0 = gpu.greedy_truncations
             events0 = gpu.truncation_events
@@ -278,7 +524,7 @@ def _device_worker_main(device_id, gpu, task_queue, result_queue, slabs):
                 (
                     "done",
                     device_id,
-                    seq,
+                    ticket,
                     slot,
                     gpu.greedy_truncations - trunc0,
                     gpu.truncation_events - events0,
@@ -308,9 +554,19 @@ class ProcessWorkerGroup:
     unlike the thread group — it does not persist into a later ``solve()``
     call on the same solver; each group starts from the state captured at
     the fork.
+
+    With *retry* the group is supervised: a dead or hung child is
+    terminated and **respawned** — the replacement forks from the parent
+    now, inheriting the same anonymous-mmap slabs (any fork made after a
+    slab's creation shares its pages) and the parent's snapshot of the
+    device state — and every launch that was in flight on the lost child
+    is re-stored from its host-kept batch and re-issued at its original
+    sequence number.
     """
 
-    def __init__(self, gpus, depth: int = 2) -> None:
+    def __init__(
+        self, gpus, depth: int = 2, retry: RetryPolicy | None = None
+    ) -> None:
         if depth < 1:
             raise ValueError("depth must be >= 1")
         gpus = list(gpus)
@@ -318,28 +574,48 @@ class ProcessWorkerGroup:
             raise WorkerError(
                 -1, "process workers need the fork start method (POSIX only)"
             )
-        ctx = multiprocessing.get_context("fork")
-        self._result_queue = ctx.Queue()
+        self.retry = retry
+        self._gpus = gpus
+        self._ctx = multiprocessing.get_context("fork")
+        self._result_queue = self._ctx.Queue()
         self._workers: list[_ProcessWorker] = []
         self._closed = False
+        self._tickets = itertools.count(1)
+        #: ticket -> in-flight record (consumer-thread only, no lock)
+        self._records: dict[int, _LaunchRecord] = {}
+        self._fault_counts: dict[object, int] = {}
+        self.retry_counts: dict[object, int] = {}
+        #: completions decoded ahead of delivery (respawn drains)
+        self._ready: deque = deque()
+        self.retries = 0
+        self.respawns = 0
         try:
             for device_id, gpu in enumerate(gpus):
                 slabs = [
                     SharedBatchSlab(gpu.num_blocks, gpu.model.n)
                     for _ in range(depth)
                 ]
-                task_queue = ctx.Queue()
-                process = ctx.Process(
-                    target=_device_worker_main,
-                    args=(device_id, gpu, task_queue, self._result_queue, slabs),
-                    name=f"{WORKER_NAME_PREFIX}{device_id}",
-                    daemon=True,
-                )
-                process.start()
-                self._workers.append(_ProcessWorker(process, task_queue, slabs))
+                self._workers.append(self._spawn(device_id, slabs))
         except BaseException:
             self.close()
             raise
+
+    def _spawn(self, device_id: int, slabs) -> _ProcessWorker:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_device_worker_main,
+            args=(
+                device_id,
+                self._gpus[device_id],
+                task_queue,
+                self._result_queue,
+                slabs,
+            ),
+            name=f"{WORKER_NAME_PREFIX}{device_id}",
+            daemon=True,
+        )
+        process.start()
+        return _ProcessWorker(process, task_queue, slabs)
 
     @property
     def num_devices(self) -> int:
@@ -354,47 +630,215 @@ class ProcessWorkerGroup:
             )
         slot = worker.free_slots.pop()
         worker.slabs[slot].store(batch)
-        worker.task_queue.put(("launch", seq, slot))
+        record = _LaunchRecord(
+            device_id,
+            device_id,
+            seq,
+            None,
+            # the host-kept copy a respawn re-stores (a dying child may
+            # have half-overwritten the slab with its result columns)
+            PacketBatch(
+                batch.vectors.copy(),
+                batch.energies.copy(),
+                batch.algorithms.copy(),
+                batch.operations.copy(),
+            )
+            if self.retry is not None
+            else None,
+            None,
+            slot=slot,
+        )
+        self._issue(record)
+
+    def _issue(self, record: _LaunchRecord) -> None:
+        ticket = next(self._tickets)
+        if self.retry is not None and self.retry.launch_timeout is not None:
+            record.deadline = time.monotonic() + self.retry.launch_timeout
+        self._records[ticket] = record
+        self._workers[record.device_id].task_queue.put(
+            ("launch", ticket, record.slot)
+        )
 
     def reset_device(self, device_id: int) -> None:
         """Queue a device reset behind that device's in-flight launches."""
         self._workers[device_id].task_queue.put(("reset",))
 
     def next_completion(self, timeout: float) -> LaunchCompletion | None:
-        """The next finished launch from any child; None on timeout.
+        """The next finished launch from any child; None on timeout (or
+        while a fault is being retried internally).
 
         Result columns are snapshotted out of the shared slot so the slot
         can be reused by the very next submission.
         """
+        if self._ready:
+            return self._ready.popleft()
         try:
             message = self._result_queue.get(timeout=timeout)
         except queue.Empty:
             self._check_alive()
+            self._check_deadlines()
+            if self._ready:
+                return self._ready.popleft()
             return None
+        return self._ingest(message)
+
+    def _ingest(self, message) -> LaunchCompletion | None:
         if message[0] == "error":
-            raise WorkerError(message[1], message[2])
-        _, device_id, seq, slot, truncations, events = message
+            # the child's loop exited after posting the traceback
+            return self._fault_device(message[1], message[2], kind="launch")
+        _, device_id, ticket, slot, truncations, events = message
+        record = self._records.pop(ticket, None)
+        if record is None:
+            return None  # superseded launch (its slot was re-issued)
         worker = self._workers[device_id]
         batch, flips = worker.slabs[slot].snapshot()
         worker.free_slots.append(slot)
-        return LaunchCompletion(device_id, seq, batch, flips, truncations, events)
+        return LaunchCompletion(
+            device_id, record.seq, batch, flips, truncations, events
+        )
+
+    def _drain_results(self) -> None:
+        """Decode every already-posted result before a respawn, so a
+        completed launch is never re-issued (and its slot never reused
+        while readable)."""
+        while True:
+            try:
+                message = self._result_queue.get_nowait()
+            except queue.Empty:
+                return
+            if message[0] == "error":
+                # a different child died too; fold its fault in directly
+                # (recursion depth is bounded by the device count)
+                self._fault_device(message[1], message[2], kind="launch")
+                continue
+            completion = self._ingest(message)
+            if completion is not None:
+                self._ready.append(completion)
 
     def _check_alive(self) -> None:
-        """Raise when a child died without posting an error message."""
+        """Fault any child that died without posting an error message."""
         for device_id, worker in enumerate(self._workers):
             process = worker.process
             if not process.is_alive() and process.exitcode not in (0, None):
-                raise WorkerError(
+                self._fault_device(
                     device_id,
-                    f"device worker process died (exit code {process.exitcode})",
+                    f"device worker process died "
+                    f"(exit code {process.exitcode})",
+                    kind="worker",
                 )
+
+    def _check_deadlines(self) -> None:
+        if self.retry is None or self.retry.launch_timeout is None:
+            return
+        now = time.monotonic()
+        hung = {
+            record.device_id
+            for record in self._records.values()
+            if record.deadline is not None and now > record.deadline
+        }
+        for device_id in sorted(hung):
+            self._fault_device(
+                device_id,
+                f"launch exceeded deadline ({self.retry.launch_timeout}s) "
+                f"on device {device_id}",
+                kind="hang",
+            )
+
+    def _fault_device(self, device_id: int, detail: str, kind: str) -> None:
+        """One child incident: charge every in-flight launch on the
+        device, respawn the child, and re-issue — or raise when the
+        retry policy (or absence of one) says the fault is fatal."""
+        self._drain_results()
+        affected = {
+            ticket: record
+            for ticket, record in self._records.items()
+            if record.device_id == device_id
+        }
+        retry = self.retry
+        fatal: WorkerError | None = None
+        for record in affected.values():
+            record.failures.append(detail)
+            key = _fault_key(record.tag)
+            faults = self._fault_counts.get(key, 0) + 1
+            self._fault_counts[key] = faults
+            budget_left = retry is not None and (
+                retry.failure_budget is None or faults <= retry.failure_budget
+            )
+            if (
+                retry is None
+                or record.attempts > retry.max_retries
+                or not budget_left
+            ):
+                report = FailureReport(
+                    kind=kind,
+                    device_id=device_id,
+                    attempts=record.attempts,
+                    retries=record.attempts - 1,
+                    fatal=True,
+                    details=tuple(record.failures),
+                )
+                fatal = WorkerError(device_id, detail, record.tag, report)
+                break
+        if retry is None:
+            raise (
+                fatal
+                if fatal is not None
+                else WorkerError(device_id, detail)
+            )
+        if fatal is not None:
+            for ticket in affected:
+                self._records.pop(ticket, None)
+            raise fatal
+        if affected:
+            delay = retry.delay(
+                max(record.attempts for record in affected.values())
+            )
+            if delay > 0:
+                time.sleep(delay)
+        self._respawn_worker(device_id)
+        for ticket, record in affected.items():
+            del self._records[ticket]
+            record.attempts += 1
+            key = _fault_key(record.tag)
+            self.retries += 1
+            self.retry_counts[key] = self.retry_counts.get(key, 0) + 1
+            if record.batch is not None:
+                self._workers[device_id].slabs[record.slot].store(record.batch)
+            self._issue(record)
+
+    def _respawn_worker(self, device_id: int) -> None:
+        """Replace a dead or hung child with a fresh fork sharing the
+        same slab pages (terminate → kill escalation for a hung one)."""
+        worker = self._workers[device_id]
+        self._reap(worker.process)
+        try:
+            worker.task_queue.close()
+            worker.task_queue.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover - torn down
+            pass
+        fresh = self._spawn(device_id, worker.slabs)
+        worker.process = fresh.process
+        worker.task_queue = fresh.task_queue
+        self.respawns += 1
+
+    @staticmethod
+    def _reap(process) -> None:
+        """join → terminate → kill escalation; never hangs."""
+        if not process.is_alive():
+            process.join(timeout=1.0)
+            return
+        process.terminate()
+        process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - stuck in a syscall
+            process.kill()
+            process.join(timeout=1.0)
 
     def close(self) -> None:
         """Stop and reap every child process.  Idempotent.
 
         Children get a stop sentinel and a grace period; ones still alive
-        (stuck kernels, queued work) are terminated — the anonymous-mmap
-        slabs free themselves when the last mapping drops.
+        (stuck kernels, queued work) are terminated, then killed — the
+        anonymous-mmap slabs free themselves when the last mapping drops.
         """
         if self._closed:
             return
@@ -408,6 +852,9 @@ class ProcessWorkerGroup:
             worker.process.join(timeout=5.0)
             if worker.process.is_alive():
                 worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck child
+                worker.process.kill()
                 worker.process.join(timeout=1.0)
         for worker in self._workers:
             worker.task_queue.close()

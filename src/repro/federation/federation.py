@@ -16,8 +16,16 @@ Lifecycle: islands fork lazily on the first submit and live until
 :meth:`close` (spawn → serve many jobs → drain → shutdown); one reader
 thread per island streams its events (incumbents, epoch completions,
 failures) back into the controller.  Health is observed, not polled —
-an island process dying mid-job fails that job's federated handle with
-a :class:`FederationError` instead of hanging it.
+islands heartbeat over the event pipe and an optional watchdog
+(``island_timeout``) terminates hung islands so their reader sees EOF.
+
+An island process dying mid-job is handled per ``on_island_failure``
+(DESIGN.md §11): in ``"degrade"`` mode (the default) the survivors
+absorb the dead island's remaining launch budget, migration edges into
+the dead island become counted no-ops, and the merged result is
+annotated ``degraded`` with the contributing islands; in ``"fail"``
+mode the job's federated handle fails with a :class:`FederationError`
+instead of hanging.
 
 Limit semantics of a federated submit:
 
@@ -112,6 +120,8 @@ class _FederatedJob:
         "error",
         "on_improvement",
         "started",
+        "lost",
+        "shares",
     )
 
     def __init__(self, job_id: str, n: int, handle: FederationHandle) -> None:
@@ -126,6 +136,8 @@ class _FederatedJob:
         self.error: BaseException | None = None
         self.on_improvement = None
         self.started = time.perf_counter()
+        self.lost: list[int] = []
+        self.shares: list[int | None] = []
 
 
 def _split_budget(total: int | None, islands: int) -> list[int | None]:
@@ -153,9 +165,21 @@ class Federation:
         seed: int | None = None,
         max_queue: int | None = None,
         slab_vars: int = 4096,
+        island_timeout: float | None = None,
+        on_island_failure: str = "degrade",
+        migration_timeout: float | None = None,
     ) -> None:
         if islands < 1:
             raise ValueError("islands must be >= 1")
+        if island_timeout is not None and island_timeout <= 0:
+            raise ValueError("island_timeout must be > 0 or None")
+        if migration_timeout is not None and migration_timeout <= 0:
+            raise ValueError("migration_timeout must be > 0 or None")
+        if on_island_failure not in ("degrade", "fail"):
+            raise ValueError(
+                "on_island_failure must be 'degrade' or 'fail', "
+                f"got {on_island_failure!r}"
+            )
         if topology not in TOPOLOGIES:
             raise ValueError(
                 f"unknown topology {topology!r} (known: {', '.join(TOPOLOGIES)})"
@@ -189,6 +213,9 @@ class Federation:
         )
         self.max_queue = max_queue
         self.slab_vars = slab_vars
+        self.island_timeout = island_timeout
+        self.on_island_failure = on_island_failure
+        self.migration_timeout = migration_timeout
         self._rng = np.random.default_rng(seed)
         self._lock = threading.Lock()
         self._space = threading.Condition(self._lock)
@@ -203,6 +230,10 @@ class Federation:
         self._transport = None
         self._closing = False
         self._closed = False
+        self._dead_islands: set[int] = set()
+        self._last_seen: dict[int, float] = {}
+        self._watchdog: threading.Thread | None = None
+        self._watchdog_stop = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------
     def _ensure_running_locked(self) -> None:
@@ -236,6 +267,7 @@ class Federation:
                 "config": replace(self.default_config, num_gpus=self.devices),
                 "lane_depth": self.lane_depth,
                 "seed": island_seed(base_seed, island),
+                "migration_timeout": self.migration_timeout,
             }
             process = ctx.Process(
                 target=island_main,
@@ -254,6 +286,7 @@ class Federation:
             process.start()
             cmd_recv.close()
             evt_send.close()
+            self._last_seen[island] = time.monotonic()
             self._processes.append(process)
             self._cmd_conns.append(cmd_send)
             self._cmd_locks.append(threading.Lock())
@@ -265,6 +298,39 @@ class Federation:
             )
             reader.start()
             self._readers.append(reader)
+        if self.island_timeout is not None and self._watchdog is None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="federation-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
+
+    def _watchdog_loop(self) -> None:
+        """Hang detection: islands heartbeat every ``HEARTBEAT_PERIOD``
+        seconds; one that goes silent for ``island_timeout`` is killed so
+        its reader thread sees EOF and the normal island-loss path
+        (:meth:`_on_island_exit`) takes over."""
+        period = max(0.05, self.island_timeout / 4.0)
+        while not self._watchdog_stop.wait(period):
+            now = time.monotonic()
+            with self._lock:
+                if self._closing or not self._processes:
+                    return
+                stale = [
+                    (island, self._processes[island])
+                    for island in range(self.num_islands)
+                    if island not in self._dead_islands
+                    and self._processes[island].is_alive()
+                    and now - self._last_seen.get(island, now)
+                    > self.island_timeout
+                ]
+            for island, process in stale:
+                process.terminate()
+                process.join(1.0)
+                if process.is_alive():  # pragma: no cover - stuck in kernel
+                    process.kill()
+                    process.join(1.0)
 
     def _send(self, island: int, message: tuple) -> None:
         with self._cmd_locks[island]:
@@ -284,6 +350,7 @@ class Federation:
                 self._request_cancel(job.id)
         for job in outstanding:
             job.handle.wait()
+        self._watchdog_stop.set()
         for island in range(len(self._cmd_conns)):
             self._send(island, ("stop",))
         for process in self._processes:
@@ -291,6 +358,9 @@ class Federation:
             if process.is_alive():  # pragma: no cover - hung island
                 process.terminate()
                 process.join(1.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(1.0)
         for conn in self._cmd_conns:
             try:
                 conn.close()
@@ -298,6 +368,9 @@ class Federation:
                 pass
         for reader in self._readers:
             reader.join(_JOIN_TIMEOUT)
+        if self._watchdog is not None:
+            self._watchdog.join(1.0)
+            self._watchdog = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None
@@ -384,10 +457,31 @@ class Federation:
             handle = FederationHandle(job_id, self)
             job = _FederatedJob(job_id, model.n, handle)
             job.on_improvement = on_improvement
-            self._jobs[job_id] = job
             self._ensure_running_locked()
-        shares = _split_budget(max_launches, self.num_islands)
-        for island in range(self.num_islands):
+            live = [
+                island
+                for island in range(self.num_islands)
+                if island not in self._dead_islands
+            ]
+            if not live:
+                raise FederationError(
+                    "every island process is lost; the federation "
+                    "cannot run jobs"
+                )
+            # budget goes to the live islands only; islands already lost
+            # are pre-marked so completion counting stays exact
+            shares: list[int | None] = [0] * self.num_islands
+            live_shares = _split_budget(max_launches, len(live))
+            for k, island in enumerate(live):
+                shares[island] = live_shares[k]
+            job.shares = shares
+            for island in range(self.num_islands):
+                if island not in self._dead_islands:
+                    continue
+                job.statuses[island] = "lost"
+                job.lost.append(island)
+            self._jobs[job_id] = job
+        for island in live:
             payload = {
                 "model": model,
                 "config": cfg,
@@ -449,19 +543,26 @@ class Federation:
                 "outstanding": len(self._jobs),
                 "running": bool(self._processes),
                 "healthy": all(p.is_alive() for p in self._processes),
+                "dead_islands": sorted(self._dead_islands),
             }
             if not self._processes:
                 snapshot["island_stats"] = []
                 return snapshot
+            live = [
+                island
+                for island in range(self.num_islands)
+                if island not in self._dead_islands
+            ]
             request_id = next(self._stats_counter)
             pending = {"event": threading.Event(), "payloads": {}}
             self._stats_pending[request_id] = pending
-        for island in range(self.num_islands):
+        for island in live:
             self._send(island, ("stats", request_id))
         deadline = time.monotonic() + _STATS_TIMEOUT
-        while len(pending["payloads"]) < self.num_islands:
+        while len(pending["payloads"]) < len(live):
             remaining = deadline - time.monotonic()
-            if remaining <= 0 or not self.healthy():
+            alive = all(self._processes[i].is_alive() for i in live)
+            if remaining <= 0 or not alive:
                 break
             pending["event"].wait(min(remaining, 0.05))
             pending["event"].clear()
@@ -506,8 +607,11 @@ class Federation:
                 pass
 
     def _dispatch(self, island: int, event: tuple) -> None:
+        # any event proves the island alive (one writer per island: its
+        # reader thread; dict stores are atomic under the GIL)
+        self._last_seen[island] = time.monotonic()
         kind = event[0]
-        if kind == "up":
+        if kind in ("up", "hb"):
             return
         if kind == "stats":
             _, request_id, payload = event
@@ -579,26 +683,80 @@ class Federation:
                 pass
 
     def _on_island_exit(self, island: int) -> None:
+        """An island's event pipe hit EOF: the process died (crash, kill,
+        watchdog) — absorb the loss per ``on_island_failure``.
+
+        ``"degrade"`` re-routes around the corpse: survivors are told the
+        island is dead (their transport sends to it become counted
+        no-ops and pending migration collects stop waiting on it), each
+        in-flight job's unspent shard budget is redistributed to the
+        islands still working that job, and the merged result comes out
+        ``degraded``.  ``"fail"`` keeps the strict pre-resilience
+        behavior: the job's handle fails with a
+        :class:`FederationError`."""
+        finalize: list[_FederatedJob] = []
+        extends: list[tuple[int, str, int]] = []
+        notify: list[int] = []
+        cancels: list[str] = []
         with self._lock:
-            if self._closing:
+            if self._closing or island in self._dead_islands:
                 return
-            affected = [
-                job
-                for job in self._jobs.values()
-                if island not in job.statuses
+            self._dead_islands.add(island)
+            degrade = self.on_island_failure == "degrade"
+            live = [
+                other
+                for other in range(self.num_islands)
+                if other not in self._dead_islands
             ]
-            for job in affected:
-                job.statuses[island] = "failed"
-                if job.error is None:
-                    job.error = FederationError(
-                        f"island {island} exited unexpectedly"
+            notify = list(live) if degrade else []
+            for job in self._jobs.values():
+                if island in job.statuses:
+                    continue
+                if degrade:
+                    job.statuses[island] = "lost"
+                    job.lost.append(island)
+                    survivors = [
+                        other for other in live if other not in job.statuses
+                    ]
+                    share = (
+                        job.shares[island]
+                        if island < len(job.shares)
+                        else None
                     )
-            complete = [
-                job
-                for job in affected
-                if len(job.statuses) == self.num_islands
-            ]
-        for job in complete:
+                    if survivors and share:
+                        extra = _split_budget(share, len(survivors))
+                        extends.extend(
+                            (dst, job.id, extra[k])
+                            for k, dst in enumerate(survivors)
+                            if extra[k]
+                        )
+                    if not live and job.error is None:
+                        job.error = FederationError(
+                            f"job {job.id}: all {self.num_islands} "
+                            "islands lost"
+                        )
+                else:
+                    job.statuses[island] = "failed"
+                    if job.error is None:
+                        job.error = FederationError(
+                            f"island {island} exited unexpectedly"
+                        )
+                    # free the survivors: cancel the doomed job so their
+                    # migration collects stop waiting on the dead peer
+                    cancels.extend(
+                        (other, job.id)
+                        for other in live
+                        if other not in job.statuses
+                    )
+                if len(job.statuses) == self.num_islands:
+                    finalize.append(job)
+        for dst in notify:
+            self._send(dst, ("dead", island))
+        for dst, job_id, extra in extends:
+            self._send(dst, ("extend", job_id, extra))
+        for dst, job_id in cancels:
+            self._send(dst, ("cancel", job_id))
+        for job in finalize:
             self._finalize(job)
 
     # -- result merging ----------------------------------------------------
@@ -636,6 +794,12 @@ class Federation:
         additive).  Histories are concatenated in island-local time order
         — island clocks all start at shard start, so the merged history
         is the federation's improvement trace to segment precision.
+
+        A merge over fewer islands than were asked for (some lost
+        mid-solve) or over shards that degraded internally (backend
+        fallback) is flagged ``degraded`` with reasons naming the lost
+        and contributing islands; shard retry counts are summed into
+        ``retries``.
         """
         best_energy = int(VOID_ENERGY)
         best_vector = np.zeros(job.n, dtype=np.uint8)
@@ -658,6 +822,20 @@ class Federation:
             ):
                 time_to_target = report["time_to_target"]
         history.sort(key=lambda event: event.time)
+        reasons: list[str] = []
+        lost = sorted(job.lost)
+        if lost:
+            contributing = sorted(
+                i
+                for i in range(self.num_islands)
+                if job.reports.get(i) is not None
+            )
+            reasons.append(
+                f"islands {lost} lost mid-solve; "
+                f"merged from islands {contributing}"
+            )
+        for report in reports:
+            reasons.extend(report.get("degraded_reasons", ()))
         return SolveResult(
             best_vector=best_vector,
             best_energy=best_energy,
@@ -675,6 +853,9 @@ class Federation:
             greedy_truncation_warnings=sum(
                 r["truncation_events"] for r in reports
             ),
+            retries=sum(r.get("retries", 0) for r in reports),
+            degraded=bool(reasons),
+            degraded_reasons=tuple(reasons),
         )
 
 
@@ -688,6 +869,8 @@ def solve(
     transport: str = "queue",
     migration_period: int | None = 16,
     migration_k: int = 4,
+    island_timeout: float | None = None,
+    on_island_failure: str = "degrade",
     **limits,
 ) -> SolveResult:
     """One-shot convenience: stand a federation up, run one job, tear
@@ -701,5 +884,7 @@ def solve(
         migration_k=migration_k,
         default_config=config,
         seed=seed,
+        island_timeout=island_timeout,
+        on_island_failure=on_island_failure,
     ) as federation:
         return federation.submit(model, config=config, seed=seed, **limits).result()

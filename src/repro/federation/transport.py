@@ -37,11 +37,13 @@ is why a transport instance is built once per federation, not per job.
 from __future__ import annotations
 
 import queue as queue_module
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.packet import SharedBatchSlab
+from repro.resilience import chaos
 
 __all__ = [
     "MigrationMessage",
@@ -121,15 +123,39 @@ class MigrationMessage:
         return cls(job_id, src, epoch, "done")
 
 
+def _chaos_send_intercepts(message: MigrationMessage) -> bool:
+    """Shared chaos hook of every endpoint ``send``: True drops it."""
+    if chaos.fire("transport_delay", who=message.src):
+        time.sleep(chaos.delay_seconds())
+    return chaos.fire("transport_drop", who=message.src)
+
+
 class _QueueEndpoint:
-    """One island's view of a :class:`QueueTransport`."""
+    """One island's view of a :class:`QueueTransport`.
+
+    Dead-peer hardening (DESIGN.md §11): after :meth:`mark_dead`, sends
+    to that island become counted no-ops — a survivor must never block
+    (or grow a queue unboundedly) publishing elites to a peer that will
+    never drain them.
+    """
 
     def __init__(self, island: int, outgoing: dict, incoming: dict) -> None:
         self.island = island
         self._out = outgoing  # dst -> Queue
         self._in = incoming  # src -> Queue
+        self._dead: set[int] = set()
+        #: messages dropped because the destination was marked dead
+        #: (or by chaos transport_drop injection)
+        self.dropped = 0
+
+    def mark_dead(self, island: int) -> None:
+        """Stop sending to *island*; subsequent sends count as dropped."""
+        self._dead.add(island)
 
     def send(self, dst: int, message: MigrationMessage) -> None:
+        if dst in self._dead or _chaos_send_intercepts(message):
+            self.dropped += 1
+            return
         self._out[dst].put(message)
 
     def recv(self, src: int, timeout: float) -> MigrationMessage | None:
@@ -185,14 +211,33 @@ class _SlabEdge:
 
 
 class _SlabEndpoint:
-    """One island's view of a :class:`SlabTransport`."""
+    """One island's view of a :class:`SlabTransport`.
+
+    Dead-peer hardening (DESIGN.md §11): a dead destination's ring will
+    never recycle its slots, so a blocking ``free.get()`` could wedge the
+    sender forever.  Sends to a :meth:`mark_dead` island are counted
+    no-ops, and slot acquisition polls with a short timeout, rechecking
+    liveness each round — a peer marked dead *while* the sender waits
+    converts the send into a drop instead of a deadlock.
+    """
 
     def __init__(self, island: int, outgoing: dict, incoming: dict) -> None:
         self.island = island
         self._out = outgoing  # dst -> _SlabEdge
         self._in = incoming  # src -> _SlabEdge
+        self._dead: set[int] = set()
+        #: messages dropped because the destination was marked dead
+        #: (or by chaos transport_drop injection)
+        self.dropped = 0
+
+    def mark_dead(self, island: int) -> None:
+        """Stop sending to *island*; subsequent sends count as dropped."""
+        self._dead.add(island)
 
     def send(self, dst: int, message: MigrationMessage) -> None:
+        if dst in self._dead or _chaos_send_intercepts(message):
+            self.dropped += 1
+            return
         edge = self._out[dst]
         slab = edge.slabs[0]
         if (
@@ -202,7 +247,14 @@ class _SlabEndpoint:
         ):
             edge.control.put(("inline", message))
             return
-        slot = edge.free.get()  # blocks only when the ring is full
+        while True:  # ring full: poll, rechecking the peer's liveness
+            try:
+                slot = edge.free.get(timeout=0.05)
+                break
+            except queue_module.Empty:
+                if dst in self._dead:
+                    self.dropped += 1
+                    return
         slab = edge.slabs[slot]
         rows, n = message.vectors.shape
         slab.vectors[:rows, :n] = message.vectors

@@ -29,6 +29,7 @@ is what makes it bit-exact with a direct ``SolveService`` solve.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import traceback
@@ -38,6 +39,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.core.packet import VOID_ENERGY
+from repro.resilience import chaos
 from repro.federation.transport import (
     MigrationMessage,
     in_neighbors,
@@ -60,6 +62,13 @@ _POLL = 0.02
 
 #: odd 64-bit constant decorrelating per-island RNG streams
 _SEED_STRIDE = 0x9E3779B97F4A7C15
+
+#: seconds between heartbeat events to the controller (the controller's
+#: island_timeout watchdog compares arrival gaps against this cadence)
+HEARTBEAT_PERIOD = 0.25
+
+#: exit code of a chaos ``island_kill`` death (tests assert it)
+CHAOS_EXIT_CODE = 13
 
 
 def island_seed(base: int, island: int) -> int:
@@ -132,19 +141,41 @@ class _Mailbox:
     only ever sees epoch-*e* elites or the source's ``done`` sentinel.
     """
 
-    def __init__(self, endpoint) -> None:
+    def __init__(self, endpoint, timeout: float | None = None) -> None:
         self._endpoint = endpoint
         self._stash: dict[tuple[str, int], deque] = {}
         self._drained: set[tuple[str, int]] = set()
+        #: islands the controller declared dead — treated as permanently
+        #: drained for every job, so no collect ever blocks on them
+        self._dead_sources: set[int] = set()
+        #: per-collect wait bound for lossy transports; None (the
+        #: deterministic default) blocks until the source publishes,
+        #: drains or is declared dead
+        self._timeout = timeout
+        #: collects abandoned because the bound expired (migrants lost)
+        self.timeouts = 0
+
+    def mark_dead(self, island: int) -> None:
+        """Degraded-topology mode (DESIGN.md §11): *island* will never
+        publish again; collects on it return None immediately, including
+        a collect currently blocked in its poll loop."""
+        self._dead_sources.add(island)
 
     def collect(
         self, job_id: str, src: int, epoch: int, abort: threading.Event
     ) -> MigrationMessage | None:
         """Block until *src*'s epoch-*epoch* elites for *job_id* arrive.
 
-        Returns None when the source is drained (``done`` sentinel) or
-        *abort* is set — both mean "no migrants this epoch"."""
+        Returns None when the source is drained (``done`` sentinel), dead
+        (controller broadcast), *abort* is set, or the migration timeout
+        expires (a lossy transport dropped the epoch's batch) — all mean
+        "no migrants this epoch"."""
         key = (job_id, src)
+        deadline = (
+            None
+            if self._timeout is None
+            else time.monotonic() + self._timeout
+        )
         while True:
             stash = self._stash.get(key)
             if stash:
@@ -155,11 +186,14 @@ class _Mailbox:
                 if message.epoch == epoch:
                     return message
                 continue  # stale epoch (post-abort catch-up): drop
-            if key in self._drained:
+            if key in self._drained or src in self._dead_sources:
                 return None
             message = self._endpoint.recv(src, _POLL)
             if message is None:
                 if abort.is_set():
+                    return None
+                if deadline is not None and time.monotonic() > deadline:
+                    self.timeouts += 1
                     return None
                 continue
             self._stash.setdefault((message.job_id, src), deque()).append(
@@ -189,11 +223,16 @@ class _Accumulator:
         self.restarts = 0
         self.truncations = 0
         self.truncation_events = 0
+        self.retries = 0
+        self.degraded_reasons: list[str] = []
         self.run_elapsed = 0.0  # sum of segment solve times (no waits)
 
     def fold(self, result) -> None:
         if result is None:
             return
+        self.retries += getattr(result, "retries", 0)
+        if getattr(result, "degraded", False):
+            self.degraded_reasons.extend(result.degraded_reasons)
         offset = self.run_elapsed
         if result.best_energy < self.best_energy:
             self.best_energy = int(result.best_energy)
@@ -225,6 +264,10 @@ class _IslandJob:
         self.thread: threading.Thread | None = None
         self.current = None  # the in-flight segment's JobHandle
         self.lock = threading.Lock()
+        #: extra launch budget granted by the controller when a peer
+        #: island died (its shard redistributed to survivors); written by
+        #: the command loop, read by the job thread each epoch
+        self.extra = 0
 
     def interrupt(self, cancelled: bool) -> None:
         if cancelled:
@@ -324,6 +367,8 @@ def _run_job(context: dict, job: _IslandJob) -> None:
     failure = None
     try:
         if not migrate:
+            if chaos.fire("island_kill", who=island):
+                os._exit(CHAOS_EXIT_CODE)
             if budget is not None and budget <= 0:
                 pass  # zero-launch share (aggregate budget < islands)
             else:
@@ -340,7 +385,13 @@ def _run_job(context: dict, job: _IslandJob) -> None:
                     emit(("target", job.id, island))
         else:
             while not job.halt.is_set():
-                remaining = None if budget is None else budget - acc.launches
+                if chaos.fire("island_kill", who=island):
+                    os._exit(CHAOS_EXIT_CODE)
+                remaining = (
+                    None
+                    if budget is None
+                    else budget + job.extra - acc.launches
+                )
                 if remaining is not None and remaining <= 0:
                     break
                 if deadline is not None and time.monotonic() >= deadline:
@@ -433,6 +484,8 @@ def _report(
         "restarts": acc.restarts,
         "truncations": acc.truncations,
         "truncation_events": acc.truncation_events,
+        "retries": acc.retries,
+        "degraded_reasons": list(acc.degraded_reasons),
         "elapsed": time.perf_counter() - started,
         "epochs": epochs,
         "migrants_in": migrants_in,
@@ -477,8 +530,13 @@ def island_main(
     Commands arrive on *cmd* (a ``Connection``): ``("solve", job_id,
     payload)``, ``("cancel", job_id)``, ``("halt", job_id)`` — the
     early-stop broadcast after another island reached the target —
-    ``("stats", request_id)`` and ``("stop",)``.  Events leave on *evt*
-    from whichever thread produced them, serialized by one lock.
+    ``("dead", island)`` — a peer died; reroute migration around it —
+    ``("extend", job_id, extra)`` — absorb part of a dead peer's launch
+    budget — ``("stats", request_id)`` and ``("stop",)``.  Events leave
+    on *evt* from whichever thread produced them, serialized by one
+    lock; a dedicated thread additionally emits ``("hb", island)``
+    heartbeats so the controller's watchdog can tell a hung island from
+    a busy one (the command loop itself blocks on ``recv``).
     """
     evt_lock = threading.Lock()
 
@@ -489,7 +547,21 @@ def island_main(
             except (BrokenPipeError, OSError):  # controller went away
                 pass
 
-    mailbox = _Mailbox(endpoint) if endpoint is not None else None
+    hb_stop = threading.Event()
+
+    def heartbeat() -> None:
+        while not hb_stop.wait(HEARTBEAT_PERIOD):
+            emit(("hb", island))
+
+    threading.Thread(
+        target=heartbeat, name=f"island-{island}-hb", daemon=True
+    ).start()
+
+    mailbox = (
+        _Mailbox(endpoint, timeout=options.get("migration_timeout"))
+        if endpoint is not None
+        else None
+    )
     jobs: dict[str, _IslandJob] = {}
     service = SolveService(
         devices=options["devices"],
@@ -531,6 +603,17 @@ def island_main(
                     job = jobs.get(message[1])
                     if job is not None:
                         job.interrupt(cancelled=op == "cancel")
+                elif op == "dead":
+                    # a peer island died: stop waiting on (and sending
+                    # to) it — the degraded-topology reroute
+                    if mailbox is not None:
+                        mailbox.mark_dead(message[1])
+                    if endpoint is not None:
+                        endpoint.mark_dead(message[1])
+                elif op == "extend":
+                    job = jobs.get(message[1])
+                    if job is not None:
+                        job.extra += message[2]
                 elif op == "stats":
                     emit(("stats", message[1], {"island": island, **service.stats()}))
                 elif op == "stop":
@@ -539,6 +622,7 @@ def island_main(
                 if job.thread is not None:
                     job.thread.join()
     finally:
+        hb_stop.set()
         try:
             evt.close()
         except OSError:  # pragma: no cover

@@ -37,9 +37,14 @@ allocated once per virtual GPU and reused across launches too.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.backends import resolve_backend
+from repro.backends import fallback_backend, resolve_backend
+from repro.backends.base import BackendFallbackWarning
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosError
 from repro.core.delta import BatchDeltaState
 from repro.core.packet import MainAlgorithm, PacketBatch
 from repro.core.qubo import QUBOModel
@@ -65,12 +70,22 @@ class VirtualGPU:
         backend=None,
         kernel=None,
         fused: bool = True,
+        allow_fallback: bool = False,
     ) -> None:
         self.model = model
         self.spec = spec
         self.config = config
         self.backend = resolve_backend(backend, model)
         self.fused = fused
+        # graceful degradation (DESIGN.md §11): when enabled, a backend
+        # failure inside launch() swaps to the next available backend and
+        # re-runs the launch instead of crashing the solve.  Off by
+        # default so directly-constructed GPUs (parity tests) never mask
+        # a backend bug; DABSSolver turns it on via config.
+        self.allow_fallback = allow_fallback
+        # mid-launch backend swaps performed so far (result annotation)
+        self.backend_fallbacks = 0
+        self.fallback_reasons: list[str] = []
         self.algorithms = build_main_algorithms(config, include=algorithm_set)
         n = model.n
         b = spec.num_blocks
@@ -133,6 +148,20 @@ class VirtualGPU:
             raise ValueError(
                 f"packet vectors have length {batch.n}, model has {self.model.n}"
             )
+        try:
+            return self._launch(batch)
+        except Exception as exc:
+            if not self._degrade(exc):
+                raise
+            # one re-run on the replacement backend; a second failure
+            # propagates (the fallback chain is one link per launch)
+            return self._launch(batch)
+
+    def _launch(self, batch: PacketBatch) -> tuple[PacketBatch, np.ndarray]:
+        if chaos.fire("backend_raise"):
+            raise ChaosError(
+                f"chaos: injected backend failure ({self.backend.name})"
+            )
         out_vectors = np.empty_like(batch.vectors)
         out_energies = np.empty(len(batch), dtype=np.int64)
         flips = np.zeros(len(batch), dtype=np.int64)
@@ -173,6 +202,39 @@ class VirtualGPU:
             PacketBatch(out_vectors, out_energies, batch.algorithms, batch.operations),
             flips,
         )
+
+    def _degrade(self, exc: Exception) -> bool:
+        """Swap to the next available backend after a launch failure.
+
+        Rebuilds the persistent working buffers (delta state, tracker,
+        row views) on the replacement kernels; the per-block solutions,
+        RNG lanes and tabu stamps carry over untouched.  A lockstep group
+        persists ``block_x``/``rng_state`` only after it completes, so
+        the re-run starts every group from a consistent (if possibly
+        advanced) device state — valid, though not bit-exact against a
+        fault-free run.  Returns False (caller re-raises) when fallback
+        is disabled or no backend qualifies.
+        """
+        if not self.allow_fallback:
+            return False
+        replacement = fallback_backend(self.backend, self.model)
+        if replacement is None:
+            return False
+        reason = (
+            f"backend {self.backend.name!r} failed mid-launch "
+            f"({type(exc).__name__}: {exc}); degrading to "
+            f"{replacement.name!r}"
+        )
+        warnings.warn(reason, BackendFallbackWarning, stacklevel=3)
+        self.backend = replacement
+        self._state = BatchDeltaState(
+            self.model, batch=self.num_blocks, backend=replacement
+        )
+        self._tracker = BestTracker(self._state)
+        self._views.clear()
+        self.backend_fallbacks += 1
+        self.fallback_reasons.append(reason)
+        return True
 
     def reset(self) -> None:
         """Clear the persistent block solutions (RNG lanes keep advancing)."""

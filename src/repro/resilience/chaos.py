@@ -1,0 +1,231 @@
+"""Deterministic fault injection for the execution stack (DESIGN.md §11).
+
+Every recovery path this package adds (lane respawn, launch retry, island
+redistribution, backend fallback, dead-peer drops) is provable only if
+faults can be produced on demand, reproducibly.  This module is that
+harness: a process-global :class:`ChaosInjector` that the execution
+layers consult at fixed *sites*::
+
+    worker_kill       a worker lane/process dies mid-launch
+    launch_exception  a launch raises before running
+    backend_raise     a compute backend fails inside VirtualGPU.launch
+    transport_drop    a migration send is silently lost
+    transport_delay   a migration send is delayed by ``delay`` seconds
+    island_kill       a federation island process exits mid-job
+
+Decisions are pure functions of ``(seed, site, call-count)`` via a
+splitmix64 hash — the same seed replays the same fault schedule at every
+site, in every process (children inherit the injector across ``fork``
+and, independently, re-read the environment).  ``max_faults`` bounds the
+total fires so a chaos run always terminates, and ``target`` restricts
+site fires to one worker/island id, which is how a test kills exactly
+island 2 of 4 deterministically.
+
+Enabled two ways:
+
+* programmatically — ``chaos.install(ChaosConfig(seed=1, rates={...}))``
+  (tests; ``install(None)`` disables);
+* environment — ``REPRO_CHAOS="worker_kill=0.1,launch_exception=0.05"``
+  plus optional ``REPRO_CHAOS_SEED`` / ``REPRO_CHAOS_TARGET`` /
+  ``REPRO_CHAOS_MAX_FAULTS`` (the CI chaos job's knobs).
+
+When no injector is installed, :func:`fire` is a None-check — the hot
+paths pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosError",
+    "ChaosInjector",
+    "SITES",
+    "active",
+    "config_from_env",
+    "delay_seconds",
+    "fire",
+    "install",
+]
+
+#: the injection sites the execution layers consult
+SITES = (
+    "worker_kill",
+    "launch_exception",
+    "backend_raise",
+    "transport_drop",
+    "transport_delay",
+    "island_kill",
+)
+
+#: environment variables the env path reads
+ENV_SPEC = "REPRO_CHAOS"
+ENV_SEED = "REPRO_CHAOS_SEED"
+ENV_TARGET = "REPRO_CHAOS_TARGET"
+ENV_MAX_FAULTS = "REPRO_CHAOS_MAX_FAULTS"
+
+
+class ChaosError(RuntimeError):
+    """An injected fault (never raised outside chaos runs)."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Which faults to inject, how often, and the deterministic seed."""
+
+    #: site name -> fire probability in [0, 1]
+    rates: dict = field(default_factory=dict)
+    #: seed of the per-site decision streams
+    seed: int = 0
+    #: total fires across all sites before the injector goes quiet;
+    #: None means unbounded
+    max_faults: int | None = None
+    #: restrict fires to this worker/island id (None: any)
+    target: int | None = None
+    #: seconds a ``transport_delay`` fire sleeps
+    delay: float = 0.02
+
+    def __post_init__(self) -> None:
+        for site, rate in self.rates.items():
+            if site not in SITES:
+                raise ValueError(
+                    f"unknown chaos site {site!r} (known: {', '.join(SITES)})"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"chaos rate for {site!r} must be in [0, 1]")
+        if self.max_faults is not None and self.max_faults < 1:
+            raise ValueError("max_faults must be >= 1 or None")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+
+
+def _splitmix64(x: int) -> int:
+    """One splitmix64 output step (the decision hash)."""
+    x = (x + 0x9E3779B97F4A7C15) % 2**64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) % 2**64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) % 2**64
+    return z ^ (z >> 31)
+
+
+class ChaosInjector:
+    """Seed-driven fault decisions, one deterministic stream per site."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self.fired = 0
+
+    def fire(self, site: str, who: int | None = None) -> bool:
+        """True when the fault at *site* should fire this call.
+
+        *who* is the consulting worker/island id; when the config names a
+        ``target``, only that id's calls can fire.  Each (seed, site)
+        pair is an independent deterministic decision stream indexed by
+        the site's call count.
+        """
+        rate = self.config.rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        target = self.config.target
+        if target is not None and who is not None and who != target:
+            return False
+        with self._lock:
+            if (
+                self.config.max_faults is not None
+                and self.fired >= self.config.max_faults
+            ):
+                return False
+            count = self._counts.get(site, 0)
+            self._counts[site] = count + 1
+            key = (
+                self.config.seed * 0x100000001B3
+                + hash(site) % 2**32 * 0x10001
+                + count
+            ) % 2**64
+            draw = _splitmix64(key) / 2**64
+            if draw >= rate:
+                return False
+            self.fired += 1
+            return True
+
+
+#: the process-global injector; children inherit it across fork
+_injector: ChaosInjector | None = None
+_env_checked = False
+
+
+def install(config: ChaosConfig | None) -> None:
+    """Install (or, with None, remove) the process-global injector."""
+    global _injector, _env_checked
+    _injector = ChaosInjector(config) if config is not None else None
+    _env_checked = True  # explicit install overrides the env path
+
+
+def config_from_env(environ=None) -> ChaosConfig | None:
+    """Parse ``REPRO_CHAOS`` (+ seed/target/cap vars); None when unset.
+
+    The spec is ``site=rate`` pairs joined by commas, e.g.
+    ``worker_kill=0.1,launch_exception=0.05``.  Raises ``ValueError`` on
+    a malformed spec — the CLI validates eagerly at startup.
+    """
+    env = os.environ if environ is None else environ
+    spec = env.get(ENV_SPEC, "").strip()
+    if not spec or spec.lower() in ("0", "off", "none"):
+        return None
+    rates = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        site, _, rate = part.partition("=")
+        try:
+            rates[site.strip()] = float(rate) if rate else 1.0
+        except ValueError:
+            raise ValueError(
+                f"bad rate in {part!r} (want site=rate)"
+            ) from None
+    seed = int(env.get(ENV_SEED, "0") or "0")
+    target_raw = env.get(ENV_TARGET, "").strip()
+    target = int(target_raw) if target_raw else None
+    cap_raw = env.get(ENV_MAX_FAULTS, "").strip()
+    max_faults = int(cap_raw) if cap_raw else None
+    return ChaosConfig(
+        rates=rates, seed=seed, target=target, max_faults=max_faults
+    )
+
+
+def active() -> ChaosInjector | None:
+    """The installed injector, lazily initialized from the environment."""
+    global _injector, _env_checked
+    if not _env_checked:
+        _env_checked = True
+        config = config_from_env()
+        if config is not None:
+            _injector = ChaosInjector(config)
+    return _injector
+
+
+def fire(site: str, who: int | None = None) -> bool:
+    """Module-level shortcut: False when no injector is installed."""
+    injector = active()
+    if injector is None:
+        return False
+    return injector.fire(site, who)
+
+
+def delay_seconds() -> float:
+    """The configured ``transport_delay`` sleep (0 when chaos is off)."""
+    injector = active()
+    return injector.config.delay if injector is not None else 0.0
+
+
+def reset() -> None:
+    """Test helper: drop the injector and re-arm the env check."""
+    global _injector, _env_checked
+    _injector = None
+    _env_checked = False

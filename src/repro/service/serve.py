@@ -32,6 +32,7 @@ import argparse
 import json
 import sys
 import threading
+import traceback
 
 from repro.backends import backend_names
 from repro.core.qubo import QUBOModel
@@ -164,11 +165,15 @@ class _Session:
         self._emit_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._submissions = 0
+        #: error/failed events emitted so far (surfaced in ``stats``)
+        self._errors = 0
         self._handles: dict[str, object] = {}
         self._watchers: list[threading.Thread] = []
 
     def emit(self, payload: dict) -> None:
         with self._emit_lock:
+            if payload.get("event") in ("error", "failed"):
+                self._errors += 1
             try:
                 print(json.dumps(payload), file=self.out, flush=True)
             except BrokenPipeError:
@@ -178,14 +183,35 @@ class _Session:
 
     # -- request handlers --------------------------------------------------
     def handle(self, request: dict) -> bool:
-        """Dispatch one request; returns False when the session should end."""
+        """Dispatch one request; returns False when the session should end.
+
+        A handler bug or unexpected service exception becomes an
+        ``error`` event — it can never tear the session loop down
+        (DESIGN.md §11); only ``shutdown``/EOF end the session.
+        """
+        try:
+            return self._dispatch(request)
+        except Exception:
+            self.emit(
+                {
+                    "event": "error",
+                    "op": str(request.get("op")),
+                    "error": "internal error handling request",
+                    "traceback": traceback.format_exc(),
+                }
+            )
+            return True
+
+    def _dispatch(self, request: dict) -> bool:
         op = request.get("op")
         if op == "submit":
             self._submit(request)
         elif op == "cancel":
             self._cancel(request)
         elif op == "stats":
-            self.emit({"event": "stats", **self.service.stats()})
+            with self._emit_lock:
+                errors = self._errors
+            self.emit({"event": "stats", "errors": errors, **self.service.stats()})
         elif op == "drain":
             self.drain()
             self.emit({"event": "drained"})
@@ -243,41 +269,21 @@ class _Session:
 
     def _watch(self, client_id: str, handle) -> None:
         try:
-            # the watcher — not the service's scheduler thread — consumes
-            # the incumbent stream and writes stdout, so a slow or stalled
-            # client pipe can never stall scheduling for other tenants
-            for update in handle.incumbents():
+            try:
+                self._watch_job(client_id, handle)
+            except Exception:
+                # the watcher itself failed — emit the terminal event
+                # (with the traceback) instead of dying silently and
+                # leaving the client waiting forever
                 self.emit(
                     {
-                        "event": "incumbent",
+                        "event": "failed",
                         "id": client_id,
-                        "energy": update.energy,
-                        "elapsed": round(update.elapsed, 6),
+                        "error": "internal watcher error",
+                        "traceback": traceback.format_exc(),
+                        "retries": 0,
                     }
                 )
-            status = handle.status
-            if status is JobStatus.DONE:
-                result = handle.result()
-                self.emit(
-                    {
-                        "event": "done",
-                        "id": client_id,
-                        "energy": int(result.best_energy),
-                        "vector": "".join(map(str, result.best_vector.tolist())),
-                        "launches": result.launches,
-                        "elapsed": round(result.elapsed, 6),
-                        "summary": result.summary(),
-                    }
-                )
-            elif status is JobStatus.CANCELLED:
-                self.emit({"event": "cancelled", "id": client_id})
-            else:
-                try:
-                    handle.result()
-                    detail = "unknown failure"  # pragma: no cover
-                except Exception as exc:
-                    detail = str(exc)
-                self.emit({"event": "failed", "id": client_id, "error": detail})
         finally:
             # terminal event emitted: drop the bookkeeping so the session
             # stays bounded and the client id becomes reusable
@@ -287,6 +293,54 @@ class _Session:
                     self._watchers.remove(threading.current_thread())
                 except ValueError:  # pragma: no cover - drain raced us
                     pass
+
+    def _watch_job(self, client_id: str, handle) -> None:
+        # the watcher — not the service's scheduler thread — consumes
+        # the incumbent stream and writes stdout, so a slow or stalled
+        # client pipe can never stall scheduling for other tenants
+        for update in handle.incumbents():
+            self.emit(
+                {
+                    "event": "incumbent",
+                    "id": client_id,
+                    "energy": update.energy,
+                    "elapsed": round(update.elapsed, 6),
+                }
+            )
+        status = handle.status
+        if status is JobStatus.DONE:
+            result = handle.result()
+            done = {
+                "event": "done",
+                "id": client_id,
+                "energy": int(result.best_energy),
+                "vector": "".join(map(str, result.best_vector.tolist())),
+                "launches": result.launches,
+                "elapsed": round(result.elapsed, 6),
+                "retries": result.retries,
+                "summary": result.summary(),
+            }
+            if result.degraded:
+                done["degraded"] = True
+                done["degraded_reasons"] = list(result.degraded_reasons)
+            self.emit(done)
+        elif status is JobStatus.CANCELLED:
+            self.emit({"event": "cancelled", "id": client_id})
+        else:
+            failed = {"event": "failed", "id": client_id, "retries": 0}
+            try:
+                handle.result()
+                failed["error"] = "unknown failure"  # pragma: no cover
+            except Exception as exc:
+                failed["error"] = str(exc)
+                failed["traceback"] = traceback.format_exc()
+                # supervised workers attach a structured FailureReport
+                # once the retry budget is exhausted (DESIGN.md §11)
+                report = getattr(exc, "report", None)
+                if report is not None:
+                    failed["retries"] = report.retries
+                    failed["report"] = report.to_dict()
+            self.emit(failed)
 
     def _cancel(self, request: dict) -> None:
         client_id = str(request.get("id", ""))

@@ -48,6 +48,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import warnings
 from dataclasses import replace
 
 import numpy as np
@@ -55,6 +56,7 @@ import numpy as np
 from repro.core.packet import PacketBatch
 from repro.engine.async_engine import VirtualTimeReplay
 from repro.engine.workers import FleetWorkerGroup, WorkerError
+from repro.resilience import RetryPolicy
 from repro.service.cache import ProblemCache
 from repro.service.job import IncumbentUpdate, JobHandle, JobStatus
 from repro.solver.dabs import DABSConfig, DABSSolver, _AsyncDriver
@@ -211,6 +213,7 @@ class SolveService:
         max_queue: int | None = None,
         cache: ProblemCache | None = None,
         seed: int | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if devices < 1:
             raise ValueError("devices must be >= 1")
@@ -228,6 +231,10 @@ class SolveService:
         self.default_config = default_config or DABSConfig(
             num_gpus=devices, blocks_per_gpu=8, pool_capacity=20
         )
+        #: fleet-wide supervision policy (DESIGN.md §11): an explicit
+        #: *retry* wins, else the default config's ``retry_policy``, else
+        #: fail-fast (a worker fault fails the owning job immediately)
+        self.retry = retry if retry is not None else self.default_config.retry_policy
         self._rng = np.random.default_rng(seed)
         self._lock = threading.Lock()
         self._space = threading.Condition(self._lock)
@@ -259,7 +266,7 @@ class SolveService:
         """Start the fleet and scheduler thread once (caller holds _lock)."""
         if self._thread is not None:
             return
-        self._group = FleetWorkerGroup(self.num_devices)
+        self._group = FleetWorkerGroup(self.num_devices, retry=self.retry)
         self._thread = threading.Thread(
             target=self._loop,
             name="solve-service-scheduler",
@@ -267,12 +274,18 @@ class SolveService:
         )
         self._thread.start()
 
-    def close(self, cancel: bool = False) -> None:
+    def close(self, cancel: bool = False, timeout: float | None = None) -> None:
         """Stop accepting jobs and shut the fleet down.
 
         With ``cancel=False`` (default) outstanding jobs run to
         completion first — a drain.  ``cancel=True`` cancels everything
         still queued or running.  Idempotent.
+
+        *timeout* bounds the shutdown (DESIGN.md §11): when the scheduler
+        has not drained within *timeout* seconds, every outstanding job
+        is force-cancelled; a scheduler still stuck after that (a lane
+        hung inside a launch) is abandoned with a ``RuntimeWarning`` —
+        its threads are daemonic, so the process can always exit.
         """
         with self._lock:
             self._closing = True
@@ -280,12 +293,33 @@ class SolveService:
             self._space.notify_all()
         for job_id in job_ids:
             self._request_cancel(job_id)
+        abandoned = False
         if self._thread is not None:
-            self._thread.join()
-            self._thread = None
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                # the drain is stuck (a wedged job, a hung lane): cancel
+                # everything and give the loop one last grace period
+                with self._lock:
+                    job_ids = list(self._jobs)
+                for job_id in job_ids:
+                    self._request_cancel(job_id)
+                self._thread.join(5.0)
+            if self._thread.is_alive():
+                abandoned = True
+                warnings.warn(
+                    "solve-service scheduler did not exit within the close "
+                    "timeout; abandoning its daemon thread",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                self._thread = None
         if self._group is not None:
-            self._group.close()
-            self._group = None
+            # joining the lanes of an abandoned scheduler could hang on
+            # the same stuck launch — skip the wait in that case
+            self._group.close(wait=not abandoned)
+            if not abandoned:
+                self._group = None
         self._closed = True
 
     def __enter__(self) -> "SolveService":
@@ -712,6 +746,7 @@ class SolveService:
                 else:
                     status = JobStatus.DONE
                 result = job.driver.result()
+                result.retries = self._group.retry_counts.get(job.id, 0)
             else:
                 continue
             with self._lock:

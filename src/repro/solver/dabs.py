@@ -40,13 +40,15 @@ same way through ``REPRO_ENGINE``.
 from __future__ import annotations
 
 import time
+import warnings
 import weakref
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backends import backend_names, resolve_backend
+from repro.backends import backend_names, fallback_backend, resolve_backend
+from repro.backends.base import BackendFallbackWarning
 from repro.core.packet import (
     VOID_ENERGY,
     GeneticOp,
@@ -69,6 +71,7 @@ from repro.ga.operations import OperationParams, TargetGenerator
 from repro.ga.pool import SolutionPool
 from repro.gpu.device import DeviceSpec
 from repro.gpu.virtual_gpu import VirtualGPU
+from repro.resilience import RetryPolicy
 from repro.search.batch import BatchSearchConfig
 from repro.solver.result import ImprovementEvent, SolveResult
 from repro.solver.scheduler import RoundScheduler
@@ -123,6 +126,15 @@ class DABSConfig:
     #: async engines only: launches each device keeps in flight (depth ≥ 2
     #: keeps a device busy while the host folds its previous result)
     inflight_per_device: int = 2
+    #: supervised-worker recovery (DESIGN.md §11): retry faulted launches
+    #: with capped backoff, respawn dead lanes/processes, fail the job in
+    #: isolation once the budget runs out; None (the default) keeps the
+    #: fail-fast behavior — any worker fault raises immediately
+    retry_policy: RetryPolicy | None = None
+    #: degrade to the next available compute backend (with a
+    #: BackendFallbackWarning) when the chosen one fails at prepare or
+    #: mid-launch, instead of crashing the solve
+    backend_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -250,6 +262,7 @@ class _AsyncDriver:
             )
         self._submitted = [0] * cfg.num_gpus
         self._completed = [0] * cfg.num_gpus
+        self._fallback_snap = solver._fallback_snapshot()
         self._rounds = 0
         self._round_improved = False
         self._halted = False
@@ -406,6 +419,7 @@ class _AsyncDriver:
         rounds = (
             self._rounds if self.virtual_time else max(self._completed, default=0)
         )
+        degraded_reasons = self.solver._degradation_since(self._fallback_snap)
         return SolveResult(
             best_vector=state.best_vector,
             best_energy=int(state.best_energy),
@@ -421,6 +435,8 @@ class _AsyncDriver:
             launches=state.launches,
             greedy_truncations=state.truncations,
             greedy_truncation_warnings=state.truncation_events,
+            degraded=bool(degraded_reasons),
+            degraded_reasons=degraded_reasons,
         )
 
 
@@ -455,6 +471,7 @@ class DABSSolver:
         # handle (repro.backends.prepare_problem / the service's
         # ProblemCache) skips preparation entirely: the backend-resident
         # matrices are reused across solvers of the same instance.
+        self._prepare_fallback_reasons: tuple[str, ...] = ()
         if prepared is not None:
             if not prepared.matches(model):
                 raise ValueError(
@@ -466,7 +483,25 @@ class DABSSolver:
             kernel = prepared.kernel
         else:
             backend = resolve_backend(cfg.backend, model)
-            kernel = backend.prepare(model)
+            try:
+                kernel = backend.prepare(model)
+            except Exception as exc:
+                replacement = (
+                    fallback_backend(backend, model)
+                    if cfg.backend_fallback
+                    else None
+                )
+                if replacement is None:
+                    raise
+                reason = (
+                    f"backend {backend.name!r} failed to prepare "
+                    f"{model.name!r} ({type(exc).__name__}: {exc}); "
+                    f"degrading to {replacement.name!r}"
+                )
+                warnings.warn(reason, BackendFallbackWarning, stacklevel=2)
+                self._prepare_fallback_reasons = (reason,)
+                backend = replacement
+                kernel = backend.prepare(model)
         self.gpus = [
             VirtualGPU(
                 model,
@@ -476,6 +511,7 @@ class DABSSolver:
                 self._host_rng,
                 backend=backend,
                 kernel=kernel,
+                allow_fallback=cfg.backend_fallback,
             )
             for i in range(cfg.num_gpus)
         ]
@@ -524,6 +560,23 @@ class DABSSolver:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- degradation bookkeeping ------------------------------------------------
+    def _fallback_snapshot(self) -> list[int]:
+        """Per-GPU fallback-reason counts at a solve's start, so each
+        solve reports only the degradations it experienced itself.
+        (``getattr``: tests substitute stub GPUs without the counters.)"""
+        return [
+            len(getattr(gpu, "fallback_reasons", ())) for gpu in self.gpus
+        ]
+
+    def _degradation_since(self, snapshot: list[int]) -> tuple[str, ...]:
+        """Prepare-time reasons plus every mid-launch fallback since
+        *snapshot* — what a result's ``degraded_reasons`` carries."""
+        reasons = list(self._prepare_fallback_reasons)
+        for gpu, base in zip(self.gpus, snapshot):
+            reasons.extend(getattr(gpu, "fallback_reasons", ())[base:])
+        return tuple(reasons)
 
     # -- extension points ------------------------------------------------------
     def _make_generator(self) -> TargetGenerator:
@@ -645,12 +698,16 @@ class DABSSolver:
         cfg = self.config
         driver = _AsyncDriver(self, limits, start=time.perf_counter())
         if process:
-            group = ProcessWorkerGroup(self.gpus, depth=cfg.inflight_per_device)
+            group = ProcessWorkerGroup(
+                self.gpus, depth=cfg.inflight_per_device, retry=cfg.retry_policy
+            )
         else:
-            group = ThreadWorkerGroup(self.gpus)
+            group = ThreadWorkerGroup(self.gpus, retry=cfg.retry_policy)
         with AsyncEngine(group, depth=cfg.inflight_per_device) as engine:
             engine.run(driver)
-        return driver.result()
+        result = driver.result()
+        result.retries = group.retries
+        return result
 
     def _solve_rounds(self, limits: SolveLimits) -> SolveResult:
         """The round-synchronous double-buffered loop (the "round" engine)."""
@@ -660,6 +717,7 @@ class DABSSolver:
         rounds = 0
         trunc_at_start = sum(g.greedy_truncations for g in self.gpus)
         events_at_start = sum(g.truncation_events for g in self.gpus)
+        fallback_snap = self._fallback_snapshot()
         stall = StallTracker(cfg.restart_after_stall)
         scheduler = RoundScheduler(self.gpus, executor=self._ensure_executor())
 
@@ -711,6 +769,7 @@ class DABSSolver:
                 # from the reinitialized ones, as the restart intends
                 next_batches = self._generate_round()
         elapsed = time.perf_counter() - start
+        degraded_reasons = self._degradation_since(fallback_snap)
         return SolveResult(
             best_vector=state.best_vector,
             best_energy=int(state.best_energy),
@@ -728,4 +787,6 @@ class DABSSolver:
             - trunc_at_start,
             greedy_truncation_warnings=sum(g.truncation_events for g in self.gpus)
             - events_at_start,
+            degraded=bool(degraded_reasons),
+            degraded_reasons=degraded_reasons,
         )

@@ -63,6 +63,16 @@ class SolveResult:
     #: launches that emitted a GreedyTruncationWarning (one per launch with
     #: at least one truncated row), summed over all devices
     greedy_truncation_warnings: int = 0
+    #: launches re-issued after a worker fault (supervised groups only;
+    #: 0 on a fault-free run — see DESIGN.md §11)
+    retries: int = 0
+    #: True when the run survived a fault that voids the usual exactness
+    #: guarantees: a mid-launch backend fallback, or (federation) a lost
+    #: island whose shard was redistributed.  The result is still a valid
+    #: solve of the model.
+    degraded: bool = False
+    #: human-readable reasons the run degraded, in order of occurrence
+    degraded_reasons: tuple[str, ...] = ()
 
     @property
     def flips_per_second(self) -> float:

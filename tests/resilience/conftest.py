@@ -1,0 +1,28 @@
+"""Shared fixtures of the resilience suite.
+
+Every test runs with a clean process-global chaos injector and restores
+the environment-driven path afterwards, so a failing test can never leak
+fault injection into the rest of the session.  ``REPRO_CHAOS_SEED`` (the
+CI chaos matrix knob) shifts every deterministic fault schedule in the
+suite — the recovery contracts must hold for any seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience import chaos
+
+#: the CI chaos matrix varies this; every test derives its schedule from it
+CHAOS_SEED = int(os.environ.get(chaos.ENV_SEED, "0") or "0")
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    chaos.reset()
+    chaos.install(None)
+    yield
+    chaos.reset()
+    chaos.install(None)

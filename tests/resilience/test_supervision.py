@@ -1,0 +1,234 @@
+"""Supervised worker groups: retry, respawn, hang detection, budgets.
+
+The recovery contract (DESIGN.md §11): a supervised group absorbs a
+worker fault by re-issuing the recorded launch — identical batch,
+identical sequence number — so the completion stream the engine consumes
+is indistinguishable from a fault-free run whenever the fault pre-empted
+the launch.  Exhausted recovery surfaces as a :class:`WorkerError`
+carrying a structured :class:`FailureReport`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.packet import MainAlgorithm, PacketBatch
+from repro.core.rng import host_generator
+from repro.engine.workers import (
+    CHAOS_EXIT_CODE,
+    WORKER_NAME_PREFIX,
+    FleetWorkerGroup,
+    ProcessWorkerGroup,
+    WorkerError,
+)
+from repro.gpu.device import DeviceSpec
+from repro.gpu.virtual_gpu import VirtualGPU
+from repro.resilience import ChaosConfig, FailureReport, RetryPolicy, chaos
+from repro.search.batch import BatchSearchConfig
+from tests.conftest import random_qubo
+from tests.resilience.conftest import CHAOS_SEED
+
+B, N = 4, 12
+
+#: retries without wall-clock delay — the unit tests assert logic, not timing
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.0)
+
+
+def make_gpu(seed: int = 3) -> VirtualGPU:
+    model = random_qubo(N, seed=seed)
+    return VirtualGPU(
+        model,
+        DeviceSpec(num_blocks=B, name="test"),
+        BatchSearchConfig(batch_flip_factor=2.0),
+        tuple(MainAlgorithm),
+        host_generator(seed),
+    )
+
+
+def make_batch(seed: int = 7) -> PacketBatch:
+    rng = np.random.default_rng(seed)
+    return PacketBatch.void(
+        rng.integers(0, 2, size=(B, N), dtype=np.uint8),
+        rng.integers(0, 5, size=B, dtype=np.uint8),
+        rng.integers(0, 8, size=B, dtype=np.uint8),
+    )
+
+
+def collect_one(group, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        completion = group.next_completion(0.2)
+        if completion is not None:
+            return completion
+    raise AssertionError("no completion within the test deadline")
+
+
+class TestFleetRetry:
+    def test_injected_fault_is_retried_bit_exactly(self):
+        """A chaos fault pre-empts the launch, so the retried completion
+        must be bit-identical to a fault-free run of the same GPU."""
+        expect, expect_flips = make_gpu().launch(make_batch())
+
+        chaos.install(
+            ChaosConfig(
+                rates={"launch_exception": 1.0},
+                seed=CHAOS_SEED,
+                max_faults=1,
+            )
+        )
+        with FleetWorkerGroup(1, retry=FAST_RETRY) as group:
+            group.submit_launch(0, 0, 1, make_gpu(), make_batch(), tag="job")
+            completion = collect_one(group)
+        assert completion.seq == 1 and completion.tag == "job"
+        assert np.array_equal(completion.batch.vectors, expect.vectors)
+        assert np.array_equal(completion.batch.energies, expect.energies)
+        assert np.array_equal(completion.flips, expect_flips)
+        assert group.retries == 1
+        assert group.retry_counts == {"job": 1}
+
+    def test_exhaustion_raises_with_failure_report(self):
+        chaos.install(
+            ChaosConfig(rates={"launch_exception": 1.0}, seed=CHAOS_SEED)
+        )
+        retry = RetryPolicy(max_retries=1, backoff_base=0.0)
+        with FleetWorkerGroup(1, retry=retry) as group:
+            group.submit_launch(0, 0, 1, make_gpu(), make_batch(), tag="job")
+            with pytest.raises(WorkerError, match="chaos") as excinfo:
+                collect_one(group)
+        report = excinfo.value.report
+        assert isinstance(report, FailureReport)
+        assert report.kind == "launch" and report.fatal
+        assert report.attempts == 2 and report.retries == 1
+        assert len(report.details) == 2
+        assert excinfo.value.tag == "job"
+        assert "launch failure" in report.summary()
+
+    def test_unsupervised_group_fails_on_first_fault(self):
+        chaos.install(
+            ChaosConfig(
+                rates={"launch_exception": 1.0},
+                seed=CHAOS_SEED,
+                max_faults=1,
+            )
+        )
+        with FleetWorkerGroup(1) as group:
+            group.submit_launch(0, 0, 1, make_gpu(), make_batch())
+            with pytest.raises(WorkerError) as excinfo:
+                collect_one(group)
+        assert excinfo.value.report is not None
+        assert group.retries == 0
+
+    def test_failure_budget_is_a_circuit_breaker(self):
+        """max_retries would allow recovery, but the per-job budget says
+        the second fault is one too many."""
+        chaos.install(
+            ChaosConfig(rates={"launch_exception": 1.0}, seed=CHAOS_SEED)
+        )
+        retry = RetryPolicy(
+            max_retries=10, backoff_base=0.0, failure_budget=1
+        )
+        with FleetWorkerGroup(1, retry=retry) as group:
+            group.submit_launch(0, 0, 1, make_gpu(), make_batch())
+            with pytest.raises(WorkerError):
+                collect_one(group)
+        assert group.retries == 1  # one re-issue happened before the trip
+
+    def test_backoff_schedule_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_retries=5,
+            backoff_base=0.1,
+            backoff_factor=2.0,
+            backoff_cap=0.3,
+        )
+        assert [policy.delay(k) for k in range(5)] == [
+            0.0,
+            0.1,
+            0.2,
+            0.3,
+            0.3,
+        ]
+
+    def test_hung_launch_respawns_lane_and_reissues(self):
+        """launch_timeout supersedes the stuck launch: a fresh lane
+        replays it and the abandoned thread's late result is dropped."""
+        inner = make_gpu()
+        expect, expect_flips = make_gpu().launch(make_batch())
+
+        class HangOnce:
+            greedy_truncations = 0
+            truncation_events = 0
+
+            def __init__(self):
+                self.calls = 0
+
+            def launch(self, batch):
+                self.calls += 1
+                if self.calls == 1:
+                    time.sleep(1.0)
+                return inner.launch(batch)
+
+        gpu = HangOnce()
+        retry = RetryPolicy(
+            max_retries=2, backoff_base=0.0, launch_timeout=0.2
+        )
+        with FleetWorkerGroup(1, retry=retry) as group:
+            group.submit_launch(0, 0, 1, gpu, make_batch())
+            completion = collect_one(group)
+            assert np.array_equal(completion.batch.vectors, expect.vectors)
+            assert np.array_equal(completion.flips, expect_flips)
+            assert group.respawns == 1 and group.retries == 1
+
+
+class TestProcessRespawn:
+    def test_dead_child_is_respawned_and_launch_reissued(self):
+        """Kill the child before it can work: the supervisor must fork a
+        replacement, re-store the host-kept batch and deliver a
+        completion identical to a fault-free run."""
+        expect, expect_flips = make_gpu().launch(make_batch())
+
+        with ProcessWorkerGroup([make_gpu()], depth=2, retry=FAST_RETRY) as group:
+            victim = group._workers[0].process
+            victim.kill()
+            victim.join(10.0)
+            group.submit(0, 1, make_batch())
+            completion = collect_one(group)
+        assert completion.seq == 1
+        assert np.array_equal(completion.batch.vectors, expect.vectors)
+        assert np.array_equal(completion.batch.energies, expect.energies)
+        assert np.array_equal(completion.flips, expect_flips)
+        assert group.respawns == 1 and group.retries == 1
+        assert not [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith(WORKER_NAME_PREFIX)
+        ]
+
+    def test_chaos_worker_kill_exhausts_with_exit_code(self):
+        """A child that keeps dying (worker_kill at rate 1 replays in
+        every respawned fork) burns max_retries and surfaces the child's
+        chaos exit code in the report."""
+        chaos.install(
+            ChaosConfig(rates={"worker_kill": 1.0}, seed=CHAOS_SEED)
+        )
+        retry = RetryPolicy(max_retries=1, backoff_base=0.0)
+        with ProcessWorkerGroup([make_gpu()], depth=2, retry=retry) as group:
+            group.submit(0, 1, make_batch())
+            with pytest.raises(WorkerError, match="died") as excinfo:
+                collect_one(group)
+            assert group.respawns >= 1
+        report = excinfo.value.report
+        assert report is not None and report.kind == "worker"
+        assert str(CHAOS_EXIT_CODE) in report.details[-1]
+
+    def test_unsupervised_dead_child_is_fatal(self):
+        with ProcessWorkerGroup([make_gpu()], depth=2) as group:
+            victim = group._workers[0].process
+            victim.kill()
+            victim.join(10.0)
+            group.submit(0, 1, make_batch())
+            with pytest.raises(WorkerError, match="died"):
+                collect_one(group)
