@@ -42,6 +42,16 @@ the per-job ``failure_budget`` is exhausted, the fault surfaces as a
 :class:`WorkerError` carrying a structured
 :class:`~repro.resilience.FailureReport` — failing only the owning job.
 
+Hangs differ between the two worker kinds.  A hung child *process* is
+terminated before its launches are re-issued, so the re-issue never
+races the old worker.  A hung lane *thread* cannot be killed, so the
+thread fleet quarantines instead: the lane executor is replaced at once
+(co-tenants keep running) and a reaper waits for the abandoned thread
+to actually exit before settling its launches — a late completion is
+delivered as merely slow, a launch the thread never ran is re-issued,
+and only a thread that outlives ``hang_grace`` fails its launch (the
+device state it still owns is never handed to a second thread).
+
 Lifecycle: groups are context managers and :meth:`~WorkerGroup.close` is
 idempotent; closing joins every thread/process, escalating from a stop
 sentinel through ``terminate()`` to ``kill()`` for stuck children, so a
@@ -154,6 +164,8 @@ class _LaunchRecord:
         "attempts",
         "deadline",
         "failures",
+        "done",
+        "overdue",
     )
 
     def __init__(self, lane, device_id, seq, gpu, batch, tag, slot=None):
@@ -167,6 +179,13 @@ class _LaunchRecord:
         self.attempts = 1
         self.deadline = None
         self.failures: list[str] = []
+        #: the worker posted this launch's outcome (set by the lane
+        #: thread right before the put — a quarantine reaper reads it
+        #: after joining the thread to tell "slow" from "never ran")
+        self.done = False
+        #: this record's own deadline had expired when its lane was
+        #: quarantined (decides whether a re-issue is charged as a fault)
+        self.overdue = False
 
 
 def _fault_key(tag: object) -> object:
@@ -209,6 +228,10 @@ class FleetWorkerGroup:
         #: superseded launch whose late completion must be dropped
         self._records: dict[int, _LaunchRecord] = {}
         self._records_lock = threading.Lock()
+        #: lane -> submissions buffered while the lane's abandoned
+        #: (possibly hung) executor is being reaped; flushed by the
+        #: reaper so no two threads ever run the same gpu
+        self._quarantine: dict[int, list[_LaunchRecord]] = {}
         self._timers: set[threading.Timer] = set()
         #: faults absorbed per job key (budget accounting)
         self._fault_counts: dict[object, int] = {}
@@ -248,10 +271,16 @@ class FleetWorkerGroup:
         self._submit_record(record)
 
     def _submit_record(self, record: _LaunchRecord) -> None:
-        ticket = next(self._tickets)
         with self._records_lock:
             if self._closed:
                 return
+            record.done = False
+            record.overdue = False
+            pending = self._quarantine.get(record.lane)
+            if pending is not None:  # lane awaiting its abandoned thread
+                pending.append(record)
+                return
+            ticket = next(self._tickets)
             if self.retry is not None and self.retry.launch_timeout is not None:
                 record.deadline = time.monotonic() + self.retry.launch_timeout
             self._records[ticket] = record
@@ -293,6 +322,7 @@ class FleetWorkerGroup:
             trunc0 = gpu.greedy_truncations
             events0 = gpu.truncation_events
             result, flips = gpu.launch(record.batch)
+            record.done = True
             self._completions.put(
                 (
                     ticket,
@@ -308,6 +338,7 @@ class FleetWorkerGroup:
                 )
             )
         except BaseException:
+            record.done = True
             self._completions.put(
                 (
                     ticket,
@@ -331,6 +362,8 @@ class FleetWorkerGroup:
             item = self._completions.get(timeout=timeout)
         except queue.Empty:
             return None
+        if isinstance(item, WorkerError):  # settled by a lane reaper
+            raise item
         if isinstance(item, _Failure):  # a run_on (reset) failure
             raise WorkerError(item.device_id, item.detail, item.tag)
         ticket, payload = item
@@ -397,37 +430,152 @@ class FleetWorkerGroup:
         self._submit_record(record)
 
     def _check_deadlines(self) -> None:
-        """Hang detection: supersede overdue launches, respawn their
-        lanes and re-issue — a stuck lane thread cannot be killed, but it
-        can be abandoned (its late completion drops by ticket)."""
+        """Hang detection: quarantine the lane of any overdue launch.
+
+        A stuck lane thread cannot be killed, but the lane can be
+        respawned so every other tenant keeps running.  The overdue
+        launch itself is NOT re-issued here — the abandoned thread may
+        still be executing ``gpu.launch`` on the very same device state,
+        so a reaper thread first waits for the old executor to exit and
+        only then settles the lane's launches (:meth:`_reap_lane`).
+        Submissions to a quarantined lane are buffered until the reaper
+        flushes them."""
         retry = self.retry
         if retry is None or retry.launch_timeout is None:
             return
         now = time.monotonic()
-        overdue: list[_LaunchRecord] = []
+        seized: list[tuple[int, ThreadPoolExecutor]] = []
         with self._records_lock:
-            for ticket, record in list(self._records.items()):
-                if record.deadline is not None and now > record.deadline:
-                    del self._records[ticket]
-                    overdue.append(record)
-        for record in overdue:
-            self._respawn_lane(record.lane)
-            self._handle_fault(
-                record,
+            overdue_lanes = set()
+            for record in self._records.values():
+                if (
+                    record.deadline is not None
+                    and now > record.deadline
+                    and record.lane not in self._quarantine
+                ):
+                    record.overdue = True
+                    overdue_lanes.add(record.lane)
+            for lane in sorted(overdue_lanes):
+                self._quarantine[lane] = []
+                old = self._executors[lane]
+                self._executors[lane] = self._make_executor(lane)
+                self.respawns += 1
+                seized.append((lane, old))
+        for lane, old in seized:
+            detail = (
                 f"launch exceeded deadline ({retry.launch_timeout}s) on "
-                f"lane {record.lane}",
-                kind="hang",
+                f"lane {lane}"
             )
+            threading.Thread(
+                target=self._reap_lane,
+                args=(lane, old, detail),
+                name=f"{WORKER_NAME_PREFIX}{lane}-reaper",
+                daemon=True,
+            ).start()
 
-    def _respawn_lane(self, lane: int) -> None:
-        """Abandon a (possibly hung) lane executor and stand up a fresh
-        one.  Queued-but-unstarted launches on the old executor are
-        cancelled; their records stay in flight and re-issue when their
-        own deadlines fire."""
-        old = self._executors[lane]
-        self._executors[lane] = self._make_executor(lane)
-        self.respawns += 1
+    def _reap_lane(self, lane: int, old, detail: str) -> None:
+        """Quarantine reaper (its own daemon thread): wait for the
+        abandoned executor's thread to exit, then settle every launch
+        that was seized with the lane.
+
+        A launch whose thread posted a completion was merely slow — its
+        record stays in flight and the (already queued) result delivers
+        normally, bit-exact.  A launch the thread never ran (queued
+        behind the hog, its future cancelled) is re-issued on the fresh
+        executor — charged as a hang fault only if its own deadline had
+        expired.  A thread that outlives ``hang_grace`` is wedged: the
+        launch it is executing fails with a ``kind="hang"`` report and
+        its gpu is never re-issued — handing device state a live thread
+        still owns to a second thread would be a data race.  Every
+        fatal error is routed through the completion stream, so one
+        exhausted job never strands the other seized launches."""
         old.shutdown(wait=False, cancel_futures=True)
+        retry = self.retry
+        grace = None
+        if retry is not None:
+            grace = (
+                retry.hang_grace
+                if retry.hang_grace is not None
+                else retry.launch_timeout
+            )
+        wedged = False
+        threads = list(getattr(old, "_threads", None) or ())
+        if threads:
+            deadline = None if grace is None else time.monotonic() + grace
+            for thread in threads:
+                timeout = (
+                    None
+                    if deadline is None
+                    else max(deadline - time.monotonic(), 0.0)
+                )
+                thread.join(timeout)
+                if thread.is_alive():
+                    wedged = True
+        else:  # no private thread list on this runtime: wait unbounded
+            old.shutdown(wait=True)
+        reissue: list[_LaunchRecord] = []
+        failed: list[_LaunchRecord] = []
+        with self._records_lock:
+            entries = [
+                (ticket, record)
+                for ticket, record in self._records.items()
+                if record.lane == lane
+            ]
+            poisoned = None
+            if wedged:
+                for _, record in entries:
+                    if not record.done:
+                        # max_workers=1: the earliest unfinished record
+                        # is the one the live thread still executes
+                        poisoned = record.gpu
+                        break
+            for ticket, record in entries:
+                if record.done:
+                    record.deadline = None  # late result: deliver as-is
+                    continue
+                del self._records[ticket]
+                if poisoned is not None and record.gpu is poisoned:
+                    failed.append(record)
+                else:
+                    reissue.append(record)
+            buffered = self._quarantine.pop(lane, [])
+        errors = [self._hang_error(record, detail) for record in failed]
+        for record in reissue:
+            if record.overdue:
+                try:
+                    self._handle_fault(record, detail, kind="hang")
+                except WorkerError as err:
+                    errors.append(err)
+            else:  # seized with the lane, not at fault: plain re-issue
+                self._submit_record(record)
+        for record in buffered:
+            if poisoned is not None and record.gpu is poisoned:
+                errors.append(self._hang_error(record, detail))
+            else:
+                self._submit_record(record)
+        for error in errors:
+            self._completions.put(error)
+
+    @staticmethod
+    def _hang_error(record: _LaunchRecord, detail: str) -> WorkerError:
+        record.failures.append(detail)
+        report = FailureReport(
+            kind="hang",
+            device_id=record.device_id,
+            attempts=record.attempts,
+            retries=record.attempts - 1,
+            fatal=True,
+            details=tuple(record.failures),
+        )
+        return WorkerError(record.device_id, detail, record.tag, report)
+
+    def forget(self, key: object) -> None:
+        """Drop a finished job's supervision tallies (failure budget and
+        retry counts) — the service calls this at job finalization so a
+        long-lived fleet's accounting stays bounded."""
+        with self._records_lock:
+            self._fault_counts.pop(key, None)
+            self.retry_counts.pop(key, None)
 
     def close(self, wait: bool = True) -> None:
         """Join every worker thread; queued-but-unstarted launches and
@@ -662,6 +810,12 @@ class ProcessWorkerGroup:
     def reset_device(self, device_id: int) -> None:
         """Queue a device reset behind that device's in-flight launches."""
         self._workers[device_id].task_queue.put(("reset",))
+
+    def forget(self, key: object) -> None:
+        """Drop a finished job's supervision tallies (see
+        :meth:`FleetWorkerGroup.forget`); consumer-thread only."""
+        self._fault_counts.pop(key, None)
+        self.retry_counts.pop(key, None)
 
     def next_completion(self, timeout: float) -> LaunchCompletion | None:
         """The next finished launch from any child; None on timeout (or

@@ -122,6 +122,7 @@ class _FederatedJob:
         "started",
         "lost",
         "shares",
+        "spent",
     )
 
     def __init__(self, job_id: str, n: int, handle: FederationHandle) -> None:
@@ -137,7 +138,12 @@ class _FederatedJob:
         self.on_improvement = None
         self.started = time.perf_counter()
         self.lost: list[int] = []
+        #: per-island launch-budget share, including absorbed ``extend``
+        #: grants from earlier island deaths
         self.shares: list[int | None] = []
+        #: island -> launches spent so far, from per-epoch ``progress``
+        #: events (what degrade-mode redistribution subtracts)
+        self.spent: dict[int, int] = {}
 
 
 def _split_budget(total: int | None, islands: int) -> list[int | None]:
@@ -622,6 +628,14 @@ class Federation:
                     pending["event"].set()
             return
         job_id = event[1]
+        if kind == "progress":
+            # per-epoch launch tally; _on_island_exit subtracts it when
+            # redistributing a dead island's budget share
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is not None:
+                    job.spent[event[2]] = event[3]
+            return
         if kind == "incumbent":
             self._on_incumbent(island, event)
             return
@@ -723,8 +737,18 @@ class Federation:
                         if island < len(job.shares)
                         else None
                     )
+                    if share:
+                        # only the unspent remainder moves; progress is
+                        # reported per epoch, so a mid-epoch death can
+                        # still overshoot by < migration_period launches
+                        share = max(share - job.spent.get(island, 0), 0)
                     if survivors and share:
                         extra = _split_budget(share, len(survivors))
+                        for k, dst in enumerate(survivors):
+                            if extra[k]:
+                                # grow the survivor's recorded share so a
+                                # later death redistributes the grant too
+                                job.shares[dst] += extra[k]
                         extends.extend(
                             (dst, job.id, extra[k])
                             for k, dst in enumerate(survivors)

@@ -399,6 +399,9 @@ def _run_job(context: dict, job: _IslandJob) -> None:
                 seg = period if remaining is None else min(period, remaining)
                 result = segment(_segment_kwargs(payload, seg, deadline))
                 acc.fold(result)
+                # per-epoch spend tally: if this island dies, the
+                # controller redistributes only the unspent remainder
+                emit(("progress", job.id, island, acc.launches))
                 if acc.reached_target:
                     emit(("target", job.id, island))
                     break
@@ -536,7 +539,9 @@ def island_main(
     on *evt* from whichever thread produced them, serialized by one
     lock; a dedicated thread additionally emits ``("hb", island)``
     heartbeats so the controller's watchdog can tell a hung island from
-    a busy one (the command loop itself blocks on ``recv``).
+    a busy one (the command loop itself blocks on ``recv``), and each
+    job thread emits ``("progress", job_id, island, launches)`` per
+    epoch so degrade-mode redistribution knows the spent budget.
     """
     evt_lock = threading.Lock()
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import threading
+import zlib
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -142,9 +143,12 @@ class ChaosInjector:
                 return False
             count = self._counts.get(site, 0)
             self._counts[site] = count + 1
+            # crc32, not hash(): Python's str hash is salted per process
+            # (PYTHONHASHSEED), which would break replaying a CI seed in
+            # a fresh local run
             key = (
                 self.config.seed * 0x100000001B3
-                + hash(site) % 2**32 * 0x10001
+                + zlib.crc32(site.encode()) * 0x10001
                 + count
             ) % 2**64
             draw = _splitmix64(key) / 2**64

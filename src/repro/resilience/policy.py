@@ -11,7 +11,9 @@ governs every recovery decision the execution layer makes:
   poisoned instance from burning the fleet forever;
 * how long a launch may run before it is declared hung and its lane is
   respawned (``launch_timeout``) — hang detection, not just crash
-  detection.
+  detection — and how long the thread fleet's reaper then waits for the
+  abandoned lane thread before failing the launch it still owns
+  (``hang_grace``; process workers are simply killed instead).
 
 When recovery is exhausted the failure surfaces as a
 :class:`~repro.engine.workers.WorkerError` carrying a
@@ -44,6 +46,12 @@ class RetryPolicy:
     #: seconds a launch may run before its lane is declared hung and
     #: respawned; None disables hang detection
     launch_timeout: float | None = None
+    #: seconds the quarantine reaper then waits for the abandoned lane
+    #: thread to exit before declaring its launch unrecoverable (thread
+    #: workers cannot be killed, only awaited — a late exit within the
+    #: grace delivers or retries the launch safely); None waits one more
+    #: ``launch_timeout``
+    hang_grace: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -58,6 +66,8 @@ class RetryPolicy:
             raise ValueError("failure_budget must be >= 1 or None")
         if self.launch_timeout is not None and self.launch_timeout <= 0:
             raise ValueError("launch_timeout must be > 0 or None")
+        if self.hang_grace is not None and self.hang_grace <= 0:
+            raise ValueError("hang_grace must be > 0 or None")
 
     def delay(self, attempt: int) -> float:
         """Backoff before re-issue *attempt* (1-based), capped."""

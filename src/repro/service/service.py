@@ -761,6 +761,10 @@ class SolveService:
     ) -> None:
         job.finalized = True
         self._active.pop(job.id, None)
+        # supervision tallies are per job and the fleet is long-lived:
+        # drop them here (after the result snapshotted retry_counts) so
+        # the accounting dicts stay bounded
+        self._group.forget(job.id)
         # nothing of a finalized job can still be in flight (finalization
         # requires inflight == 0), so the registry entry — and with it the
         # job's solver state — is dropped; the handle keeps the result

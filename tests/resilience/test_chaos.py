@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.resilience import ChaosConfig, ChaosInjector, chaos
 from tests.resilience.conftest import CHAOS_SEED
 
@@ -35,6 +41,33 @@ class TestDeterminism:
         kills = [injector.fire("worker_kill") for _ in range(100)]
         islands = [injector.fire("island_kill") for _ in range(100)]
         assert kills != islands
+
+    def test_schedule_survives_interpreter_restarts(self):
+        """The same seed must replay the same schedule in a *new*
+        process (re-running a failed CI seed locally), not just in fork
+        children — so the decision hash may not depend on Python's
+        per-process str-hash salt (PYTHONHASHSEED)."""
+        code = (
+            "from repro.resilience import ChaosConfig, ChaosInjector\n"
+            "inj = ChaosInjector(ChaosConfig(rates={'worker_kill': 0.5},"
+            f" seed={CHAOS_SEED}))\n"
+            "print(''.join('1' if inj.fire('worker_kill') else '0'"
+            " for _ in range(64)))\n"
+        )
+        src = str(Path(repro.__file__).resolve().parents[1])
+        schedules = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            schedules.add(out.stdout.strip())
+        assert len(schedules) == 1
 
     def test_rate_bounds(self):
         always = ChaosInjector(

@@ -17,7 +17,12 @@ import numpy as np
 import pytest
 
 from repro.federation import Federation
-from repro.federation.federation import PROCESS_NAME_PREFIX, FederationError
+from repro.federation.federation import (
+    PROCESS_NAME_PREFIX,
+    FederationError,
+    FederationHandle,
+    _FederatedJob,
+)
 from repro.resilience import ChaosConfig, RetryPolicy, chaos
 from repro.solver.dabs import DABSConfig
 from tests.conftest import random_qubo
@@ -95,6 +100,41 @@ class TestIslandLoss:
             with pytest.raises(FederationError, match="exited unexpectedly"):
                 handle.result(timeout=60)
         assert leaked_islands() == []
+
+
+class TestBudgetAccounting:
+    def test_redistribution_subtracts_spent_and_compounds_grants(self):
+        """Degrade-mode hands survivors only the dead island's *unspent*
+        remainder (per-epoch progress events), and a survivor's absorbed
+        grant is itself redistributed if that survivor later dies too
+        (white-box: no processes spawned, ``_send`` is captured)."""
+        federation = Federation(4, default_config=vt_config(), seed=0)
+        sent: list[tuple[int, tuple]] = []
+        federation._send = lambda island, message: sent.append(
+            (island, message)
+        )
+        handle = FederationHandle("fed-1", federation)
+        job = _FederatedJob("fed-1", 30, handle)
+        job.shares = [100, 100, 100, 100]
+        federation._jobs["fed-1"] = job
+        federation._dispatch(2, ("progress", "fed-1", 2, 40))
+
+        federation._on_island_exit(2)
+        extends = [m for _, m in sent if m[0] == "extend"]
+        assert sum(m[2] for m in extends) == 60  # 100 share - 40 spent
+        assert [job.shares[i] for i in (0, 1, 3)] == [120, 120, 120]
+
+        # island 0 dies later having spent 30 of its grown 120 share:
+        # the grant it absorbed is redistributed along with its own
+        sent.clear()
+        federation._dispatch(0, ("progress", "fed-1", 0, 30))
+        federation._on_island_exit(0)
+        extends = [m for _, m in sent if m[0] == "extend"]
+        assert sum(m[2] for m in extends) == 90  # 120 - 30
+        assert [job.shares[i] for i in (1, 3)] == [165, 165]
+        assert job.lost == [2, 0]
+        federation._jobs.clear()
+        federation.close()
 
 
 class TestWatchdog:

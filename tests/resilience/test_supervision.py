@@ -11,6 +11,7 @@ carrying a structured :class:`FailureReport`.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 
 import numpy as np
@@ -152,13 +153,33 @@ class TestFleetRetry:
             0.3,
         ]
 
-    def test_hung_launch_respawns_lane_and_reissues(self):
-        """launch_timeout supersedes the stuck launch: a fresh lane
-        replays it and the abandoned thread's late result is dropped."""
+    def test_forget_prunes_supervision_tallies(self):
+        """A long-lived fleet drops a finished job's budget/retry
+        accounting (the service calls forget at finalization)."""
+        chaos.install(
+            ChaosConfig(
+                rates={"launch_exception": 1.0},
+                seed=CHAOS_SEED,
+                max_faults=1,
+            )
+        )
+        with FleetWorkerGroup(1, retry=FAST_RETRY) as group:
+            group.submit_launch(0, 0, 1, make_gpu(), make_batch(), tag="job")
+            collect_one(group)
+            assert group.retry_counts and group._fault_counts
+            group.forget("job")
+            assert group.retry_counts == {} and group._fault_counts == {}
+
+    def test_slow_launch_is_quarantined_and_late_result_delivered(self):
+        """launch_timeout respawns the lane, but the overdue launch is
+        NOT re-issued while its abandoned thread still owns the gpu: the
+        reaper waits for the thread to exit and the (bit-exact) late
+        result is delivered — the launch runs exactly once, so two
+        threads never mutate the same device state."""
         inner = make_gpu()
         expect, expect_flips = make_gpu().launch(make_batch())
 
-        class HangOnce:
+        class SlowOnce:
             greedy_truncations = 0
             truncation_events = 0
 
@@ -171,16 +192,151 @@ class TestFleetRetry:
                     time.sleep(1.0)
                 return inner.launch(batch)
 
-        gpu = HangOnce()
+        gpu = SlowOnce()
         retry = RetryPolicy(
-            max_retries=2, backoff_base=0.0, launch_timeout=0.2
+            max_retries=2,
+            backoff_base=0.0,
+            launch_timeout=0.2,
+            hang_grace=30.0,
         )
         with FleetWorkerGroup(1, retry=retry) as group:
             group.submit_launch(0, 0, 1, gpu, make_batch())
             completion = collect_one(group)
             assert np.array_equal(completion.batch.vectors, expect.vectors)
             assert np.array_equal(completion.flips, expect_flips)
+            assert gpu.calls == 1  # never re-issued concurrently
+            assert group.respawns == 1 and group.retries == 0
+
+    def test_preempted_hang_is_retried_bit_exactly(self):
+        """A hang that ends in an exception is a pre-empted launch: once
+        the abandoned thread has exited, the re-issue on the fresh lane
+        is bit-identical to a fault-free run."""
+        inner = make_gpu()
+        expect, expect_flips = make_gpu().launch(make_batch())
+
+        class HangThenRaise:
+            greedy_truncations = 0
+            truncation_events = 0
+
+            def __init__(self):
+                self.calls = 0
+
+            def launch(self, batch):
+                self.calls += 1
+                if self.calls == 1:
+                    time.sleep(0.5)
+                    raise RuntimeError("kernel wedged, then died")
+                return inner.launch(batch)
+
+        gpu = HangThenRaise()
+        retry = RetryPolicy(
+            max_retries=2,
+            backoff_base=0.0,
+            launch_timeout=0.1,
+            hang_grace=30.0,
+        )
+        with FleetWorkerGroup(1, retry=retry) as group:
+            group.submit_launch(0, 0, 1, gpu, make_batch(), tag="job")
+            completion = collect_one(group)
+            assert np.array_equal(completion.batch.vectors, expect.vectors)
+            assert np.array_equal(completion.flips, expect_flips)
+            assert gpu.calls == 2
             assert group.respawns == 1 and group.retries == 1
+
+    def test_wedged_launch_fails_hang_and_lane_survives(self):
+        """A thread that outlives hang_grace is unrecoverable: its
+        launch fails with a kind="hang" report (never re-issued — the
+        live thread still owns that gpu) while the respawned lane keeps
+        serving other tenants."""
+        release = threading.Event()
+        inner = make_gpu()
+        expect, _ = make_gpu().launch(make_batch())
+
+        class Wedged:
+            greedy_truncations = 0
+            truncation_events = 0
+
+            def launch(self, batch):
+                release.wait(30.0)
+                return inner.launch(batch)
+
+        retry = RetryPolicy(
+            max_retries=5,
+            backoff_base=0.0,
+            launch_timeout=0.1,
+            hang_grace=0.1,
+        )
+        try:
+            with FleetWorkerGroup(1, retry=retry) as group:
+                group.submit_launch(
+                    0, 0, 1, Wedged(), make_batch(), tag="stuck"
+                )
+                with pytest.raises(WorkerError) as excinfo:
+                    collect_one(group)
+                assert excinfo.value.tag == "stuck"
+                assert excinfo.value.report.kind == "hang"
+                assert excinfo.value.report.fatal
+                # the lane is fresh: an untouched gpu completes on it
+                group.submit_launch(
+                    0, 0, 1, make_gpu(), make_batch(), tag="ok"
+                )
+                completion = collect_one(group)
+                assert completion.tag == "ok"
+                assert np.array_equal(
+                    completion.batch.vectors, expect.vectors
+                )
+        finally:
+            release.set()
+
+    def test_seized_cotenant_launch_survives_a_fatal_hang(self):
+        """One job's unrecoverable hang must not strand the co-tenant
+        launches seized with the lane: they re-issue on the fresh
+        executor and complete while the wedged job fails alone."""
+        release = threading.Event()
+        inner = make_gpu()
+        expect, expect_flips = make_gpu().launch(make_batch())
+
+        class Wedged:
+            greedy_truncations = 0
+            truncation_events = 0
+
+            def launch(self, batch):
+                release.wait(30.0)
+                return inner.launch(batch)
+
+        retry = RetryPolicy(
+            max_retries=5,
+            backoff_base=0.0,
+            launch_timeout=0.1,
+            hang_grace=0.1,
+        )
+        try:
+            with FleetWorkerGroup(1, retry=retry) as group:
+                group.submit_launch(
+                    0, 0, 1, Wedged(), make_batch(), tag="a"
+                )
+                group.submit_launch(
+                    0, 1, 1, make_gpu(), make_batch(), tag="b"
+                )
+                outcomes = {}
+                deadline = time.monotonic() + 30.0
+                while len(outcomes) < 2 and time.monotonic() < deadline:
+                    try:
+                        completion = group.next_completion(0.2)
+                    except WorkerError as err:
+                        outcomes[err.tag] = err
+                    else:
+                        if completion is not None:
+                            outcomes[completion.tag] = completion
+                assert isinstance(outcomes["a"], WorkerError)
+                assert outcomes["a"].report.kind == "hang"
+                completion = outcomes["b"]
+                assert np.array_equal(
+                    completion.batch.vectors, expect.vectors
+                )
+                assert np.array_equal(completion.flips, expect_flips)
+        finally:
+            release.set()
 
 
 class TestProcessRespawn:
