@@ -3,18 +3,70 @@
 Every table/figure bench writes its regenerated report to ``results/`` so a
 full ``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
 evaluation section on disk (referenced by EXPERIMENTS.md).
+
+Alongside each ``<name>.md`` report, :func:`save_report` drops a
+machine-readable ``BENCH_<name>.json`` sidecar — headline metric, value,
+the committed baseline/floor it is judged against, any extra metrics, and
+enough host info (platform, python, numpy, CPU count) to interpret a
+number from a different machine.  Trend tooling reads the sidecars; the
+markdown stays the human-facing artifact.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 from pathlib import Path
+
+import numpy as np
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
-def save_report(markdown: str, name: str) -> Path:
-    """Write a report's markdown under results/ and return the path."""
+def host_info() -> dict:
+    """The host fingerprint stamped into every benchmark sidecar."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def save_report(
+    markdown: str,
+    name: str,
+    *,
+    metric: str | None = None,
+    value: float | None = None,
+    baseline: float | None = None,
+    metrics: dict | None = None,
+) -> Path:
+    """Write a report's markdown under results/ and return the path.
+
+    Always writes the ``BENCH_<name>.json`` sidecar next to it.  *metric*
+    names the headline measurement (e.g. ``"speedup"``), *value* is the
+    measured number, *baseline* the committed floor/reference it is
+    compared against; *metrics* carries any further key → number pairs.
+    Benches that have not declared a headline yet still get a sidecar
+    with the host fingerprint, so the directory is uniformly scrapable.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.md"
     path.write_text(markdown + "\n")
+    sidecar = {
+        "bench": name,
+        "metric": metric,
+        "value": value,
+        "baseline": baseline,
+        "metrics": metrics or {},
+        "host": host_info(),
+    }
+    # bench_coalesce.md rides with BENCH_coalesce.json — the sidecar name
+    # is the bench's bare name, without the file-convention prefix
+    short = name[len("bench_"):] if name.startswith("bench_") else name
+    json_path = RESULTS_DIR / f"BENCH_{short}.json"
+    json_path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
     return path

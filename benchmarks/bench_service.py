@@ -232,7 +232,19 @@ def render(workload: dict) -> str:
 def run_full() -> None:
     workload = run_workload("mixed-full", FULL_SPEC, FULL_DEVICES, repeats=3)
     report = render(workload)
-    path = save_report(report, "bench_service")
+    seq, svc = workload["rows"]
+    path = save_report(
+        report,
+        "bench_service",
+        metric="speedup",
+        value=workload["speedup"],
+        baseline=FULL_MIN_SPEEDUP,
+        metrics={
+            "sequential_lps": seq["lps"],
+            "service_lps": svc["lps"],
+            "launches": svc["launches"],
+        },
+    )
     print(report)
     print(f"\nwrote {path}")
     assert workload["speedup"] >= FULL_MIN_SPEEDUP, (

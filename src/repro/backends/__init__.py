@@ -76,6 +76,7 @@ __all__ = [
     "fallback_backend",
     "get_backend",
     "masked_argmin",
+    "pack_compatibility_key",
     "prepare_problem",
     "register_backend",
     "resolve_backend",
@@ -331,6 +332,32 @@ def prepare_problem(model, backend=None) -> PreparedProblem:
     """
     resolved = resolve_backend(backend, model)
     return PreparedProblem(model, resolved, resolved.prepare(model))
+
+
+def pack_compatibility_key(backend, kernel, model, search_config):
+    """Key under which launches may be coalesced into one super-launch.
+
+    Two launches are pack-compatible (DESIGN.md §12) when they run the
+    same backend singleton over the same prepared kernel cache — i.e. the
+    same :class:`PreparedProblem` identity, which the service's problem
+    cache shares across cache-hit submissions — with the same ``n`` and
+    the same batch-search phase configuration.  Identity (not content)
+    comparison is deliberate: distinct kernels never fuse, so a degraded
+    device's rebuilt kernel simply stops matching its former pack-mates.
+
+    Returns ``None`` when launches on this substrate must not be packed:
+
+    * the backend's fused runners cannot take a per-row vector tabu clock
+      (``packable`` is False — JIT/CUDA kernels), or
+    * the model's arithmetic is floating-point — float reductions may
+      round differently across batch shapes, and packing is only offered
+      where bit-exactness per job is provable.
+    """
+    if not getattr(backend, "packable", False):
+        return None
+    if not np.issubdtype(np.dtype(model.dtype), np.integer):
+        return None
+    return (id(backend), id(kernel), int(model.n), search_config)
 
 
 def __getattr__(name: str):

@@ -138,6 +138,12 @@ class ComputeBackend(ABC):
     #: registry name, e.g. ``"numpy-dense"``
     name: str = ""
 
+    #: True when the fused phase runners accept a per-row vector tabu
+    #: clock, the requirement for coalesced super-launches (DESIGN.md
+    #: §12).  Backends whose kernels take a scalar clock (JIT/CUDA)
+    #: opt out and their launches are never packed.
+    packable: bool = True
+
     #: selection-spec kinds this backend can run as fused phases
     lowered_kinds: frozenset = frozenset(
         {
@@ -231,15 +237,22 @@ class ComputeBackend(ABC):
             return None
         return rows, np.asarray(idx)[rows]
 
-    def _stamp(self, tabu, rows, idx, active, value: int) -> None:
-        """Row-local tabu stamping inside a fused phase (no clock motion)."""
+    def _stamp(self, tabu, rows, idx, active, value) -> None:
+        """Row-local tabu stamping inside a fused phase (no clock motion).
+
+        *value* is ``clock + t`` — scalar, or per-row when the tracker runs
+        a vector clock (coalesced super-launch, DESIGN.md §12).
+        """
         if not tabu.enabled:
             return
         if active is None:
             tabu.stamps[rows, idx] = value
         else:
             act = np.flatnonzero(active)
-            tabu.stamps[act, idx[act]] = value
+            if isinstance(value, np.ndarray):
+                tabu.stamps[act, idx[act]] = value[act]
+            else:
+                tabu.stamps[act, idx[act]] = value
 
     # -- scans -------------------------------------------------------------
     def neighbor_min(self, state) -> tuple[np.ndarray, np.ndarray]:
@@ -461,6 +474,7 @@ class ComputeBackend(ABC):
         n = state.x.shape[1]
         use_tabu = tabu.enabled
         stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        clock_col = clock[:, None] if isinstance(clock, np.ndarray) else clock
         # a row can hold at most ``period`` tabu bits (one stamp per
         # iteration), so with period < n the all-tabu fallback of the
         # reference never fires and the tabu penalty can be maintained
@@ -484,14 +498,14 @@ class ComputeBackend(ABC):
             if use_tabu:
                 if not incremental:  # pragma: no cover - period >= n corner
                     # reference semantics incl. the all-tabu row fallback
-                    np.less(stamps, clock + t - period, out=usable)
+                    np.less(stamps, clock_col + t - period, out=usable)
                     has_usable = usable.any(axis=1)
                     if not has_usable.all():
                         usable[~has_usable] = True
                     np.logical_not(usable, out=notbuf)
                     np.multiply(notbuf, INT_SENTINEL, out=penalty)
                 elif t <= period:
-                    np.greater_equal(stamps, clock + t - period, out=notbuf)
+                    np.greater_equal(stamps, clock_col + t - period, out=notbuf)
                     np.multiply(notbuf, INT_SENTINEL, out=penalty)
                 else:
                     t0 = t - period - 1
@@ -543,6 +557,7 @@ class ComputeBackend(ABC):
         widths = spec.widths
         use_tabu = tabu.enabled
         stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        clock_col = clock[:, None] if isinstance(clock, np.ndarray) else clock
         for t in range(iterations):
             w = int(widths[t])
             cols = (cursor[:, None] + np.arange(w)[None, :]) % n
@@ -551,7 +566,7 @@ class ComputeBackend(ABC):
                 # all-tabu rows need no fallback: adding the sentinel to
                 # every window value leaves their argmin unchanged, which
                 # is exactly the reference's "must flip something" rule
-                win_tabu = stamps[rows_col, cols] >= clock + t - period
+                win_tabu = stamps[rows_col, cols] >= clock_col + t - period
                 vals = vals + win_tabu * INT_SENTINEL
             local = np.argmin(vals, axis=1)
             idx = cols[rows, local]
@@ -570,6 +585,7 @@ class ComputeBackend(ABC):
         rows = state._rows
         use_tabu = tabu.enabled
         stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        clock_col = clock[:, None] if isinstance(clock, np.ndarray) else clock
         thresholds = spec.thresholds
         sel = state.scratch("sel_bool", bool)
         usable = state.scratch("usable_bool", bool)
@@ -581,7 +597,7 @@ class ComputeBackend(ABC):
             rng.next_keys(out=keys)
             np.less(keys, thresholds[t], out=sel)
             if use_tabu:
-                np.less(stamps, clock + t - period, out=usable)
+                np.less(stamps, clock_col + t - period, out=usable)
                 np.logical_and(sel, usable, out=sel)
             # masked_argmin, penalty form: candidate-less rows reduce to the
             # plain row argmin — identical to the reference's fallback
@@ -602,6 +618,7 @@ class ComputeBackend(ABC):
         rows = state._rows
         use_tabu = tabu.enabled
         stamps, period, clock = tabu.stamps, tabu.period, tabu.clock
+        clock_col = clock[:, None] if isinstance(clock, np.ndarray) else clock
         sel = state.scratch("sel_bool", bool)
         sel2 = state.scratch("usable_bool", bool)
         notbuf = state.scratch("not_bool", bool)
@@ -620,7 +637,7 @@ class ComputeBackend(ABC):
             np.less_equal(delta, posmin[:, None], out=sel)
             if use_tabu:
                 # fall back to tabu bits only when every candidate is tabu
-                np.less(stamps, clock + t - period, out=sel2)
+                np.less(stamps, clock_col + t - period, out=sel2)
                 np.logical_and(sel, sel2, out=sel2)
                 keep = sel2.any(axis=1)
                 sel[keep] = sel2[keep]

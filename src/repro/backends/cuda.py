@@ -770,6 +770,10 @@ class CudaBackend(ComputeBackend):
 
     name = "cuda"
 
+    #: device kernels take a scalar tabu clock — no vector-clock support,
+    #: so launches on this backend are never coalesced
+    packable = False
+
     @classmethod
     def is_available(cls) -> bool:
         if cuda is None:

@@ -365,6 +365,10 @@ class NumbaBackend(NumpyDenseBackend):
 
     name = "numba"
 
+    #: compiled phase loops take a scalar tabu clock — no vector-clock
+    #: support, so launches on this backend are never coalesced
+    packable = False
+
     @classmethod
     def is_available(cls) -> bool:
         return njit is not None

@@ -208,6 +208,32 @@ class BatchDeltaState:
         view._scratch = {}
         return view
 
+    def row_window(self, start: int, stop: int) -> "BatchDeltaState":
+        """A facade over rows ``[start, stop)``, sharing buffers and kernel.
+
+        The row-range generalisation of :meth:`row_view`, used by the
+        super-launch executor (DESIGN.md §12) to phase over contiguous
+        spans of a stacked multi-job batch.  ``_rows`` is re-based to the
+        window so fancy row indexing inside kernels stays window-local.
+        """
+        if not 0 <= start < stop <= self.batch:
+            raise ValueError(
+                f"window must satisfy 0 <= start < stop <= {self.batch}, "
+                f"got [{start}, {stop})"
+            )
+        view = object.__new__(BatchDeltaState)
+        view.model = self.model
+        view.batch = stop - start
+        view.backend = self.backend
+        view.kernel = self.kernel
+        view.x = self.x[start:stop]
+        view.energy = self.energy[start:stop]
+        view.delta = self.delta[start:stop]
+        view.device = None  # device mirrors are per-(object, shape)
+        view._rows = np.arange(stop - start)
+        view._scratch = {}
+        return view
+
     def reset(self, x=None) -> None:
         """Reinitialize all rows from ``x`` (``(B, n)`` or broadcastable row);
         zero vectors if omitted.  Buffers are reused in place."""

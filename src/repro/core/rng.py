@@ -86,6 +86,20 @@ class XorShift64Star:
         self.state = state.copy()
         self._scratch: np.ndarray | None = None
 
+    @classmethod
+    def view(cls, state: np.ndarray) -> "XorShift64Star":
+        """A generator over *state* without copying it.
+
+        All advancement runs through in-place ufuncs, so a view over a row
+        slice of a larger lane array (the coalesced super-launch's merged
+        RNG block, DESIGN.md §12) mutates the parent rows directly.  The
+        caller guarantees non-zero uint64 lanes.
+        """
+        gen = object.__new__(cls)
+        gen.state = state
+        gen._scratch = None
+        return gen
+
     @property
     def shape(self):
         """Lane array shape."""

@@ -74,6 +74,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.packet import PacketBatch, SharedBatchSlab
+from repro.engine.coalesce import SuperLaunch
 from repro.resilience import chaos
 from repro.resilience.chaos import ChaosError
 from repro.resilience.policy import FailureReport, RetryPolicy
@@ -241,6 +242,14 @@ class FleetWorkerGroup:
         self.retries = 0
         #: lane executors replaced after a hang
         self.respawns = 0
+        #: super-launch completions split but not yet delivered
+        self._ready: deque = deque()
+        #: lane -> merged pack buffers (only ever touched by that lane's
+        #: single worker thread; dropped when a wedged thread may still
+        #: own them)
+        self._pack_scratch: dict[int, dict] = {}
+        #: super-launches split back into individual launches after a fault
+        self.pack_splits = 0
 
     @staticmethod
     def _make_executor(lane: int) -> ThreadPoolExecutor:
@@ -268,6 +277,25 @@ class FleetWorkerGroup:
         on the completion along with *tag*.
         """
         record = _LaunchRecord(lane, device_id, seq, gpu, batch, tag)
+        self._submit_record(record)
+
+    def submit_packed(self, lane: int, segments) -> None:
+        """Queue a coalesced super-launch on *lane*'s FIFO (DESIGN.md §12).
+
+        *segments* is a list of :class:`~repro.engine.coalesce.PackSegment`
+        — pack-compatible launches of different jobs.  The lane executes
+        them as one fused batch and the completion stream delivers one
+        :class:`LaunchCompletion` per segment, carrying the segment's own
+        ``(device_id, seq, tag)`` — callers cannot tell a packed launch
+        from a solo one.  A failed pack is split: its segments are
+        re-issued as individual launches without charging any job's fault
+        budget (the culprit is unknown inside a fused batch; a persistent
+        fault fails — and is charged — on the solo re-run).
+        """
+        pack = SuperLaunch(segments)
+        record = _LaunchRecord(
+            lane, segments[0].device_id, segments[0].seq, pack, None, None
+        )
         self._submit_record(record)
 
     def _submit_record(self, record: _LaunchRecord) -> None:
@@ -309,6 +337,37 @@ class FleetWorkerGroup:
         if record is None:  # superseded before it started
             return
         try:
+            gpu = record.gpu
+            if isinstance(gpu, SuperLaunch):
+                # worker-level chaos fires per segment, as each launch
+                # would have seen solo (``who`` = that job's device index)
+                for seg in gpu.segments:
+                    if chaos.fire("worker_kill", who=seg.device_id):
+                        raise ChaosError(
+                            f"chaos: worker lane killed (device {seg.device_id})"
+                        )
+                    if chaos.fire("launch_exception", who=seg.device_id):
+                        raise ChaosError(
+                            f"chaos: injected launch exception "
+                            f"(device {seg.device_id})"
+                        )
+                with self._records_lock:
+                    scratch = self._pack_scratch.setdefault(record.lane, {})
+                completions = [
+                    LaunchCompletion(
+                        res.segment.device_id,
+                        res.segment.seq,
+                        res.result,
+                        res.flips,
+                        res.truncations,
+                        res.truncation_events,
+                        res.segment.tag,
+                    )
+                    for res in gpu.run(scratch)
+                ]
+                record.done = True
+                self._completions.put((ticket, completions))
+                return
             if chaos.fire("worker_kill", who=record.device_id):
                 raise ChaosError(
                     f"chaos: worker lane killed (device {record.device_id})"
@@ -318,7 +377,6 @@ class FleetWorkerGroup:
                     f"chaos: injected launch exception "
                     f"(device {record.device_id})"
                 )
-            gpu = record.gpu
             trunc0 = gpu.greedy_truncations
             events0 = gpu.truncation_events
             result, flips = gpu.launch(record.batch)
@@ -356,7 +414,12 @@ class FleetWorkerGroup:
         :class:`WorkerError` carrying the submission tag and a
         :class:`~repro.resilience.FailureReport`, so a multi-tenant
         caller can fail one job without tearing the fleet down.
+
+        A super-launch arrives as one queue item and is delivered as its
+        per-segment completions, one per call (the rest buffer FIFO).
         """
+        if self._ready:
+            return self._ready.popleft()
         self._check_deadlines()
         try:
             item = self._completions.get(timeout=timeout)
@@ -372,10 +435,47 @@ class FleetWorkerGroup:
         if record is None:
             return None  # superseded launch: result already re-issued
         if isinstance(payload, _Failure):
+            if isinstance(record.gpu, SuperLaunch):
+                return self._handle_pack_fault(record, payload.detail)
             return self._handle_fault(record, payload.detail, kind="launch")
+        if isinstance(payload, list):  # split super-launch completions
+            self._ready.extend(payload)
+            return self._ready.popleft()
         return payload
 
     # -- supervision -------------------------------------------------------
+    def _split_pack(self, record: _LaunchRecord) -> list[_LaunchRecord]:
+        """A failed super-launch's segments as individual launch records.
+
+        Attempt counts and failure history carry over; split records are
+        ordinary launches and can never re-pack, so splitting cannot loop.
+        """
+        out = []
+        for seg in record.gpu.segments:
+            seg_record = _LaunchRecord(
+                record.lane, seg.device_id, seg.seq, seg.gpu, seg.batch, seg.tag
+            )
+            seg_record.attempts = record.attempts
+            seg_record.failures = list(record.failures)
+            out.append(seg_record)
+        return out
+
+    def _handle_pack_fault(self, record: _LaunchRecord, detail: str) -> None:
+        """Absorb a super-launch failure: re-issue the segments solo.
+
+        No job's fault budget is charged — inside a fused batch the
+        culprit is unknown, and a pack-mate must not pay for it.  The
+        executor commits no device state before finishing, so the solo
+        re-runs start bit-exactly where the pack would have; a persistent
+        fault then fails (and is charged to) only the job that owns it.
+        """
+        record.failures.append(detail)
+        with self._records_lock:
+            self.pack_splits += 1
+        for seg_record in self._split_pack(record):
+            self._submit_record(seg_record)
+        return None
+
     def _handle_fault(
         self, record: _LaunchRecord, detail: str, kind: str
     ) -> None:
@@ -521,40 +621,82 @@ class FleetWorkerGroup:
                 for ticket, record in self._records.items()
                 if record.lane == lane
             ]
-            poisoned = None
+            poisoned: frozenset = frozenset()
             if wedged:
+                # the wedged thread may still own the lane's merged pack
+                # buffers — never hand them to the respawned executor
+                self._pack_scratch.pop(lane, None)
                 for _, record in entries:
                     if not record.done:
                         # max_workers=1: the earliest unfinished record
-                        # is the one the live thread still executes
-                        poisoned = record.gpu
+                        # is the one the live thread still executes; a
+                        # super-launch poisons every device it touches
+                        poisoned = frozenset(
+                            id(g) for g in self._record_gpus(record)
+                        )
                         break
             for ticket, record in entries:
                 if record.done:
                     record.deadline = None  # late result: deliver as-is
                     continue
                 del self._records[ticket]
-                if poisoned is not None and record.gpu is poisoned:
+                if self._touches(record, poisoned):
                     failed.append(record)
                 else:
                     reissue.append(record)
             buffered = self._quarantine.pop(lane, [])
-        errors = [self._hang_error(record, detail) for record in failed]
+        errors = []
+        for record in failed:
+            errors.extend(self._hang_errors(record, detail))
         for record in reissue:
             if record.overdue:
-                try:
-                    self._handle_fault(record, detail, kind="hang")
-                except WorkerError as err:
-                    errors.append(err)
+                # an overdue super-launch hung every job riding it: split
+                # and charge each segment, exactly as the solo hang would
+                split = (
+                    self._split_pack(record)
+                    if isinstance(record.gpu, SuperLaunch)
+                    else [record]
+                )
+                for seg_record in split:
+                    try:
+                        self._handle_fault(seg_record, detail, kind="hang")
+                    except WorkerError as err:
+                        errors.append(err)
             else:  # seized with the lane, not at fault: plain re-issue
                 self._submit_record(record)
         for record in buffered:
-            if poisoned is not None and record.gpu is poisoned:
-                errors.append(self._hang_error(record, detail))
+            if self._touches(record, poisoned):
+                errors.extend(self._hang_errors(record, detail))
             else:
                 self._submit_record(record)
         for error in errors:
             self._completions.put(error)
+
+    @staticmethod
+    def _record_gpus(record: _LaunchRecord):
+        """The device(s) a record's launch runs on (one, or a pack's set)."""
+        gpu = record.gpu
+        if isinstance(gpu, SuperLaunch):
+            return list(gpu.gpus())
+        return [gpu]
+
+    @classmethod
+    def _touches(cls, record: _LaunchRecord, poisoned: frozenset) -> bool:
+        if not poisoned:
+            return False
+        return any(id(g) in poisoned for g in cls._record_gpus(record))
+
+    def _hang_errors(
+        self, record: _LaunchRecord, detail: str
+    ) -> list[WorkerError]:
+        """The hang failure(s) of a record — one per segment for a pack,
+        so each riding job fails individually with its own tag."""
+        if isinstance(record.gpu, SuperLaunch):
+            return [
+                self._hang_error(seg_record, detail)
+                for seg_record in self._split_pack(record)
+            ]
+        return [self._hang_error(record, detail)]
 
     @staticmethod
     def _hang_error(record: _LaunchRecord, detail: str) -> WorkerError:

@@ -53,6 +53,10 @@ class SolutionPool:
         "algorithms",
         "operations",
         "allow_duplicates",
+        "_merge_vectors",
+        "_merge_energies",
+        "_merge_algorithms",
+        "_merge_operations",
     )
 
     def __init__(
@@ -79,6 +83,12 @@ class SolutionPool:
         op_choices = np.array([int(o) for o in operation_set], dtype=np.uint8)
         self.algorithms = rng.choice(alg_choices, size=capacity)
         self.operations = rng.choice(op_choices, size=capacity)
+        # sort-merge scratch reused across insert_batch calls (sized
+        # capacity + B on first use, regrown only for a larger batch)
+        self._merge_vectors: np.ndarray | None = None
+        self._merge_energies: np.ndarray | None = None
+        self._merge_algorithms: np.ndarray | None = None
+        self._merge_operations: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -191,15 +201,36 @@ class SolutionPool:
                 operations = operations[fresh]
                 if energies.size == 0:
                     return 0
-        merged_energies = np.concatenate([self.energies, energies])
-        order = np.argsort(merged_energies, kind="stable")[: self.capacity]
-        inserted = int(np.count_nonzero(order >= self.capacity))
+        cap = self.capacity
+        total = cap + energies.size
+        if self._merge_energies is None or self._merge_energies.size < total:
+            self._merge_vectors = np.empty((total, self.n), dtype=np.uint8)
+            self._merge_energies = np.empty(total, dtype=np.int64)
+            self._merge_algorithms = np.empty(total, dtype=np.uint8)
+            self._merge_operations = np.empty(total, dtype=np.uint8)
+        merged_energies = self._merge_energies[:total]
+        merged_energies[:cap] = self.energies
+        merged_energies[cap:] = energies
+        order = np.argsort(merged_energies, kind="stable")[:cap]
+        inserted = int(np.count_nonzero(order >= cap))
         if inserted == 0:
             return 0
-        self.vectors = np.concatenate([self.vectors, vectors])[order]
-        self.energies = merged_energies[order]
-        self.algorithms = np.concatenate([self.algorithms, algorithms])[order]
-        self.operations = np.concatenate([self.operations, operations])[order]
+        # gather through the scratch copies straight back into the pool
+        # arrays — the scratch holds the pre-merge rows, so writing the
+        # pool in place cannot clobber a row still to be read
+        merged_vectors = self._merge_vectors[:total]
+        merged_vectors[:cap] = self.vectors
+        merged_vectors[cap:] = vectors
+        merged_algorithms = self._merge_algorithms[:total]
+        merged_algorithms[:cap] = self.algorithms
+        merged_algorithms[cap:] = algorithms
+        merged_operations = self._merge_operations[:total]
+        merged_operations[:cap] = self.operations
+        merged_operations[cap:] = operations
+        np.take(merged_vectors, order, axis=0, out=self.vectors)
+        np.take(merged_energies, order, out=self.energies)
+        np.take(merged_algorithms, order, out=self.algorithms)
+        np.take(merged_operations, order, out=self.operations)
         return inserted
 
     def _duplicate_mask(self, vectors: np.ndarray, energies: np.ndarray) -> np.ndarray:

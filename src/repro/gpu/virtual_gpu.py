@@ -117,6 +117,39 @@ class VirtualGPU:
         """Lockstep lanes per launch."""
         return self.spec.num_blocks
 
+    @property
+    def kernel(self):
+        """The backend's per-model kernel cache this device launches on.
+
+        Shared with every other device of the same solver (and, through
+        the service's problem cache, with cache-hit co-tenants) — its
+        identity is one component of the pack-compatibility key
+        (DESIGN.md §12).
+        """
+        return self._state.kernel
+
+    def commit_packed(
+        self,
+        x: np.ndarray,
+        rng_state: np.ndarray,
+        flips_total: int,
+        truncations: int,
+    ) -> None:
+        """Fold one coalesced super-launch segment back into this device.
+
+        The pack/split counterpart of the persistence + counter block at
+        the end of :meth:`_launch`: the executor ran this device's rows
+        inside a merged super-batch and hands back the advanced solutions,
+        RNG lanes and counters for the whole launch-equivalent segment.
+        """
+        np.copyto(self.block_x, x)
+        np.copyto(self.rng_state, rng_state)
+        self.greedy_truncations += truncations
+        if truncations:
+            self.truncation_events += 1
+        self.total_flips += int(flips_total)
+        self.launch_count += 1
+
     def _group_buffers(
         self, size: int
     ) -> tuple[BatchDeltaState, TabuTracker, BestTracker]:

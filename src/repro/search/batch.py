@@ -152,6 +152,24 @@ class BestTracker:
         view.greedy_truncated = self.greedy_truncated[:batch]
         return view
 
+    def window(self, start: int, stop: int) -> "BestTracker":
+        """A tracker over rows ``[start, stop)``, sharing the buffers.
+
+        The super-launch executor (DESIGN.md §12) phases over contiguous
+        row spans of a stacked batch; each span folds into the same
+        parent-owned best memory.
+        """
+        if not 0 <= start < stop <= self.best_x.shape[0]:
+            raise ValueError(
+                f"window must satisfy 0 <= start < stop <= {self.best_x.shape[0]}, "
+                f"got [{start}, {stop})"
+            )
+        view = object.__new__(BestTracker)
+        view.best_x = self.best_x[start:stop]
+        view.best_energy = self.best_energy[start:stop]
+        view.greedy_truncated = self.greedy_truncated[start:stop]
+        return view
+
 
 def run_main_phase(
     state: BatchDeltaState,

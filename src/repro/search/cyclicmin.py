@@ -77,6 +77,22 @@ class CyclicMinSearch(MainSearch):
         self._cursor %= n
         return idx
 
+    def export_cursor(self, batch: int) -> np.ndarray:
+        """The cursor a *batch*-row phase would start from, as a copy.
+
+        Mirrors :meth:`begin` without mutating device state: zeros when no
+        cursor (or one of another shape) exists yet.  The super-launch
+        executor (DESIGN.md §12) seeds its merged cursor block from this
+        and commits the advanced values back via :meth:`import_cursor`.
+        """
+        if self._cursor is None or self._cursor.shape[0] != batch:
+            return np.zeros(batch, dtype=np.int64)
+        return self._cursor.copy()
+
+    def import_cursor(self, cursor: np.ndarray) -> None:
+        """Adopt externally advanced per-row cursor state (copied)."""
+        self._cursor = np.array(cursor, dtype=np.int64)
+
     def lower(self, state: BatchDeltaState, iterations: int) -> SelectionSpec:
         n = state.n
         cached = self._spec_cache

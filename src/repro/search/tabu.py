@@ -12,6 +12,15 @@ iteration count (:meth:`TabuTracker.advance`) — bit-identical to the
 stepwise per-flip :meth:`record`, because within any phase a row's k-th
 flip always lands on lockstep iteration k.  :meth:`mask` writes into one
 reused buffer instead of allocating a fresh ``(B, n)`` array per flip.
+
+``clock`` is normally a scalar (every row of a lockstep group advances
+together).  A coalesced super-launch (DESIGN.md §12) stacks lockstep
+groups of *different* jobs into one row range, and those groups run
+different straight/greedy iteration counts — so the tracker also accepts
+a per-row **vector clock** (:meth:`vectorize_clock`): all arithmetic here
+and in the fused phase runners broadcasts either form, and
+:meth:`window` hands out row-range views whose clock slice aliases the
+parent, so an in-place ``advance`` on a window propagates.
 """
 
 from __future__ import annotations
@@ -30,7 +39,7 @@ class TabuTracker:
         if period < 0:
             raise ValueError(f"tabu period must be >= 0, got {period}")
         self.period = period
-        self.clock = 0
+        self.clock: int | np.ndarray = 0
         # "never flipped" sits far enough in the past to never be tabu
         self._stamp = np.full((batch, n), -(period + 1), dtype=np.int64)
         self._mask_buf: np.ndarray | None = None
@@ -58,7 +67,10 @@ class TabuTracker:
         if buf is None:
             buf = self._mask_buf = np.empty(self._stamp.shape, dtype=bool)
         # clock − stamp ≤ period  ⟺  stamp ≥ clock − period (int64 exact)
-        np.greater_equal(self._stamp, self.clock - self.period, out=buf)
+        threshold = self.clock - self.period
+        if isinstance(threshold, np.ndarray):
+            threshold = threshold[:, None]
+        np.greater_equal(self._stamp, threshold, out=buf)
         return buf
 
     def record(self, idx: np.ndarray, active: np.ndarray | None = None) -> None:
@@ -70,7 +82,10 @@ class TabuTracker:
             else:
                 rows = np.flatnonzero(active)
                 cols = np.asarray(idx)[rows]
-            self._stamp[rows, cols] = self.clock
+            clock = self.clock
+            if isinstance(clock, np.ndarray):
+                clock = clock[rows]
+            self._stamp[rows, cols] = clock
         self.clock += 1
 
     def advance(self, iterations: int) -> None:
@@ -98,5 +113,39 @@ class TabuTracker:
         view.period = self.period
         view.clock = 0
         view._stamp = self._stamp[:batch]
+        view._mask_buf = None
+        return view
+
+    def vectorize_clock(self) -> np.ndarray:
+        """Switch to a per-row vector clock and return it.
+
+        Used by the coalesced super-launch executor: stacked jobs run
+        per-cell phase iteration counts, so each row range keeps its own
+        clock.  In-place updates (``advance``, per-cell fix-ups through
+        :meth:`window` views) mutate the shared vector.
+        """
+        if not isinstance(self.clock, np.ndarray):
+            self.clock = np.full(self._stamp.shape[0], int(self.clock), dtype=np.int64)
+        return self.clock
+
+    def window(self, start: int, stop: int) -> "TabuTracker":
+        """A tracker over rows ``[start, stop)`` sharing stamps *and* clock.
+
+        Requires a vector clock (:meth:`vectorize_clock`): the window's
+        clock is the parent's slice, so a phase runner's ``advance`` on
+        the window propagates per-row.  Never call :meth:`reset` on a
+        window — it would rebind the clock slice to a scalar.
+        """
+        if not isinstance(self.clock, np.ndarray):
+            raise ValueError("window() requires a vector clock; call vectorize_clock() first")
+        if not 0 <= start < stop <= self._stamp.shape[0]:
+            raise ValueError(
+                f"window must satisfy 0 <= start < stop <= {self._stamp.shape[0]}, "
+                f"got [{start}, {stop})"
+            )
+        view = object.__new__(TabuTracker)
+        view.period = self.period
+        view.clock = self.clock[start:stop]
+        view._stamp = self._stamp[start:stop]
         view._mask_buf = None
         return view

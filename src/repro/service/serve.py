@@ -115,6 +115,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default="queue",
         help="inter-island migration transport (federation mode only)",
     )
+    parser.add_argument(
+        "--coalesce",
+        choices=("on", "off", "auto"),
+        default="auto",
+        help="continuous batching: fuse pack-compatible co-tenant "
+        "launches into one super-launch per lane slot (bit-exact per "
+        "job; auto defers to REPRO_COALESCE, then on)",
+    )
+    parser.add_argument(
+        "--coalesce-max-rows",
+        type=int,
+        default=256,
+        metavar="R",
+        help="row budget (total blocks) of one fused super-launch",
+    )
     return parser
 
 
@@ -377,6 +392,8 @@ def serve_main(argv=None, stdin=None, stdout=None) -> int:
         blocks_per_gpu=args.blocks,
         pool_capacity=args.pool,
         backend=args.backend,
+        coalesce={"on": True, "off": False, "auto": None}[args.coalesce],
+        coalesce_max_rows=args.coalesce_max_rows,
     )
     if args.islands > 1:
         # federation mode: N island processes behind the same protocol —

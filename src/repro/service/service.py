@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.packet import PacketBatch
 from repro.engine.async_engine import VirtualTimeReplay
+from repro.engine.coalesce import PackSegment, pack_key
 from repro.engine.workers import FleetWorkerGroup, WorkerError
 from repro.resilience import RetryPolicy
 from repro.service.cache import ProblemCache
@@ -249,6 +250,13 @@ class SolveService:
         self._lane_launches = [0] * devices
         self._lane_completed = [0] * devices
         self._lane_population = [0] * devices
+        #: continuous-batching counters (DESIGN.md §12): super-launches
+        #: issued, launches packed into them and total packed rows, per
+        #: lane; ``_pack_rows_max`` is the largest single pack seen
+        self._lane_packs = [0] * devices
+        self._lane_pack_segments = [0] * devices
+        self._lane_pack_rows = [0] * devices
+        self._pack_rows_max = 0
         #: per-lane affinity index: the (job, device) pairs resident on
         #: each lane (scheduler-thread writes; fixed between admission
         #: and finalization, so _refill never rescans all jobs)
@@ -486,8 +494,16 @@ class SolveService:
         instantaneous depth.  Both are surfaced verbatim through the
         ``repro serve`` ``stats`` event so federation benchmarks can
         attribute aggregate throughput lane by lane.
+
+        ``coalesce`` reports continuous batching (DESIGN.md §12): packs
+        issued, launches packed into them (``segments``), launch slots
+        saved by fusing (``launches_saved = segments - packs``) and
+        packed-row shape, per lane and aggregated.
         """
         with self._lock:
+            packs = sum(self._lane_packs)
+            packed_segments = sum(self._lane_pack_segments)
+            packed_rows = sum(self._lane_pack_rows)
             return {
                 "devices": self.num_devices,
                 "pending": len(self._pending),
@@ -496,6 +512,19 @@ class SolveService:
                 "lane_inflight": list(self._lane_inflight),
                 "lane_launches": list(self._lane_launches),
                 "lane_completed": list(self._lane_completed),
+                "coalesce": {
+                    "packs": packs,
+                    "segments": packed_segments,
+                    "launches_saved": packed_segments - packs,
+                    "rows_mean": packed_rows / packs if packs else 0.0,
+                    "rows_max": self._pack_rows_max,
+                    "pack_splits": (
+                        self._group.pack_splits if self._group is not None else 0
+                    ),
+                    "lane_packs": list(self._lane_packs),
+                    "lane_segments": list(self._lane_pack_segments),
+                    "lane_rows": list(self._lane_pack_rows),
+                },
                 "cache": {
                     "entries": len(self.cache),
                     "hits": self.cache.stats.hits,
@@ -621,23 +650,95 @@ class SolveService:
                 if entry is None:
                     continue
                 seq, batch = entry
-                self._group.submit_launch(
-                    lane,
-                    device_id,
-                    seq,
-                    job.solver.gpus[device_id],
-                    batch,
-                    tag=(job.id, device_id),
+                gpu = job.solver.gpus[device_id]
+                segments = [
+                    PackSegment(device_id, seq, gpu, batch, (job.id, device_id))
+                ]
+                seg_jobs = [job]
+                # continuous batching (DESIGN.md §12): fill the lane slot
+                # with every pack-compatible co-tenant launch, in the same
+                # fair order fair_pick would have served them
+                key = (
+                    pack_key(gpu)
+                    if job.solver.config.coalesce_enabled()
+                    else None
                 )
-                job.started = True
-                job.handle._mark_running()
-                job.inflight += 1
-                job.dev_inflight[device_id] += 1
-                job.assigned += 1
-                job.weighted += 1.0 / job.share
+                if key is not None and len(candidates) > 1:
+                    self._gather_pack_mates(
+                        job, device_id, key, candidates, segments, seg_jobs
+                    )
+                if len(segments) == 1:
+                    self._group.submit_launch(
+                        lane, device_id, seq, gpu, batch, tag=(job.id, device_id)
+                    )
+                else:
+                    self._group.submit_packed(lane, segments)
+                for seg, seg_job in zip(segments, seg_jobs):
+                    seg_job.started = True
+                    seg_job.handle._mark_running()
+                    seg_job.inflight += 1
+                    seg_job.dev_inflight[seg.device_id] += 1
+                    seg_job.assigned += 1
+                    seg_job.weighted += 1.0 / seg_job.share
                 with self._lock:
-                    self._lane_inflight[lane] += 1
-                    self._lane_launches[lane] += 1
+                    # each segment is a launch equivalent: it holds one
+                    # in-flight slot (released per completion) and counts
+                    # toward lane utilization — a pack may overshoot
+                    # lane_depth by design, it costs one executor pass
+                    self._lane_inflight[lane] += len(segments)
+                    self._lane_launches[lane] += len(segments)
+                    if len(segments) > 1:
+                        rows = sum(len(seg.batch) for seg in segments)
+                        self._lane_packs[lane] += 1
+                        self._lane_pack_segments[lane] += len(segments)
+                        self._lane_pack_rows[lane] += rows
+                        if rows > self._pack_rows_max:
+                            self._pack_rows_max = rows
+
+    def _gather_pack_mates(
+        self, head, head_device, key, candidates, segments, seg_jobs
+    ) -> None:
+        """Extend a pack with compatible mates from *candidates*.
+
+        Mates join in fair-share order (the order repeated ``fair_pick``
+        calls would have served them), each contributing at most one
+        segment per ``(job, device)`` — two launches of one device in the
+        same pack would break its sequential-state semantics.  The packed
+        row total must stay within both the head's and each mate's
+        ``coalesce_max_rows``.
+        """
+        rows = segments[0].gpu.num_blocks
+        head_cap = head.solver.config.coalesce_max_rows
+        mates = sorted(
+            (
+                c
+                for c in candidates
+                if not (c[0] is head and c[1] == head_device)
+            ),
+            key=lambda c: (-c[0].priority, c[0].weighted, c[0].seq, c[1]),
+        )
+        for job, device_id in mates:
+            cfg = job.solver.config
+            if not cfg.coalesce_enabled():
+                continue
+            gpu = job.solver.gpus[device_id]
+            if pack_key(gpu) != key:  # also rejects stub devices
+                continue
+            if rows + gpu.num_blocks > min(head_cap, cfg.coalesce_max_rows):
+                continue
+            try:
+                entry = job.take_batch(device_id)
+            except Exception as exc:
+                self._fail_job(job, exc)
+                continue
+            if entry is None:
+                continue
+            seq, batch = entry
+            segments.append(
+                PackSegment(device_id, seq, gpu, batch, (job.id, device_id))
+            )
+            seg_jobs.append(job)
+            rows += gpu.num_blocks
 
     def _on_completion(self, completion) -> None:
         job_id, device_id = completion.tag

@@ -39,6 +39,7 @@ same way through ``REPRO_ENGINE``.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 import weakref
@@ -135,6 +136,27 @@ class DABSConfig:
     #: BackendFallbackWarning) when the chosen one fails at prepare or
     #: mid-launch, instead of crashing the solve
     backend_fallback: bool = True
+    #: service scheduling only (DESIGN.md §12): allow this job's launches
+    #: to be coalesced with pack-compatible co-tenant launches into one
+    #: fused super-launch per lane slot.  None defers to the
+    #: REPRO_COALESCE env var ("0"/"false"/"off" disables), then on.
+    #: Packing is bit-exact per job, so there is no accuracy knob here —
+    #: only an opt-out for isolating benchmarks.
+    coalesce: bool | None = None
+    #: row budget of one super-launch (ΣB over its segments); a launch
+    #: joins a pack only while the packed row total stays within both its
+    #: own and the pack head's budget
+    coalesce_max_rows: int = 256
+
+    def coalesce_enabled(self) -> bool:
+        """Resolve the coalesce flag: explicit setting, else env, else on."""
+        if self.coalesce is not None:
+            return self.coalesce
+        return os.environ.get("REPRO_COALESCE", "1").strip().lower() not in (
+            "0",
+            "false",
+            "off",
+        )
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -166,6 +188,8 @@ class DABSConfig:
             validate_engine_name(self.engine)
         if self.inflight_per_device < 1:
             raise ValueError("inflight_per_device must be >= 1")
+        if self.coalesce_max_rows < 1:
+            raise ValueError("coalesce_max_rows must be >= 1")
 
 
 class _RunState:

@@ -1,0 +1,141 @@
+"""Service-level continuous batching (DESIGN.md §12).
+
+Coalescing is a scheduling optimization, never a numerics change: a
+``virtual_time`` sweep must produce bit-identical per-job results with
+coalescing on, off, or re-run — while the coalesce counters prove the on
+runs actually packed.  Per-job and environment opt-outs gate packing
+without touching results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.solver.dabs import DABSConfig
+from repro.service import SolveService
+from tests.conftest import random_qubo
+
+JOBS = 6
+ROUNDS = 4
+
+
+def sweep(backend, coalesce, seed_base=500, jobs=JOBS, configs=None):
+    """One multi-tenant sweep: *jobs* tenants of the same Q over 2 lanes.
+
+    Returns (per-job results, service stats).  All jobs run under
+    ``virtual_time`` so each result is scheduling-independent — the
+    cross-mode comparison is exact, not statistical.
+    """
+    density = 0.3 if backend == "numpy-sparse" else 1.0
+    model = random_qubo(24, seed=9, density=density)
+    config = DABSConfig(
+        num_gpus=1,
+        blocks_per_gpu=4,
+        pool_capacity=10,
+        engine="async",
+        virtual_time=True,
+        backend=backend,
+        coalesce=coalesce,
+    )
+    with SolveService(devices=2, default_config=config) as service:
+        handles = [
+            service.submit(
+                model,
+                config=configs[i] if configs else config,
+                seed=seed_base + i,
+                max_rounds=ROUNDS,
+            )
+            for i in range(jobs)
+        ]
+        results = [handle.result(timeout=60) for handle in handles]
+        stats = service.stats()
+    return results, stats
+
+
+def assert_results_equal(a, b):
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        assert ra.best_energy == rb.best_energy, f"job {i} energy diverged"
+        assert np.array_equal(ra.best_vector, rb.best_vector), (
+            f"job {i} vector diverged"
+        )
+        assert ra.launches == rb.launches, f"job {i} launches diverged"
+        assert ra.total_flips == rb.total_flips, f"job {i} flips diverged"
+        assert [e.energy for e in ra.history] == [
+            e.energy for e in rb.history
+        ], f"job {i} history diverged"
+
+
+@pytest.mark.parametrize("backend", ["numpy-dense", "numpy-sparse"])
+class TestCoalescedParity:
+    def test_on_off_and_replay_are_bit_exact(self, backend):
+        """Coalesced results == solo results == a coalesced re-run."""
+        solo, solo_stats = sweep(backend, coalesce=False)
+        packed, packed_stats = sweep(backend, coalesce=True)
+        again, _ = sweep(backend, coalesce=True)
+        assert_results_equal(solo, packed)
+        assert_results_equal(packed, again)
+        assert solo_stats["coalesce"]["packs"] == 0
+        co = packed_stats["coalesce"]
+        assert co["packs"] > 0
+        assert co["segments"] > co["packs"]
+        assert co["launches_saved"] == co["segments"] - co["packs"]
+        assert co["rows_max"] >= 8  # at least two 4-block segments fused
+        assert co["rows_mean"] > 0
+        assert sum(co["lane_packs"]) == co["packs"]
+
+
+class TestCoalesceKnobs:
+    def test_per_job_opt_out_blocks_packing(self):
+        """All tenants opted out → zero packs, identical results."""
+        config = DABSConfig(
+            num_gpus=1,
+            blocks_per_gpu=4,
+            pool_capacity=10,
+            engine="async",
+            virtual_time=True,
+            coalesce=False,
+        )
+        solo, stats = sweep(
+            "numpy-dense", coalesce=False, configs=[config] * JOBS
+        )
+        assert stats["coalesce"]["packs"] == 0
+        packed, _ = sweep("numpy-dense", coalesce=True)
+        assert_results_equal(solo, packed)
+
+    def test_env_var_resolution(self, monkeypatch):
+        cfg = DABSConfig(coalesce=None)
+        monkeypatch.delenv("REPRO_COALESCE", raising=False)
+        assert cfg.coalesce_enabled()
+        for off in ("0", "false", "OFF"):
+            monkeypatch.setenv("REPRO_COALESCE", off)
+            assert not cfg.coalesce_enabled()
+        monkeypatch.setenv("REPRO_COALESCE", "1")
+        assert cfg.coalesce_enabled()
+        # an explicit setting wins over the environment
+        monkeypatch.setenv("REPRO_COALESCE", "0")
+        assert DABSConfig(coalesce=True).coalesce_enabled()
+        monkeypatch.setenv("REPRO_COALESCE", "1")
+        assert not DABSConfig(coalesce=False).coalesce_enabled()
+
+    def test_max_rows_validated(self):
+        with pytest.raises(ValueError, match="coalesce_max_rows"):
+            DABSConfig(coalesce_max_rows=0)
+
+    def test_max_rows_caps_pack_width(self):
+        """A row budget of one launch forces every launch to fly solo."""
+        config = DABSConfig(
+            num_gpus=1,
+            blocks_per_gpu=4,
+            pool_capacity=10,
+            engine="async",
+            virtual_time=True,
+            coalesce=True,
+            coalesce_max_rows=4,
+        )
+        results, stats = sweep(
+            "numpy-dense", coalesce=True, configs=[config] * JOBS
+        )
+        assert stats["coalesce"]["packs"] == 0
+        solo, _ = sweep("numpy-dense", coalesce=False)
+        assert_results_equal(results, solo)
