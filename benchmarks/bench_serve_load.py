@@ -1,0 +1,290 @@
+"""Serve load harness: many persistent TCP clients over one fleet.
+
+The network-serving claim (DESIGN.md §13): one asyncio ``ServeServer``
+multiplexes 100+ concurrent client connections over a shared
+:class:`~repro.service.SolveService` without the server layer becoming
+the bottleneck — scheduling stays with the fair-share scheduler, the
+event loop only moves frames.
+
+The workload: N clients connect over loopback TCP, rendezvous on a
+barrier (so all N connections are concurrently open — the server's
+``connections_peak`` gauge proves it), then each submits a stream of J
+jobs back to back.  Mixed instance sizes (n = 16/32/48) and 8 tenants
+exercise the cache, the coalescer and per-tenant accounting; every
+client measures its own **admission → first incumbent** and
+**admission → done** latency, and the report prints the p50/p90/p99
+alongside the server's own Prometheus ledger.
+
+Sustained throughput = total completed jobs / wall-clock from the
+barrier to the last result.
+
+Run as a report generator (writes ``results/bench_serve_load.md``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py
+
+or as the CI smoke gate (16 clients, asserts clean completion)::
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO))
+if not any(Path(p).name == "src" for p in sys.path):
+    sys.path.insert(0, str(_REPO / "src"))  # uninstalled checkout fallback
+
+import numpy as np
+
+from benchmarks._util import save_report
+from repro.client import Client
+from repro.server import ServeServer, TenantQuota
+from repro.service import SolveService
+from repro.solver.dabs import DABSConfig
+from tests.conftest import random_qubo
+
+SEED = 0
+TENANTS = 8
+SIZES = (16, 32, 48)
+ROUNDS = 3
+
+
+def build_instances() -> list[tuple[int, list[list[float]]]]:
+    """One inline instance per size; shared across clients so the
+    prepared-problem cache sees real reuse."""
+    instances = []
+    for size in SIZES:
+        model = random_qubo(size, seed=SEED + size)
+        terms = [
+            [i, j, w] for (i, j), w in sorted(model.to_dict().items())
+        ]
+        instances.append((size, terms))
+    return instances
+
+
+class ClientWorker(threading.Thread):
+    """One persistent connection submitting J jobs back to back."""
+
+    def __init__(self, index, port, jobs, instances, barrier):
+        super().__init__(name=f"load-client-{index}", daemon=True)
+        self.index = index
+        self.port = port
+        self.jobs = jobs
+        self.instances = instances
+        self.barrier = barrier
+        self.first_incumbent: list[float] = []
+        self.done: list[float] = []
+        self.failures: list[str] = []
+
+    def run(self) -> None:
+        tenant = f"t{self.index % TENANTS}"
+        try:
+            client = Client.connect(
+                "127.0.0.1", self.port, tenant=tenant, timeout=120
+            )
+        except Exception as exc:  # connection refused etc.
+            self.failures.append(f"connect: {exc!r}")
+            self.barrier.wait()
+            return
+        with client:
+            self.barrier.wait()  # all N connections concurrently open
+            for j in range(self.jobs):
+                n, terms = self.instances[
+                    (self.index + j) % len(self.instances)
+                ]
+                started = time.perf_counter()
+                try:
+                    handle = client.submit(
+                        n=n,
+                        terms=terms,
+                        rounds=ROUNDS,
+                        seed=self.index * 1000 + j,
+                        job_id=f"c{self.index}-j{j}",
+                    )
+                    first = None
+                    for _ in handle.incumbents(timeout=300):
+                        if first is None:
+                            first = time.perf_counter() - started
+                    result = handle.result(timeout=300)
+                except Exception as exc:
+                    self.failures.append(f"job c{self.index}-j{j}: {exc!r}")
+                    continue
+                elapsed = time.perf_counter() - started
+                self.first_incumbent.append(
+                    first if first is not None else elapsed
+                )
+                self.done.append(elapsed)
+                if result.best_energy > 0:
+                    self.failures.append(
+                        f"job c{self.index}-j{j}: positive energy "
+                        f"{result.best_energy}"
+                    )
+
+
+def percentiles(samples: list[float]) -> dict:
+    if not samples:
+        return {"p50": float("nan"), "p90": float("nan"), "p99": float("nan")}
+    arr = np.asarray(samples)
+    return {
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+    }
+
+
+def run_load(clients: int, jobs: int, devices: int = 2) -> dict:
+    instances = build_instances()
+    service = SolveService(
+        devices=devices,
+        default_config=DABSConfig(num_gpus=devices, blocks_per_gpu=4),
+        max_queue=4 * clients * jobs + 64,
+    )
+    with service, ServeServer(
+        service,
+        metrics_port=None,
+        quota=TenantQuota(max_jobs=None, rate=None),
+        incumbent_buffer=64,
+    ) as server:
+        barrier = threading.Barrier(clients + 1)
+        workers = [
+            ClientWorker(i, server.port, jobs, instances, barrier)
+            for i in range(clients)
+        ]
+        for worker in workers:
+            worker.start()
+        barrier.wait()  # every connection is open before the clock starts
+        started = time.perf_counter()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - started
+        peak = server.metrics.connections_peak
+        submits = sum(server.metrics.submits.values())
+        snapshot = service.stats_snapshot()
+    completed = sum(len(w.done) for w in workers)
+    failures = [f for w in workers for f in w.failures]
+    first = [s for w in workers for s in w.first_incumbent]
+    done = [s for w in workers for s in w.done]
+    return {
+        "clients": clients,
+        "jobs_per_client": jobs,
+        "devices": devices,
+        "wall_s": wall,
+        "completed": completed,
+        "failures": failures,
+        "jobs_per_s": completed / wall if wall > 0 else float("nan"),
+        "peak_connections": peak,
+        "submits": submits,
+        "first_incumbent": percentiles(first),
+        "done": percentiles(done),
+        "cache_hit_rate": snapshot.cache.hit_rate,
+        "coalesce_packs": snapshot.coalesce.packs,
+        "lane_launches": list(snapshot.lane_launches),
+    }
+
+
+def render(result: dict) -> str:
+    fi, dn = result["first_incumbent"], result["done"]
+    lines = [
+        "# Serve load harness (bench_serve_load)",
+        "",
+        "Sustained multi-client throughput of the asyncio TCP server "
+        "(`repro serve --listen`): persistent connections, mixed instance "
+        f"sizes n={list(SIZES)}, {TENANTS} tenants, {ROUNDS}-round jobs "
+        "over loopback TCP.",
+        "",
+        "| quantity | value |",
+        "|---|---|",
+        f"| concurrent client connections (peak) | {result['peak_connections']} |",
+        f"| clients x jobs | {result['clients']} x {result['jobs_per_client']} |",
+        f"| fleet lanes | {result['devices']} |",
+        f"| completed jobs | {result['completed']} |",
+        f"| failures | {len(result['failures'])} |",
+        f"| wall clock | {result['wall_s']:.2f} s |",
+        f"| **sustained throughput** | **{result['jobs_per_s']:.1f} jobs/s** |",
+        f"| admission -> first incumbent p50/p90/p99 | "
+        f"{fi['p50'] * 1000:.1f} / {fi['p90'] * 1000:.1f} / "
+        f"{fi['p99'] * 1000:.1f} ms |",
+        f"| admission -> done p50/p90/p99 | "
+        f"{dn['p50'] * 1000:.1f} / {dn['p90'] * 1000:.1f} / "
+        f"{dn['p99'] * 1000:.1f} ms |",
+        f"| prepared-problem cache hit rate | "
+        f"{result['cache_hit_rate']:.3f} |",
+        f"| coalesced super-launches | {result['coalesce_packs']} |",
+        "",
+        "Latencies are measured client-side (submit frame written -> event "
+        "received), so they include the full wire round trip.  The shared "
+        "instance set keeps the cache hot; per-tenant fair share arbitrates "
+        "the lanes.",
+    ]
+    if result["failures"]:
+        lines += ["", "## Failures", ""]
+        lines += [f"- `{f}`" for f in result["failures"][:20]]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI gate: fewer clients, asserts clean completion",
+    )
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (16 if args.smoke else 100)
+    jobs = args.jobs or (2 if args.smoke else 4)
+    result = run_load(clients, jobs)
+
+    expected = clients * jobs
+    print(
+        f"clients={clients} jobs={expected} completed={result['completed']} "
+        f"failures={len(result['failures'])} "
+        f"throughput={result['jobs_per_s']:.1f} jobs/s "
+        f"p99-first-incumbent={result['first_incumbent']['p99'] * 1000:.1f} ms"
+    )
+    for failure in result["failures"][:10]:
+        print("  FAILURE:", failure)
+
+    assert result["peak_connections"] >= clients, (
+        f"only {result['peak_connections']} concurrent connections "
+        f"(wanted {clients})"
+    )
+    assert not result["failures"], f"{len(result['failures'])} jobs failed"
+    assert result["completed"] == expected
+    assert result["jobs_per_s"] > 0.5, "throughput collapsed"
+
+    if not args.smoke:
+        save_report(
+            render(result),
+            "bench_serve_load",
+            metric="jobs_per_s",
+            value=round(result["jobs_per_s"], 2),
+            baseline=50.0,
+            metrics={
+                "p99_first_incumbent_s": round(
+                    result["first_incumbent"]["p99"], 4
+                ),
+                "p50_first_incumbent_s": round(
+                    result["first_incumbent"]["p50"], 4
+                ),
+                "p99_done_s": round(result["done"]["p99"], 4),
+                "peak_connections": result["peak_connections"],
+                "clients": clients,
+                "jobs": expected,
+                "cache_hit_rate": round(result["cache_hit_rate"], 4),
+            },
+        )
+        print("report written to results/bench_serve_load.md")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Network serving quickstart: the client SDK against a TCP server.
+
+Stands a :class:`ServeServer` up in-process (in production you would
+run ``python -m repro serve --listen 7777`` instead), then walks the
+client surface: submit with live incumbent streaming, a second client
+under its own tenant, disconnect mid-job and reattach by job id from a
+fresh connection, and the stats/metrics observability ops.
+
+Run:  python examples/client_quickstart.py
+"""
+
+import numpy as np
+
+from repro import DABSConfig, QUBOModel, SolveService
+from repro.client import Client
+from repro.server import ServeServer, TenantQuota
+
+
+def random_model(n: int, seed: int) -> QUBOModel:
+    rng = np.random.default_rng(seed)
+    return QUBOModel(
+        np.triu(rng.integers(-8, 9, size=(n, n))), name=f"instance-{seed}"
+    )
+
+
+def main() -> None:
+    config = DABSConfig(num_gpus=2, blocks_per_gpu=4)
+    service = SolveService(devices=2, default_config=config)
+
+    # The server wraps the service; port=0 picks an ephemeral port.
+    # `python -m repro serve --listen 7777` builds this same stack.
+    with service, ServeServer(
+        service, quota=TenantQuota(max_jobs=8), metrics_port=None
+    ) as server:
+        print(f"server listening on 127.0.0.1:{server.port}")
+
+        # -- submit and stream incumbents over the wire ---------------
+        model = random_model(48, seed=1)
+        with Client.connect(
+            "127.0.0.1", server.port, tenant="alice"
+        ) as alice:
+            handle = alice.submit(model, rounds=30, seed=0, job_id="demo")
+            for update in handle.incumbents(timeout=120):
+                print(
+                    f"  [stream] {update.job_id}: energy {update.energy} "
+                    f"at {update.elapsed * 1000:.0f}ms"
+                )
+            result = handle.result(timeout=120)
+            print(f"  alice: {result.summary}")
+
+            # A second tenant shares the fleet under fair share.
+            with Client.connect(
+                "127.0.0.1", server.port, tenant="bob"
+            ) as bob:
+                other = bob.submit(random_model(32, seed=2), rounds=20, seed=0)
+                print(f"  bob:   energy {other.result(timeout=120).best_energy}")
+
+        # -- durable jobs: survive the client, reattach by id ---------
+        dropped = Client.connect("127.0.0.1", server.port, tenant="alice")
+        dropped.submit(model, rounds=60, seed=3, job_id="orphan")
+        dropped.close()  # connection gone; the job keeps solving
+
+        with Client.connect(
+            "127.0.0.1", server.port, tenant="alice"
+        ) as fresh:
+            attached = fresh.attach("orphan")
+            result = attached.result(timeout=120)
+            print(f"  reattached 'orphan': energy {result.best_energy}")
+            assert model.energy(result.best_vector) == result.best_energy
+
+            # -- observability ----------------------------------------
+            stats = fresh.stats()
+            print(
+                f"  stats: devices={stats['devices']} "
+                f"submits={stats['server']['submits']} "
+                f"jobs={stats['server']['jobs']}"
+            )
+            page = fresh.metrics_text()
+            line = next(
+                ln for ln in page.splitlines()
+                if ln.startswith("repro_jobs_total")
+            )
+            print(f"  metrics: {line} (+{page.count(chr(10))} more lines)")
+
+
+if __name__ == "__main__":
+    main()

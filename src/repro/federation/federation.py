@@ -536,6 +536,15 @@ class Federation:
         return [handle.result() for handle in handles]
 
     # -- introspection -----------------------------------------------------
+    def stats_snapshot(self):
+        """Typed federation snapshot (DESIGN.md §13): the controller state
+        plus one :class:`~repro.service.stats.ServiceStats` per island —
+        the structure the Prometheus exporter and tests read, of which
+        :meth:`stats` is the dict projection."""
+        from repro.service.stats import FederationStats
+
+        return FederationStats.from_dict(self.stats())
+
     def stats(self) -> dict:
         """Federation-wide snapshot: controller state plus each island's
         service stats (lanes, queues, cache and per-lane utilization)."""

@@ -1,0 +1,39 @@
+"""Network-grade serving (DESIGN.md §13).
+
+The deployable front door of the solve service: a versioned JSON-lines
+wire protocol (:mod:`repro.server.protocol`, shared with the stdin
+``repro serve`` mode), an asyncio TCP server multiplexing many
+persistent client connections over one :class:`~repro.service.SolveService`
+or :class:`~repro.federation.Federation`
+(:mod:`repro.server.server`), per-tenant quotas and token-bucket rate
+limits (:mod:`repro.server.quota`), and a Prometheus-style ``/metrics``
+exporter (:mod:`repro.server.metrics`).
+
+The matching client SDK is :class:`repro.client.Client`.
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode_event,
+    error_payload,
+)
+from repro.server.quota import TenantQuota, TokenBucket
+from repro.server.server import ServeServer, run_server
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "ServeServer",
+    "TenantQuota",
+    "TokenBucket",
+    "decode_request",
+    "encode_event",
+    "error_payload",
+    "run_server",
+]

@@ -1,0 +1,88 @@
+"""Per-tenant admission policy: outstanding-job quotas and rate limits.
+
+Layered *in front of* the fair-share scheduler (DESIGN.md §13): the
+scheduler arbitrates launch rates between admitted jobs; the quota layer
+bounds what one tenant may have admitted at all, so a single chatty
+client cannot fill the whole service queue or monopolize admission.
+
+Both knobs are deliberately simple and deterministic:
+
+* **outstanding-job quota** — at most ``max_jobs`` non-terminal jobs per
+  tenant (``quota-exceeded`` error beyond that);
+* **token-bucket rate limit** — ``rate`` submissions/second with a burst
+  allowance of ``burst`` (``rate-limited`` error with a ``retry_after``
+  hint when the bucket is dry).
+
+The bucket takes an injectable clock so tests drive it with virtual
+time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["TenantQuota", "TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    Not thread-safe by itself — the server calls it from its event loop
+    only.
+    """
+
+    def __init__(
+        self, rate: float, burst: float, *, clock=time.monotonic
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; False (and no side effect) if not."""
+        self._refill()
+        if self._tokens + 1e-9 >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until *tokens* will be available at the refill rate."""
+        self._refill()
+        deficit = tokens - self._tokens
+        return max(0.0, deficit / self.rate)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """The per-tenant admission policy (uniform across tenants for now).
+
+    ``max_jobs=None`` / ``rate=None`` disable the respective check.
+    """
+
+    #: max non-terminal jobs one tenant may have outstanding
+    max_jobs: int | None = None
+    #: sustained submissions/second per tenant
+    rate: float | None = None
+    #: burst allowance of the rate limiter (ignored when ``rate`` is None)
+    burst: float = 10.0
+
+    def make_bucket(self, *, clock=time.monotonic) -> TokenBucket | None:
+        """A fresh bucket for one tenant (None when rate-limiting is off)."""
+        if self.rate is None:
+            return None
+        return TokenBucket(self.rate, self.burst, clock=clock)

@@ -30,9 +30,18 @@ from repro.service.service import (
     SolveService,
     solve,
 )
+from repro.service.stats import (
+    CacheStatsSnapshot,
+    CoalesceStats,
+    FederationStats,
+    ServiceStats,
+)
 
 __all__ = [
     "CacheStats",
+    "CacheStatsSnapshot",
+    "CoalesceStats",
+    "FederationStats",
     "IncumbentUpdate",
     "JobCancelledError",
     "JobHandle",
@@ -40,6 +49,7 @@ __all__ = [
     "ProblemCache",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "ServiceStats",
     "SolveService",
     "problem_key",
     "serve_main",

@@ -1,25 +1,35 @@
-"""``repro serve`` — a JSON-lines front-end over :class:`SolveService`.
+"""``repro serve`` — the JSON-lines front-end over :class:`SolveService`.
 
-The wire protocol is one JSON object per line on stdin, one JSON event
-per line on stdout — the simplest transport that composes with sockets,
-pipes and process supervisors alike (``nc``, ``socat`` or an inetd-style
-wrapper turn it into TCP unchanged).
+Two transports, one protocol (:mod:`repro.server.protocol`):
 
-Requests (``op`` selects the verb)::
+* **stdin/stdout** (default) — one JSON request per line in, one JSON
+  event per line out; the simplest transport that composes with pipes
+  and process supervisors.
+* **TCP** (``--listen [HOST:]PORT``) — the asyncio socket server
+  (:mod:`repro.server`): persistent multi-client connections, durable
+  jobs with ``query``/``attach`` reattachment, per-tenant quotas and
+  rate limits, and a Prometheus ``/metrics`` endpoint
+  (``--metrics-port``).
 
-    {"op": "submit", "id": "my-job", "file": "g22.txt",
+Requests are v1 envelopes (``{"v": 1, "op": ..., "id": ...}``); the
+pre-v1 shapes (no ``"v"`` key) still work through a back-compat shim
+that emits a ``DeprecationWarning`` once per session::
+
+    {"v": 1, "op": "submit", "id": "my-job", "file": "g22.txt",
      "rounds": 50, "target": -1234, "priority": 1, "share": 2.0}
-    {"op": "submit", "id": "inline", "n": 4,
+    {"v": 1, "op": "submit", "id": "inline", "n": 4,
      "terms": [[0, 0, -3], [0, 1, 2], [1, 1, -3]], "launches": 40}
-    {"op": "cancel", "id": "my-job"}
-    {"op": "stats"}
-    {"op": "drain"}      # block until every accepted job is terminal
-    {"op": "shutdown"}   # drain + exit (EOF does the same)
+    {"v": 1, "op": "cancel", "id": "my-job"}
+    {"v": 1, "op": "stats"}
+    {"v": 1, "op": "metrics"}    # Prometheus text exposition
+    {"v": 1, "op": "drain"}      # block until every accepted job is terminal
+    {"v": 1, "op": "shutdown"}   # drain + exit (EOF does the same)
 
-Events (all carry ``"event"``): ``accepted``, ``incumbent`` (streamed as
-the job's pools improve), ``done`` (with the final energy, vector and
-summary), ``cancelled``, ``failed``, ``stats``, ``error``.  Events of
-different jobs interleave; ``id`` attributes them.
+Events (all carry ``"event"`` and ``"v"``): ``accepted``, ``incumbent``
+(streamed as the job's pools improve), ``done`` (with the final energy,
+vector and summary), ``cancelled``, ``failed``, ``stats``, ``metrics``,
+``error`` (with a structured ``code``).  Events of different jobs
+interleave; ``id`` attributes them.
 
 Instances arrive either as a benchmark file (``file`` + optional
 ``format`` — same auto-detection as the solve CLI) or inline as
@@ -29,14 +39,16 @@ Instances arrive either as a benchmark file (``file`` + optional
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import threading
 import traceback
+import warnings
+from dataclasses import replace
 
 from repro.backends import backend_names
-from repro.core.qubo import QUBOModel
-from repro.io.formats import load_instance
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics, render_prometheus
+from repro.server.protocol import ProtocolError, Request
 from repro.service.cache import ProblemCache
 from repro.service.job import JobStatus
 from repro.service.service import (
@@ -48,13 +60,19 @@ from repro.solver.dabs import DABSConfig, DABSSolver
 
 __all__ = ["build_serve_parser", "serve_main"]
 
+_LEGACY_WARNING = (
+    "received a pre-v1 JSON-lines request (no \"v\" envelope key); the "
+    "legacy shapes are deprecated — send {\"v\": 1, ...} envelopes "
+    "(repro.server.protocol)"
+)
+
 
 def build_serve_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro serve",
-        description="Run a long-lived multi-tenant solve service reading "
-        "JSON-lines requests from stdin and streaming JSON events to "
-        "stdout.",
+        description="Run a long-lived multi-tenant solve service speaking "
+        "the versioned JSON-lines protocol — over stdin/stdout by default, "
+        "or as an asyncio TCP server with --listen.",
     )
     parser.add_argument(
         "--gpus", type=int, default=2, help="fleet lanes (virtual GPUs)"
@@ -130,41 +148,57 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="R",
         help="row budget (total blocks) of one fused super-launch",
     )
+    # -- network serving (repro.server) ------------------------------------
+    parser.add_argument(
+        "--listen",
+        metavar="[HOST:]PORT",
+        default=None,
+        help="serve over TCP instead of stdin/stdout: bind HOST:PORT "
+        "(default host 127.0.0.1; port 0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve a Prometheus /metrics HTTP endpoint on PORT "
+        "(0 picks an ephemeral port; TCP mode only)",
+    )
+    parser.add_argument(
+        "--tenant-max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant quota: max outstanding jobs (TCP mode only)",
+    )
+    parser.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-tenant rate limit: sustained submissions/second "
+        "(TCP mode only)",
+    )
+    parser.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=10.0,
+        metavar="B",
+        help="burst allowance of the per-tenant rate limiter",
+    )
+    parser.add_argument(
+        "--job-ttl",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="keep finished jobs queryable/attachable this long "
+        "(TCP mode only)",
+    )
     return parser
 
 
-def _load_model(request: dict) -> QUBOModel:
-    """Materialize the request's instance (file or inline terms)."""
-    if "file" in request:
-        model, _ = load_instance(request["file"], request.get("format", "auto"))
-        return model
-    if "terms" in request:
-        n = int(request["n"])
-        terms = {}
-        for i, j, w in request["terms"]:
-            key = (int(i), int(j))
-            terms[key] = terms.get(key, 0) + w
-        return QUBOModel.from_dict(n, terms, name=str(request.get("name", "")))
-    raise ValueError('submit needs "file" or "n"+"terms"')
-
-
-def _limit_kwargs(request: dict) -> dict:
-    kwargs = {}
-    if "target" in request:
-        kwargs["target_energy"] = int(request["target"])
-    if "time_limit" in request:
-        kwargs["time_limit"] = float(request["time_limit"])
-    if "rounds" in request:
-        kwargs["max_rounds"] = int(request["rounds"])
-    if "launches" in request:
-        kwargs["max_launches"] = int(request["launches"])
-    if not kwargs:
-        kwargs["max_rounds"] = 20
-    return kwargs
-
-
 class _Session:
-    """One serve session: tracks client ids and emits completion events.
+    """One stdin serve session: tracks client ids and emits events.
 
     Bookkeeping is bounded: a job's handle and watcher thread are dropped
     the moment its terminal event is emitted (the stream is the record),
@@ -177,11 +211,13 @@ class _Session:
         # submit/stats/close surface this session drives
         self.service = service
         self.out = out
+        self.metrics = ServerMetrics()
         self._emit_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._submissions = 0
         #: error/failed events emitted so far (surfaced in ``stats``)
         self._errors = 0
+        self._legacy_warned = False
         self._handles: dict[str, object] = {}
         self._watchers: list[threading.Thread] = []
 
@@ -190,14 +226,32 @@ class _Session:
             if payload.get("event") in ("error", "failed"):
                 self._errors += 1
             try:
-                print(json.dumps(payload), file=self.out, flush=True)
+                print(protocol.encode_event(payload), file=self.out, flush=True)
             except BrokenPipeError:
                 # the client hung up; keep draining jobs quietly — the
                 # stdin EOF that follows ends the session cleanly
                 pass
 
+    def emit_error(self, code: str, message: str, **fields) -> None:
+        self.metrics.record_error(code)
+        self.emit(protocol.error_payload(code, message, **fields))
+
     # -- request handlers --------------------------------------------------
-    def handle(self, request: dict) -> bool:
+    def handle_line(self, line: str) -> bool:
+        """Decode and dispatch one request line; returns False when the
+        session should end."""
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            self.emit_error(exc.code, str(exc))
+            return True
+        self.metrics.record_frame(request.legacy)
+        if request.legacy and not self._legacy_warned:
+            self._legacy_warned = True
+            warnings.warn(_LEGACY_WARNING, DeprecationWarning, stacklevel=3)
+        return self.handle(request)
+
+    def handle(self, request: Request) -> bool:
         """Dispatch one request; returns False when the session should end.
 
         A handler bug or unexpected service exception becomes an
@@ -206,65 +260,103 @@ class _Session:
         """
         try:
             return self._dispatch(request)
+        except ProtocolError as exc:
+            fields = {} if request.id is None else {"id": request.id}
+            self.emit_error(exc.code, str(exc), **fields)
+            return True
         except Exception:
             self.emit(
                 {
                     "event": "error",
-                    "op": str(request.get("op")),
+                    "op": request.op,
                     "error": "internal error handling request",
                     "traceback": traceback.format_exc(),
                 }
             )
             return True
 
-    def _dispatch(self, request: dict) -> bool:
-        op = request.get("op")
+    def _dispatch(self, request: Request) -> bool:
+        op = request.op
         if op == "submit":
             self._submit(request)
         elif op == "cancel":
             self._cancel(request)
+        elif op == "hello":
+            reply = {
+                "event": "hello",
+                "tenant": str(request.params.get("tenant") or "default"),
+                "protocol": protocol.PROTOCOL_VERSION,
+            }
+            if request.id is not None:
+                reply["id"] = request.id
+            self.emit(reply)
         elif op == "stats":
             with self._emit_lock:
                 errors = self._errors
             self.emit({"event": "stats", "errors": errors, **self.service.stats()})
+        elif op == "metrics":
+            payload = {
+                "event": "metrics",
+                "text": render_prometheus(
+                    self.metrics, self.service.stats_snapshot()
+                ),
+            }
+            if request.id is not None:
+                payload["id"] = request.id
+            self.emit(payload)
+        elif op in ("query", "attach"):
+            raise ProtocolError(
+                protocol.E_BAD_REQUEST,
+                f"op {op!r} needs durable job records — serve over TCP "
+                "(--listen) for query/attach support",
+            )
         elif op == "drain":
             self.drain()
             self.emit({"event": "drained"})
         elif op == "shutdown":
             return False
-        else:
-            self.emit({"event": "error", "error": f"unknown op {op!r}"})
+        else:  # pragma: no cover - decode_request already gates ops
+            self.emit_error(protocol.E_UNKNOWN_OP, f"unknown op {op!r}")
         return True
 
-    def _submit(self, request: dict) -> None:
+    def _submit(self, request: Request) -> None:
         with self._state_lock:
             self._submissions += 1
-            client_id = str(request.get("id") or f"req-{self._submissions}")
+            client_id = request.id or f"req-{self._submissions}"
             duplicate = client_id in self._handles
         if duplicate:
-            self.emit(
-                {
-                    "event": "error",
-                    "id": client_id,
-                    "error": "duplicate job id (still running)",
-                }
+            self.emit_error(
+                protocol.E_DUPLICATE_ID,
+                "duplicate job id (still running)",
+                id=client_id,
             )
             return
+        params = request.params
         try:
-            model = _load_model(request)
-            solver_cls = ABSSolver if request.get("solver") == "abs" else DABSSolver
+            model = protocol.load_model(params)
+            solver_cls = ABSSolver if params.get("solver") == "abs" else DABSSolver
+            kwargs = protocol.submit_kwargs(params)
+            kwargs.update(protocol.limit_kwargs(params))
+            if params.get("virtual_time"):
+                default = getattr(self.service, "default_config", None)
+                if default is None:
+                    raise ProtocolError(
+                        protocol.E_BAD_REQUEST,
+                        "virtual_time submissions need a service with a "
+                        "default solver config",
+                    )
+                kwargs["config"] = replace(default, virtual_time=True)
             handle = self.service.submit(
-                model,
-                solver_cls=solver_cls,
-                seed=request.get("seed"),
-                devices=request.get("devices"),
-                priority=int(request.get("priority", 0)),
-                share=float(request.get("share", 1.0)),
-                block=False,
-                **_limit_kwargs(request),
+                model, solver_cls=solver_cls, block=False, **kwargs
             )
-        except (OSError, ValueError, KeyError, ServiceOverloadedError) as exc:
-            self.emit({"event": "error", "id": client_id, "error": str(exc)})
+        except ProtocolError as exc:
+            self.emit_error(exc.code, str(exc), id=client_id)
+            return
+        except ServiceOverloadedError as exc:
+            self.emit_error(protocol.E_OVERLOADED, str(exc), id=client_id)
+            return
+        except (OSError, ValueError, KeyError) as exc:
+            self.emit_error(protocol.E_BAD_REQUEST, str(exc), id=client_id)
             return
         watcher = threading.Thread(
             target=self._watch, args=(client_id, handle), daemon=True
@@ -272,6 +364,7 @@ class _Session:
         with self._state_lock:
             self._handles[client_id] = handle
             self._watchers.append(watcher)
+        self.metrics.record_submit("default")
         self.emit(
             {
                 "event": "accepted",
@@ -294,6 +387,7 @@ class _Session:
                     {
                         "event": "failed",
                         "id": client_id,
+                        "code": protocol.E_INTERNAL,
                         "error": "internal watcher error",
                         "traceback": traceback.format_exc(),
                         "retries": 0,
@@ -338,11 +432,18 @@ class _Session:
             if result.degraded:
                 done["degraded"] = True
                 done["degraded_reasons"] = list(result.degraded_reasons)
+            self.metrics.record_terminal("default", "done")
             self.emit(done)
         elif status is JobStatus.CANCELLED:
+            self.metrics.record_terminal("default", "cancelled")
             self.emit({"event": "cancelled", "id": client_id})
         else:
-            failed = {"event": "failed", "id": client_id, "retries": 0}
+            failed = {
+                "event": "failed",
+                "id": client_id,
+                "code": protocol.E_JOB_FAILED,
+                "retries": 0,
+            }
             try:
                 handle.result()
                 failed["error"] = "unknown failure"  # pragma: no cover
@@ -355,19 +456,18 @@ class _Session:
                 if report is not None:
                     failed["retries"] = report.retries
                     failed["report"] = report.to_dict()
+            self.metrics.record_terminal("default", "failed")
             self.emit(failed)
 
-    def _cancel(self, request: dict) -> None:
-        client_id = str(request.get("id", ""))
+    def _cancel(self, request: Request) -> None:
+        client_id = str(request.id or "")
         with self._state_lock:
             handle = self._handles.get(client_id)
         if handle is None:
-            self.emit(
-                {
-                    "event": "error",
-                    "id": client_id,
-                    "error": "unknown job id",
-                }
+            self.emit_error(
+                protocol.E_UNKNOWN_JOB,
+                f"unknown job id {client_id!r}",
+                id=client_id,
             )
             return
         handle.cancel()
@@ -382,11 +482,14 @@ class _Session:
             watcher.join()
 
 
-def serve_main(argv=None, stdin=None, stdout=None) -> int:
-    """Run the serve loop until shutdown/EOF; returns an exit code."""
-    args = build_serve_parser().parse_args(argv)
-    stdin = stdin if stdin is not None else sys.stdin
-    stdout = stdout if stdout is not None else sys.stdout
+def _parse_listen(spec: str) -> tuple[str, int]:
+    """``[HOST:]PORT`` → (host, port)."""
+    host, _, port = spec.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _build_service(args):
+    """The service (or federation) behind either transport."""
     config = DABSConfig(
         num_gpus=args.gpus,
         blocks_per_gpu=args.blocks,
@@ -397,11 +500,11 @@ def serve_main(argv=None, stdin=None, stdout=None) -> int:
     )
     if args.islands > 1:
         # federation mode: N island processes behind the same protocol —
-        # Federation duck-types the submit/stats/close surface _Session
-        # drives, so the wire format is identical
+        # Federation duck-types the submit/stats/close surface both
+        # transports drive, so the wire format is identical
         from repro.federation import Federation
 
-        service = Federation(
+        return Federation(
             args.islands,
             topology=args.topology,
             transport=args.transport,
@@ -413,17 +516,56 @@ def serve_main(argv=None, stdin=None, stdout=None) -> int:
             max_queue=args.max_queue,
             seed=args.seed,
         )
-    else:
-        service = SolveService(
-            devices=args.gpus,
-            default_config=config,
-            max_queue=args.max_queue,
-            cache=ProblemCache(capacity=args.cache_capacity),
-            seed=args.seed,
+    return SolveService(
+        devices=args.gpus,
+        default_config=config,
+        max_queue=args.max_queue,
+        cache=ProblemCache(capacity=args.cache_capacity),
+        seed=args.seed,
+    )
+
+
+def serve_main(argv=None, stdin=None, stdout=None) -> int:
+    """Run the serve loop until shutdown/EOF; returns an exit code."""
+    args = build_serve_parser().parse_args(argv)
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    service = _build_service(args)
+
+    if args.listen is not None:
+        from repro.server import ServeServer, TenantQuota
+
+        host, port = _parse_listen(args.listen)
+        server = ServeServer(
+            service,
+            host=host,
+            port=port,
+            metrics_port=args.metrics_port,
+            quota=TenantQuota(
+                max_jobs=args.tenant_max_jobs,
+                rate=args.tenant_rate,
+                burst=args.tenant_burst,
+            ),
+            job_ttl=args.job_ttl,
         )
+
+        def announce(srv) -> None:
+            line = {
+                "event": "listening",
+                "host": srv.host,
+                "port": srv.port,
+            }
+            if srv.metrics_port is not None:
+                line["metrics_port"] = srv.metrics_port
+            print(protocol.encode_event(line), file=stdout, flush=True)
+
+        with service:
+            return server.run(announce)
+
     session = _Session(service, stdout)
     ready = {
         "event": "ready",
+        "protocol": protocol.PROTOCOL_VERSION,
         "devices": args.gpus,
         "blocks": args.blocks,
         "max_queue": args.max_queue,
@@ -437,12 +579,7 @@ def serve_main(argv=None, stdin=None, stdout=None) -> int:
             line = line.strip()
             if not line:
                 continue
-            try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                session.emit({"event": "error", "error": f"bad JSON: {exc}"})
-                continue
-            if not session.handle(request):
+            if not session.handle_line(line):
                 break
         session.drain()
     session.emit({"event": "bye"})

@@ -60,6 +60,7 @@ from repro.engine.workers import FleetWorkerGroup, WorkerError
 from repro.resilience import RetryPolicy
 from repro.service.cache import ProblemCache
 from repro.service.job import IncumbentUpdate, JobHandle, JobStatus
+from repro.service.stats import CacheStatsSnapshot, CoalesceStats, ServiceStats
 from repro.solver.dabs import DABSConfig, DABSSolver, _AsyncDriver
 from repro.solver.result import SolveResult
 from repro.solver.termination import SolveLimits
@@ -485,8 +486,8 @@ class SolveService:
                 "inflight": job.inflight,
             }
 
-    def stats(self) -> dict:
-        """Service-wide snapshot (lanes, queue depths, cache counters).
+    def stats_snapshot(self) -> ServiceStats:
+        """Service-wide typed snapshot (lanes, queue depths, cache counters).
 
         ``lane_launches`` / ``lane_completed`` are cumulative per-lane
         utilization counters (launches submitted to and collected from
@@ -499,39 +500,47 @@ class SolveService:
         issued, launches packed into them (``segments``), launch slots
         saved by fusing (``launches_saved = segments - packs``) and
         packed-row shape, per lane and aggregated.
+
+        The dict projection of this structure (``stats()``) is what
+        crosses process and wire boundaries; the Prometheus exporter
+        reads the typed form directly (DESIGN.md §13).
         """
         with self._lock:
             packs = sum(self._lane_packs)
             packed_segments = sum(self._lane_pack_segments)
             packed_rows = sum(self._lane_pack_rows)
-            return {
-                "devices": self.num_devices,
-                "pending": len(self._pending),
-                "active": len(self._active),
-                "outstanding": self._outstanding,
-                "lane_inflight": list(self._lane_inflight),
-                "lane_launches": list(self._lane_launches),
-                "lane_completed": list(self._lane_completed),
-                "coalesce": {
-                    "packs": packs,
-                    "segments": packed_segments,
-                    "launches_saved": packed_segments - packs,
-                    "rows_mean": packed_rows / packs if packs else 0.0,
-                    "rows_max": self._pack_rows_max,
-                    "pack_splits": (
+            return ServiceStats(
+                devices=self.num_devices,
+                pending=len(self._pending),
+                active=len(self._active),
+                outstanding=self._outstanding,
+                lane_inflight=tuple(self._lane_inflight),
+                lane_launches=tuple(self._lane_launches),
+                lane_completed=tuple(self._lane_completed),
+                coalesce=CoalesceStats(
+                    packs=packs,
+                    segments=packed_segments,
+                    launches_saved=packed_segments - packs,
+                    rows_mean=packed_rows / packs if packs else 0.0,
+                    rows_max=self._pack_rows_max,
+                    pack_splits=(
                         self._group.pack_splits if self._group is not None else 0
                     ),
-                    "lane_packs": list(self._lane_packs),
-                    "lane_segments": list(self._lane_pack_segments),
-                    "lane_rows": list(self._lane_pack_rows),
-                },
-                "cache": {
-                    "entries": len(self.cache),
-                    "hits": self.cache.stats.hits,
-                    "misses": self.cache.stats.misses,
-                    "evictions": self.cache.stats.evictions,
-                },
-            }
+                    lane_packs=tuple(self._lane_packs),
+                    lane_segments=tuple(self._lane_pack_segments),
+                    lane_rows=tuple(self._lane_pack_rows),
+                ),
+                cache=CacheStatsSnapshot(
+                    entries=len(self.cache),
+                    hits=self.cache.stats.hits,
+                    misses=self.cache.stats.misses,
+                    evictions=self.cache.stats.evictions,
+                ),
+            )
+
+    def stats(self) -> dict:
+        """Dict projection of :meth:`stats_snapshot` (the wire layout)."""
+        return self.stats_snapshot().to_dict()
 
     # -- cancellation ------------------------------------------------------
     def _request_cancel(self, job_id: str) -> None:

@@ -1,0 +1,102 @@
+"""The TCP server under faults: a worker exception becomes a structured,
+client-visible ``failed`` event (report intact) and the server — plus
+every other job — keeps going."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import Client, RemoteJobError
+from repro.resilience import ChaosConfig, chaos
+from repro.server import ServeServer
+from repro.service import SolveService
+from repro.solver.dabs import DABSConfig
+from tests.resilience.conftest import CHAOS_SEED
+
+TERMS = [[0, 0, -3], [0, 1, 2], [1, 1, -3], [2, 2, 1], [2, 3, -4], [3, 3, 1]]
+
+
+def make_service(**kwargs) -> SolveService:
+    kwargs.setdefault(
+        "default_config", DABSConfig(num_gpus=2, blocks_per_gpu=4)
+    )
+    kwargs.setdefault("devices", 2)
+    return SolveService(**kwargs)
+
+
+class TestServerFaultVisibility:
+    def test_chaos_fault_surfaces_as_failed_event_over_tcp(self):
+        """One chaos launch fault: the TCP client sees a terminal
+        ``job-failed`` error with the chaos message and traceback, the
+        error is tallied in the metrics ledger, and a follow-up job on
+        the same connection still solves."""
+        chaos.install(
+            ChaosConfig(
+                rates={"launch_exception": 1.0},
+                seed=CHAOS_SEED,
+                max_faults=1,
+            )
+        )
+        with make_service() as service, ServeServer(
+            service, metrics_port=None
+        ) as server:
+            with Client.connect("127.0.0.1", server.port) as client:
+                doomed = client.submit(
+                    n=4, terms=TERMS, rounds=5, seed=0, job_id="doomed"
+                )
+                with pytest.raises(RemoteJobError) as excinfo:
+                    doomed.result(timeout=60)
+                error = excinfo.value
+                assert error.code == "job-failed"
+                assert "chaos" in str(error)
+                assert error.retries == 0
+                # the fault budget is spent: the next job solves clean
+                ok = client.submit(
+                    n=4, terms=TERMS, rounds=5, seed=1, job_id="ok"
+                )
+                result = ok.result(timeout=60)
+                assert result.best_energy <= 0
+                stats = client.stats()
+                assert stats["errors"] >= 1
+                assert stats["server"]["jobs"]["default/failed"] == 1
+                assert stats["server"]["jobs"]["default/done"] == 1
+                text = client.metrics_text()
+                assert 'repro_errors_total{code="job-failed"} 1' in text
+
+    def test_fault_is_isolated_between_tenants(self):
+        """Two tenants, one chaos fault: exactly one job fails, the other
+        tenant's job is untouched — fault isolation holds across the
+        network boundary exactly as it does in process."""
+        chaos.install(
+            ChaosConfig(
+                rates={"launch_exception": 1.0},
+                seed=CHAOS_SEED,
+                max_faults=1,
+            )
+        )
+        with make_service() as service, ServeServer(
+            service, metrics_port=None
+        ) as server:
+            with Client.connect(
+                "127.0.0.1", server.port, tenant="a"
+            ) as alice:
+                first = client_result(alice, "j1", seed=0)
+                with Client.connect(
+                    "127.0.0.1", server.port, tenant="b"
+                ) as bob:
+                    second = client_result(bob, "j2", seed=1)
+                outcomes = sorted(
+                    kind for kind, _ in (first, second)
+                )
+                assert outcomes == ["done", "failed"]
+
+
+def client_result(client: Client, job_id: str, seed: int):
+    """Submit one small job; returns ("done", result) or ("failed", err)."""
+    handle = client.submit(
+        n=4, terms=TERMS, rounds=5, seed=seed, job_id=job_id
+    )
+    try:
+        return ("done", handle.result(timeout=60))
+    except RemoteJobError as exc:
+        return ("failed", exc)

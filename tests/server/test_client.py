@@ -1,0 +1,94 @@
+"""The client SDK: handle surface parity, streaming, failure mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import Client, RemoteIncumbent, RemoteJobError
+from repro.server import ServeServer
+from repro.service import SolveService
+from repro.service.job import JobStatus
+from repro.solver.dabs import DABSConfig
+from tests.conftest import random_qubo
+
+TERMS = [[0, 0, -3], [0, 1, 2], [1, 1, -3], [2, 2, 1], [2, 3, -4], [3, 3, 1]]
+
+
+@pytest.fixture()
+def server():
+    service = SolveService(
+        devices=2, default_config=DABSConfig(num_gpus=2, blocks_per_gpu=4)
+    )
+    with service, ServeServer(service, metrics_port=None) as srv:
+        yield srv
+
+
+class TestClientSurface:
+    def test_submit_model_object_and_stream_incumbents(self, server):
+        model = random_qubo(12, seed=2)
+        with Client.connect("127.0.0.1", server.port) as client:
+            handle = client.submit(model, rounds=8, seed=0)
+            updates = list(handle.incumbents(timeout=60))
+            assert updates, "at least one incumbent should stream"
+            assert all(isinstance(u, RemoteIncumbent) for u in updates)
+            energies = [u.energy for u in updates]
+            assert energies == sorted(energies, reverse=True)
+            result = handle.result(timeout=60)
+            assert result.best_energy == energies[-1]
+            assert model.energy(result.best_vector) == result.best_energy
+            assert handle.status is JobStatus.DONE
+            assert handle.done()
+
+    def test_inline_and_generated_ids(self, server):
+        with Client.connect("127.0.0.1", server.port) as client:
+            a = client.submit(n=4, terms=TERMS, rounds=2, seed=0)
+            b = client.submit(n=4, terms=TERMS, rounds=2, seed=1, job_id="named")
+            assert b.job_id == "named"
+            assert a.job_id != b.job_id
+            assert a.result(timeout=60).best_energy <= 0
+            assert b.result(timeout=60).best_energy <= 0
+
+    def test_submit_requires_an_instance(self, server):
+        with Client.connect("127.0.0.1", server.port) as client:
+            with pytest.raises(ValueError):
+                client.submit(rounds=3)
+
+    def test_duplicate_local_id_rejected_client_side(self, server):
+        model = random_qubo(16, seed=4)
+        with Client.connect("127.0.0.1", server.port) as client:
+            handle = client.submit(model, rounds=4000, seed=0, job_id="dup")
+            with pytest.raises(ValueError):
+                client.submit(model, rounds=2, seed=0, job_id="dup")
+            handle.cancel()
+            handle.wait(60)
+
+    def test_server_rejection_maps_to_remote_job_error(self, server):
+        with Client.connect("127.0.0.1", server.port) as client:
+            handle = client.submit(file="/nonexistent/instance.qubo", rounds=2)
+            with pytest.raises(RemoteJobError) as excinfo:
+                handle.result(timeout=30)
+            assert excinfo.value.code == "bad-request"
+            assert handle.status is JobStatus.FAILED
+
+    def test_control_ops(self, server):
+        with Client.connect("127.0.0.1", server.port, tenant="ops") as client:
+            client.submit(n=4, terms=TERMS, rounds=2, seed=0).result(timeout=60)
+            client.drain()
+            stats = client.stats()
+            assert stats["server"]["submits"] == {"ops": 1}
+            assert "repro_connections_active" in client.metrics_text()
+            assert client.server_info["event"] == "ready"
+            assert client.server_info["protocol"] == 1
+
+    def test_close_mid_job_fails_pending_handles(self, server):
+        model = random_qubo(16, seed=6)
+        client = Client.connect("127.0.0.1", server.port, tenant="t0")
+        handle = client.submit(model, rounds=4000, seed=0, job_id="orphan")
+        client.close()
+        with pytest.raises(ConnectionError):
+            handle.result(timeout=30)
+        # ...but the job itself survived on the server: reattach and cancel
+        with Client.connect("127.0.0.1", server.port, tenant="t0") as fresh:
+            attached = fresh.attach("orphan")
+            attached.cancel()
+            assert attached.wait(60)

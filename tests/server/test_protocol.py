@@ -1,0 +1,154 @@
+"""The versioned wire codec: round trips, malformed frames, quotas."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, decode_request, encode_event
+from repro.server.quota import TenantQuota, TokenBucket
+
+
+def code_of(excinfo) -> str:
+    return excinfo.value.code
+
+
+class TestDecodeRequest:
+    def test_v1_round_trip_strips_envelope(self):
+        request = decode_request(
+            json.dumps(
+                {"v": 1, "op": "submit", "id": "a", "n": 4, "terms": []}
+            )
+        )
+        assert request.op == "submit"
+        assert request.id == "a"
+        assert request.params == {"n": 4, "terms": []}
+        assert request.legacy is False
+
+    def test_bytes_and_str_decode_identically(self):
+        line = json.dumps({"v": 1, "op": "stats"})
+        assert decode_request(line) == decode_request(line.encode())
+
+    def test_legacy_frame_accepted_and_flagged(self):
+        request = decode_request(json.dumps({"op": "drain"}))
+        assert request.legacy is True
+        assert request.op == "drain"
+
+    def test_integer_id_is_coerced_to_string(self):
+        assert decode_request(json.dumps({"v": 1, "op": "query", "id": 7})).id == "7"
+
+    def test_version_mismatch_is_structured(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(json.dumps({"v": 2, "op": "stats"}))
+        assert code_of(excinfo) == protocol.E_VERSION_MISMATCH
+
+    def test_bad_json_is_structured(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request('{"op": oops}')
+        assert code_of(excinfo) == protocol.E_BAD_JSON
+        assert "bad JSON" in str(excinfo.value)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request("[1, 2, 3]")
+        assert code_of(excinfo) == protocol.E_BAD_REQUEST
+
+    def test_missing_or_non_string_op_rejected(self):
+        for frame in ({"v": 1}, {"v": 1, "op": 3}):
+            with pytest.raises(ProtocolError) as excinfo:
+                decode_request(json.dumps(frame))
+            assert code_of(excinfo) == protocol.E_BAD_REQUEST
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(json.dumps({"v": 1, "op": "frobnicate"}))
+        assert code_of(excinfo) == protocol.E_UNKNOWN_OP
+        assert "unknown op" in str(excinfo.value)
+
+    def test_oversize_frame_rejected_before_parsing(self):
+        frame = json.dumps({"v": 1, "op": "submit", "blob": "x" * 4096})
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(frame, max_bytes=1024)
+        assert code_of(excinfo) == protocol.E_FRAME_TOO_LARGE
+
+    def test_bad_id_type_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(json.dumps({"v": 1, "op": "query", "id": [1]}))
+        assert code_of(excinfo) == protocol.E_BAD_REQUEST
+
+
+class TestEncodeEvent:
+    def test_events_carry_the_envelope(self):
+        payload = json.loads(encode_event({"event": "done", "id": "a"}))
+        assert payload == {"v": 1, "event": "done", "id": "a"}
+
+    def test_error_payload_is_structured(self):
+        payload = protocol.error_payload(
+            protocol.E_RATE_LIMITED, "slow down", id="a", retry_after=0.5
+        )
+        assert payload["event"] == "error"
+        assert payload["code"] == "rate-limited"
+        assert payload["error"] == "slow down"
+        assert payload["retry_after"] == 0.5
+
+
+class TestSubmitHelpers:
+    def test_inline_terms_accumulate_duplicates(self):
+        model = protocol.load_model(
+            {"n": 2, "terms": [[0, 1, 2], [0, 1, 3], [0, 0, -1]]}
+        )
+        assert model.n == 2
+        assert model.to_dict() == {(0, 1): 5.0, (0, 0): -1.0}
+
+    def test_malformed_terms_entry_is_bad_request(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.load_model({"n": 2, "terms": [[0, 1]]})
+        assert code_of(excinfo) == protocol.E_BAD_REQUEST
+
+    def test_missing_instance_is_bad_request(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.load_model({"rounds": 5})
+        assert code_of(excinfo) == protocol.E_BAD_REQUEST
+
+    def test_limit_kwargs_default_to_bounded_rounds(self):
+        assert protocol.limit_kwargs({}) == {"max_rounds": 20}
+        assert protocol.limit_kwargs(
+            {"target": -10, "time_limit": 1.5, "rounds": 7, "launches": 3}
+        ) == {
+            "target_energy": -10,
+            "time_limit": 1.5,
+            "max_rounds": 7,
+            "max_launches": 3,
+        }
+
+    def test_submit_kwargs_coerce_types(self):
+        kwargs = protocol.submit_kwargs(
+            {"seed": "3", "devices": "2", "priority": "1", "share": "2.5"}
+        )
+        assert kwargs == {"seed": 3, "devices": 2, "priority": 1, "share": 2.5}
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_with_injected_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=lambda: now[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.5)
+        now[0] += 0.5  # one token refilled at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+    def test_quota_bucket_disabled_without_rate(self):
+        assert TenantQuota().make_bucket() is None
+        bucket = TenantQuota(rate=5.0, burst=3.0).make_bucket()
+        assert bucket is not None and bucket.burst == 3.0
